@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one artefact of the paper's evaluation (a
+table, a figure series, or an ablation of a §4 transformation).  Besides
+the pytest-benchmark timing of the *host* (how long the simulation takes to
+run on this machine), each benchmark writes the *reproduced* numbers — the
+virtual AP1000 timings — to ``benchmarks/results/<name>.txt`` and attaches
+them to ``benchmark.extra_info`` so they survive into the JSON report.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def bench_rng() -> np.random.Generator:
+    """One fixed seed for the whole benchmark session: the paper sorts a
+    fixed vector of random numbers, so every p sees identical input."""
+    return np.random.default_rng(19950701)
+
+
+def write_table(results_dir: pathlib.Path, name: str, title: str,
+                header: list[str], rows: list[list], notes: str = "") -> str:
+    """Render an aligned text table, write it to results/, return it."""
+    from repro.util.tables import render_table
+
+    text = render_table(title, header, rows, notes)
+    (results_dir / f"{name}.txt").write_text(text)
+    print(f"\n{text}")
+    return text

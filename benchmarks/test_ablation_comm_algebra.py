@@ -1,0 +1,97 @@
+"""Ablation B (§4) — communication algebra:
+``send f . send g = send (f . g)`` and ``fetch f . fetch g = fetch (g . f)``.
+
+"Communication steps can be removed by combining two communication steps
+into one."  We verify that claim quantitatively: a chain of k rotations/
+fetches rewrites to a single data movement, and on the simulated machine
+the message count and virtual time drop by ~k.
+
+Results → ``benchmarks/results/ablation_comm_algebra.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_table
+from repro.core import ParArray
+from repro.machine import AP1000, Machine
+from repro.scl import (
+    Fetch,
+    Rotate,
+    compose_nodes,
+    default_engine,
+    estimate_cost,
+    evaluate,
+)
+
+P = 32
+CHAIN = 5
+
+
+def _machine_rotation_time(p: int, steps: int) -> tuple[float, int]:
+    """Virtual time + messages for `steps` successive one-place rotations."""
+
+    def prog(env):
+        left = (env.pid - 1) % p
+        right = (env.pid + 1) % p
+        x = env.pid
+        for s in range(steps):
+            yield env.send(left, x, tag=s, nbytes=8)
+            msg = yield env.recv(right, tag=s)
+            x = msg.payload
+        return x
+
+    res = Machine(p, spec=AP1000).run(prog)
+    return res.makespan, res.total_messages
+
+
+def test_ablation_comm_algebra(benchmark, results_dir):
+    # a chain of rotations collapses to one rotation
+    chain = compose_nodes(*[Rotate(1) for _ in range(CHAIN)])
+    fused, steps = default_engine().rewrite(chain)
+    assert fused == Rotate(CHAIN)
+    assert len(steps) == CHAIN - 1
+
+    c_chain = estimate_cost(chain, n=P, spec=AP1000)
+    c_fused = estimate_cost(fused, n=P, spec=AP1000)
+    assert c_fused.messages == c_chain.messages // CHAIN
+
+    t_chain, m_chain = _machine_rotation_time(P, CHAIN)
+    t_fused, m_fused = _machine_rotation_time(P, 1)
+    assert t_fused < t_chain
+    assert m_fused == m_chain // CHAIN
+
+    pa = ParArray(list(range(P)))
+    assert evaluate(chain, pa) == evaluate(fused, pa)
+
+    write_table(
+        results_dir, "ablation_comm_algebra",
+        f"Ablation B: communication algebra — {CHAIN} rotations vs 1, {P} procs",
+        ["variant", "predicted (s)", "msgs (model)", "simulated (s)", "msgs (sim)"],
+        [["chained", f"{c_chain.seconds:.3e}", c_chain.messages,
+          f"{t_chain:.3e}", m_chain],
+         ["fused", f"{c_fused.seconds:.3e}", c_fused.messages,
+          f"{t_fused:.3e}", m_fused],
+         ["ratio", f"{c_chain.seconds / c_fused.seconds:.2f}x", "",
+          f"{t_chain / t_fused:.2f}x", ""]],
+        notes="send f . send g = send (f.g); fetch f . fetch g = fetch (g.f) (§4).")
+
+    benchmark(lambda: evaluate(fused, pa))
+
+
+def test_fetch_chain_fuses_to_single_fetch(benchmark):
+    n = P
+    fns = [lambda i, k=k: (i + 2 * k + 1) % n for k in range(CHAIN)]
+    chain = compose_nodes(*[Fetch(f) for f in fns])
+    fused, _ = default_engine().rewrite(chain)
+    assert isinstance(fused, Fetch)
+    pa = ParArray(list(range(n)))
+    assert evaluate(chain, pa) == evaluate(fused, pa)
+    benchmark(lambda: evaluate(fused, pa))
+
+
+def test_comm_algebra_host_wallclock_chain(benchmark):
+    chain = compose_nodes(*[Rotate(1) for _ in range(CHAIN)])
+    pa = ParArray(list(range(P)))
+    benchmark(lambda: evaluate(chain, pa))

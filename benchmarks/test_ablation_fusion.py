@@ -1,0 +1,92 @@
+"""Ablation A (§4) — map fusion: ``map f . map g = map (f . g)``.
+
+The paper: map fusion "reduces the need to perform a barrier
+synchronisation and provides for better load balancing" — the functional
+analogue of loop fusion.  We measure it three ways:
+
+1. predicted cost (the optimiser's model) for fused vs. unfused pipelines,
+2. virtual time of the equivalent message-passing programs on the
+   simulated AP1000 (each map stage ends in a dissemination barrier),
+3. host wall-clock of the interpreted expressions.
+
+Results → ``benchmarks/results/ablation_fusion.txt``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_table
+from repro.core import ParArray
+from repro.machine import AP1000, Comm, Machine, collectives as C
+from repro.scl import Map, compose_nodes, default_engine, estimate_cost, evaluate
+
+N_STAGES = 6
+N_ELEMS = 64
+
+
+def _stage_fns():
+    return [lambda x, k=k: x * 2 + k for k in range(N_STAGES)]
+
+
+def _machine_pipeline_time(p: int, stages: int, barrier_per_stage: bool) -> float:
+    """Virtual time of `stages` map stages, with/without inter-stage barriers."""
+
+    def prog(env):
+        comm = Comm.world(env)
+        x = float(env.pid)
+        for _ in range(stages):
+            yield env.work(50)
+            x = x * 2
+            if barrier_per_stage:
+                yield from C.barrier(comm)
+        if not barrier_per_stage:
+            yield from C.barrier(comm)
+        return x
+
+    return Machine(p, spec=AP1000).run(prog).makespan
+
+
+def test_ablation_map_fusion(benchmark, results_dir):
+    fns = _stage_fns()
+    unfused = compose_nodes(*[Map(f) for f in fns])
+    fused, steps = default_engine().rewrite(unfused)
+    assert isinstance(fused, Map)
+    assert len(steps) == N_STAGES - 1
+
+    # 1. predicted cost
+    c_unfused = estimate_cost(unfused, n=N_ELEMS, spec=AP1000, fn_ops=50)
+    c_fused = estimate_cost(fused, n=N_ELEMS, spec=AP1000, fn_ops=50)
+    assert c_fused.barriers == 1 and c_unfused.barriers == N_STAGES
+    assert c_fused.seconds < c_unfused.seconds
+
+    # 2. simulated machine: barrier per stage vs single barrier
+    t_barriers = _machine_pipeline_time(N_ELEMS, N_STAGES, barrier_per_stage=True)
+    t_fused = _machine_pipeline_time(N_ELEMS, N_STAGES, barrier_per_stage=False)
+    assert t_fused < t_barriers
+
+    # semantics unchanged
+    pa = ParArray(list(range(N_ELEMS)))
+    assert evaluate(unfused, pa) == evaluate(fused, pa)
+
+    write_table(
+        results_dir, "ablation_fusion",
+        f"Ablation A: map fusion over {N_STAGES} stages, {N_ELEMS} processors",
+        ["variant", "predicted (s)", "barriers", "simulated (s)"],
+        [["unfused", f"{c_unfused.seconds:.3e}", c_unfused.barriers,
+          f"{t_barriers:.3e}"],
+         ["fused", f"{c_fused.seconds:.3e}", c_fused.barriers,
+          f"{t_fused:.3e}"],
+         ["ratio", f"{c_unfused.seconds / c_fused.seconds:.2f}x", "",
+          f"{t_barriers / t_fused:.2f}x"]],
+        notes="Fusion removes one barrier synchronisation per merged stage (§4).")
+
+    # 3. host wall-clock of the fused interpretation
+    benchmark(lambda: evaluate(fused, pa))
+
+
+def test_fusion_host_wallclock_unfused(benchmark):
+    pa = ParArray(list(range(N_ELEMS)))
+    unfused = compose_nodes(*[Map(f) for f in _stage_fns()])
+    benchmark(lambda: evaluate(unfused, pa))

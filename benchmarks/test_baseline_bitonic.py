@@ -1,0 +1,96 @@
+"""Baseline bench — hyperquicksort vs block bitonic sort.
+
+The paper claims its achieved speedup "compares well with the best speedup
+available for this problem"; Quinn's textbook (the hyperquicksort source
+the paper cites) sets up bitonic sort as the fixed-schedule hypercube
+alternative.  We run both on the simulated AP1000 with identical
+base-language cost constants and pre-distributed data.
+
+Expected shape: hyperquicksort wins on uniform random input (d exchange
+rounds moving ~half a block each vs d(d+1)/2 rounds moving whole blocks),
+and the gap widens with the processor count.
+
+Results → ``benchmarks/results/baseline_bitonic.txt``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_table
+from repro.apps.bitonic import bitonic_sort_machine
+from repro.apps.sort import hyperquicksort_machine
+from repro.machine import AP1000
+
+N_VALUES = 102_400  # divisible by every tested processor count
+DIMS = [1, 2, 3, 4, 5]
+
+
+@pytest.fixture(scope="module")
+def workload(bench_rng):
+    return bench_rng.integers(0, 2**31, size=N_VALUES).astype(np.int32)
+
+
+@pytest.fixture(scope="module")
+def comparison(workload):
+    from repro.apps.sort import sample_sort_machine
+
+    expected = np.sort(workload)
+    rows = {}
+    for d in DIMS:
+        hq_out, hq = hyperquicksort_machine(workload, d, spec=AP1000,
+                                            include_distribution=False)
+        bt_out, bt = bitonic_sort_machine(workload, d, spec=AP1000)
+        ss_out, ss = sample_sort_machine(workload, 1 << d, spec=AP1000)
+        assert np.array_equal(hq_out, expected)
+        assert np.array_equal(bt_out, expected)
+        assert np.array_equal(ss_out, expected)
+        rows[1 << d] = (hq, bt, ss)
+    return rows
+
+
+def test_baseline_table(benchmark, workload, comparison, results_dir):
+    table = []
+    for p, (hq, bt, ss) in sorted(comparison.items()):
+        table.append([p, f"{hq.makespan:.3f}", f"{bt.makespan:.3f}",
+                      f"{ss.makespan:.3f}",
+                      hq.total_messages, bt.total_messages, ss.total_messages])
+    write_table(
+        results_dir, "baseline_bitonic",
+        f"Hyperquicksort vs bitonic vs sample sort, {N_VALUES} integers "
+        f"(simulated {AP1000.name}, no distribution phase)",
+        ["procs", "hyperqs (s)", "bitonic (s)", "samplesort (s)",
+         "hq msgs", "bitonic msgs", "ss msgs"],
+        table,
+        notes=("Hyperquicksort: d half-block exchanges. Bitonic: d(d+1)/2 "
+               "full-block compare-splits. Sample sort: one all-to-all "
+               "(p(p-1) messages) — competitive until message startups "
+               "dominate at large p."))
+    benchmark.pedantic(
+        lambda: bitonic_sort_machine(workload, 4, spec=AP1000),
+        rounds=2, iterations=1)
+
+
+def test_hyperquicksort_beats_bitonic(comparison):
+    for p, (hq, bt, _ss) in comparison.items():
+        if p >= 4:
+            assert hq.makespan < bt.makespan, f"p={p}"
+
+
+def test_gap_widens_with_processors(comparison):
+    ratios = [bt.makespan / hq.makespan
+              for _p, (hq, bt, _ss) in sorted(comparison.items())]
+    assert ratios[-1] > ratios[0]
+
+
+def test_bitonic_moves_more_bytes(comparison):
+    for p, (hq, bt, _ss) in comparison.items():
+        if p >= 4:
+            assert bt.total_bytes > hq.total_bytes
+
+
+def test_samplesort_message_count_grows_quadratically(comparison):
+    for p, (_hq, _bt, ss) in comparison.items():
+        if p >= 4:
+            assert ss.total_messages >= p * (p - 1)

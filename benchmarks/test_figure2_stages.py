@@ -1,0 +1,116 @@
+"""Figure 2 — hyperquicksort on a 2-dim hypercube, stage by stage.
+
+The paper illustrates the algorithm on 32 values across 4 processors,
+showing the per-processor contents at states (a) through (h).  The figure's
+numbers come from an unspecified random vector, so we reproduce the
+*invariants* each panel exhibits:
+
+(a) all 32 values on p0 — (b/c) evenly distributed and locally sorted —
+(d)/(f) partner exchange within (sub-)cubes — (e) lower half-cube values
+all <= upper half-cube values — (g) per-processor runs sorted and globally
+ordered — (h) the sorted vector gathered on p0.
+
+The regenerated stage listing is written to ``benchmarks/results/figure2.txt``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.sort import hyperquicksort_trace
+
+D = 2
+N = 32
+
+
+@pytest.fixture(scope="module")
+def snaps(bench_rng):
+    values = bench_rng.integers(1, 100, size=N)
+    return values, hyperquicksort_trace(values, D)
+
+
+def test_figure2_stage_listing(benchmark, snaps, results_dir):
+    values, stages = snaps
+    lines = [f"Figure 2: hyperquicksort of {N} values on a {D}-dim hypercube",
+             "=" * 60, ""]
+    panels = "abcdefgh"
+    for panel, snap in zip(panels, stages):
+        lines.append(f"({panel}) {snap.label}")
+        for pid, contents in enumerate(snap.contents):
+            lines.append(f"    p{pid}: {' '.join(str(int(v)) for v in contents)}")
+        lines.append("")
+    text = "\n".join(lines)
+    (results_dir / "figure2.txt").write_text(text)
+    print("\n" + text)
+
+    benchmark.pedantic(lambda: hyperquicksort_trace(values, D),
+                       rounds=3, iterations=1)
+
+
+def test_panel_a_initial_on_p0(snaps):
+    _values, stages = snaps
+    assert stages[0].label == "initial-on-p0"
+    assert stages[0].sizes() == (N, 0, 0, 0)
+
+
+def test_panel_bc_distributed_and_sorted(snaps):
+    _values, stages = snaps
+    snap = stages[1]
+    assert snap.sizes() == (8, 8, 8, 8)
+    for part in snap.contents:
+        assert list(part) == sorted(part)
+
+
+def test_panel_e_halves_separated_by_pivot(snaps):
+    _values, stages = snaps
+    snap = next(s for s in stages if s.label == "iter0-merged")
+    low = [x for part in snap.contents[:2] for x in part]
+    high = [x for part in snap.contents[2:] for x in part]
+    if low and high:
+        assert max(low) <= min(high)
+
+
+def test_panel_g_fully_ordered_across_processors(snaps):
+    _values, stages = snaps
+    snap = next(s for s in stages if s.label == "iter1-merged")
+    flat = []
+    for part in snap.contents:
+        assert list(part) == sorted(part)
+        flat.extend(part)
+    assert flat == sorted(flat)
+
+
+def test_panel_h_gathered_sorted_on_p0(snaps):
+    values, stages = snaps
+    final = stages[-1]
+    assert final.sizes() == (N, 0, 0, 0)
+    assert list(final.contents[0]) == sorted(values.tolist())
+
+
+def test_every_panel_conserves_values(snaps):
+    values, stages = snaps
+    expected = sorted(values.tolist())
+    for snap in stages:
+        assert sorted(x for part in snap.contents for x in part) == expected
+
+
+def test_gantt_artifact(benchmark, bench_rng, results_dir):
+    """Extension: a Gantt rendering of the machine-level sort, showing the
+    compute/exchange phase structure per processor."""
+    from repro.apps.sort import hyperquicksort_machine
+    from repro.machine import AP1000
+
+    values = bench_rng.integers(0, 2**31, size=4096).astype(np.int32)
+    out, res = benchmark.pedantic(
+        lambda: hyperquicksort_machine(values, 3, spec=AP1000,
+                                       record_trace=True),
+        rounds=1, iterations=1)
+    assert np.array_equal(out, np.sort(values))
+    chart = res.trace.gantt(width=100)
+    text = ("Gantt chart: hyperquicksort of 4096 integers on 8 processors\n"
+            "(# compute, > send, < receive; time left to right)\n\n"
+            + chart + "\n")
+    (results_dir / "gantt_hyperquicksort.txt").write_text(text)
+    print("\n" + text)
+    assert "#" in chart and ">" in chart and "<" in chart

@@ -1,0 +1,88 @@
+"""Figure 3 — speedup of sorting 100,000 integers vs. linear speedup.
+
+The paper plots hyperquicksort's speedup against the linear diagonal for up
+to ~32 processors, noting that "linear speedup is not possible with this
+problem" and that the achieved curve "compares well with the best speedup
+available".  We regenerate the (p, speedup) series from the simulated
+machine and assert its shape: monotonically increasing, strictly below
+linear for p >= 2, efficiency declining with p.
+
+The reproduced series (plus an ASCII rendition of the figure) is written to
+``benchmarks/results/figure3.txt``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_table
+from repro.apps.sort import hyperquicksort_machine, sequential_sort_machine
+from repro.machine import AP1000
+
+N_VALUES = 100_000
+DIMS = [1, 2, 3, 4, 5]
+
+
+@pytest.fixture(scope="module")
+def workload(bench_rng):
+    return bench_rng.integers(0, 2**31, size=N_VALUES).astype(np.int32)
+
+
+@pytest.fixture(scope="module")
+def speedups(workload):
+    _s, seq = sequential_sort_machine(workload, spec=AP1000)
+    series = {}
+    for d in DIMS:
+        _p, par = hyperquicksort_machine(workload, d, spec=AP1000)
+        series[1 << d] = seq.makespan / par.makespan
+    return series
+
+
+def _ascii_plot(series: dict[int, float], width: int = 34) -> str:
+    lines = ["speedup (x = hyperquicksort, * = linear)"]
+    for p in sorted(series):
+        x = int(round(series[p]))
+        row = [" "] * (width + 2)
+        row[min(p, width)] = "*"
+        row[min(x, width)] = "x"
+        lines.append(f"p={p:2d} |" + "".join(row))
+    return "\n".join(lines)
+
+
+def test_figure3_series(benchmark, workload, speedups, results_dir):
+    rows = [[p, f"{s:.2f}", p, f"{s / p:.0%}"] for p, s in sorted(speedups.items())]
+    write_table(
+        results_dir, "figure3",
+        f"Figure 3: speedup of sorting {N_VALUES} integers "
+        f"(simulated {AP1000.name})",
+        ["procs", "speedup", "linear", "efficiency"],
+        rows,
+        notes=_ascii_plot(speedups))
+    benchmark.extra_info["speedups"] = {str(p): s for p, s in speedups.items()}
+    benchmark.pedantic(
+        lambda: hyperquicksort_machine(workload, 4, spec=AP1000),
+        rounds=2, iterations=1)
+
+
+def test_figure3_monotone_increasing(speedups):
+    ps = sorted(speedups)
+    assert all(speedups[a] < speedups[b] for a, b in zip(ps, ps[1:]))
+
+
+def test_figure3_below_linear(speedups):
+    """The paper's central observation: the curve sits under the diagonal."""
+    for p, s in speedups.items():
+        assert s < p, f"speedup {s:.2f} at p={p} should be sub-linear"
+
+
+def test_figure3_efficiency_declines(speedups):
+    ps = sorted(speedups)
+    eff = [speedups[p] / p for p in ps]
+    assert all(a > b for a, b in zip(eff, eff[1:]))
+
+
+def test_figure3_worthwhile_scaling(speedups):
+    """'Compares well with the best speedup available': at least ~60% of
+    linear at p=32 on the calibrated machine."""
+    assert speedups[32] > 0.6 * 32 * 0.9  # > ~17x

@@ -1,0 +1,96 @@
+"""Extension bench — input sensitivity of the sorting algorithms.
+
+The paper evaluates hyperquicksort only on uniform random integers.  Its
+pivot (the median of one processor's block) is a *sample* statistic, so
+skewed inputs unbalance the halves; sample sort's splitters come from all
+processors and resist skew; bitonic sort is data-oblivious.  We sort four
+input families and record runtime and the load-imbalance factor — the
+robustness study a referee would have asked for.
+
+Results → ``benchmarks/results/input_sensitivity.txt``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_table
+from repro.apps.bitonic import bitonic_sort_machine
+from repro.apps.sort import hyperquicksort_machine, sample_sort_machine
+from repro.machine import AP1000
+from repro.machine.metrics import load_imbalance
+
+N = 65_536
+D = 4  # p = 16
+
+
+def make_inputs(rng):
+    uniform = rng.integers(0, 2**31, size=N).astype(np.int64)
+    sorted_in = np.sort(uniform)
+    skewed = (rng.zipf(1.5, size=N) % 2**31).astype(np.int64)
+    dup_heavy = rng.choice([1, 2, 3, 5, 8], size=N).astype(np.int64)
+    return {"uniform": uniform, "pre-sorted": sorted_in,
+            "zipf-skewed": skewed, "5-distinct": dup_heavy}
+
+
+@pytest.fixture(scope="module")
+def results(bench_rng):
+    out = {}
+    for name, values in make_inputs(bench_rng).items():
+        expected = np.sort(values)
+        hq_out, hq = hyperquicksort_machine(values, D, spec=AP1000,
+                                            include_distribution=False)
+        ss_out, ss = sample_sort_machine(values, 1 << D, spec=AP1000)
+        bt_out, bt = bitonic_sort_machine(values, D, spec=AP1000)
+        assert np.array_equal(hq_out, expected), name
+        assert np.array_equal(ss_out, expected), name
+        assert np.array_equal(bt_out, expected), name
+        out[name] = (hq, ss, bt)
+    return out
+
+
+def test_input_sensitivity_table(benchmark, bench_rng, results, results_dir):
+    rows = []
+    for name, (hq, ss, bt) in results.items():
+        rows.append([name,
+                     f"{hq.makespan:.3f}", f"{load_imbalance(hq):.2f}",
+                     f"{ss.makespan:.3f}", f"{load_imbalance(ss):.2f}",
+                     f"{bt.makespan:.3f}", f"{load_imbalance(bt):.2f}"])
+    write_table(
+        results_dir, "input_sensitivity",
+        f"Input sensitivity: {N} values, p={1 << D} (simulated AP1000)",
+        ["input", "hq (s)", "hq imbal", "ss (s)", "ss imbal",
+         "bt (s)", "bt imbal"],
+        rows,
+        notes=("Hyperquicksort's single-block median pivot degrades on "
+               "skewed/low-cardinality inputs (imbalance > 1); bitonic is "
+               "data-oblivious (imbalance = 1 always); sample sort sits "
+               "between.  The paper's uniform-random evaluation is "
+               "hyperquicksort's best case."))
+    values = make_inputs(bench_rng)["zipf-skewed"]
+    benchmark.pedantic(
+        lambda: hyperquicksort_machine(values, D, spec=AP1000,
+                                       include_distribution=False),
+        rounds=2, iterations=1)
+
+
+def test_all_inputs_sorted_correctly(results):
+    assert len(results) == 4  # correctness asserted in the fixture
+
+
+def test_bitonic_immune_to_input_distribution(results):
+    times = [bt.makespan for _hq, _ss, bt in results.values()]
+    assert max(times) / min(times) < 1.05
+
+
+def test_hyperquicksort_degrades_on_low_cardinality(results):
+    hq_uniform = results["uniform"][0]
+    hq_dups = results["5-distinct"][0]
+    assert load_imbalance(hq_dups) > load_imbalance(hq_uniform)
+
+
+def test_uniform_is_hyperquicksorts_best_case(results):
+    t_uniform = results["uniform"][0].makespan
+    for name, (hq, _ss, _bt) in results.items():
+        assert hq.makespan >= t_uniform * 0.95, name

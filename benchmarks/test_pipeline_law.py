@@ -1,0 +1,70 @@
+"""Extension bench — the pipeline fill/drain law, measured.
+
+P3L-style stage pipelines (``repro.stream``) obey
+``T = (m + s - 1) · t_stage`` for ``m`` items through ``s`` equal stages
+on a zero-latency machine; with AP1000 communication constants the law
+gains a per-hop forwarding term.  This bench sweeps both dimensions and
+records the measured-vs-law agreement.
+
+Results → ``benchmarks/results/pipeline_law.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_table
+from repro.machine import AP1000, PERFECT
+from repro.stream import PipelineStage, pipeline_machine
+
+OPS = 5_000.0
+
+
+def inc(x):
+    return x + 1
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    t_stage = PERFECT.compute_time(OPS)
+    rows = []
+    for s, m in [(2, 4), (2, 32), (4, 4), (4, 32), (8, 32), (8, 128)]:
+        stages = [PipelineStage(inc, ops=OPS)] * s
+        _out, res = pipeline_machine(stages, list(range(m)), spec=PERFECT)
+        law = (m + s - 1) * t_stage
+        rows.append((s, m, res.makespan, law))
+    return rows
+
+
+def test_pipeline_law_table(benchmark, sweep, results_dir):
+    table = [[s, m, f"{measured * 1e3:.3f}", f"{law * 1e3:.3f}",
+              f"{measured / law:.4f}"]
+             for s, m, measured, law in sweep]
+    write_table(
+        results_dir, "pipeline_law",
+        f"Pipeline fill/drain law: {OPS:.0f}-op stages on the perfect machine",
+        ["stages", "items", "measured (ms)", "(m+s-1)t (ms)", "ratio"],
+        table,
+        notes="Ratio 1.0000 everywhere: the simulator reproduces the "
+              "textbook law exactly when communication is free.")
+    stages = [PipelineStage(inc, ops=OPS)] * 4
+    benchmark.pedantic(
+        lambda: pipeline_machine(stages, list(range(64)), spec=PERFECT),
+        rounds=3, iterations=1)
+
+
+def test_law_exact_on_perfect_machine(sweep):
+    for s, m, measured, law in sweep:
+        assert measured == pytest.approx(law, rel=1e-9), (s, m)
+
+
+def test_communication_adds_forwarding_cost(benchmark):
+    stages = [PipelineStage(inc, ops=OPS)] * 4
+    items = list(range(32))
+    _o1, free = pipeline_machine(stages, items, spec=PERFECT)
+    _o2, paid = pipeline_machine(stages, items, spec=AP1000,
+                                 item_nbytes=1024)
+    assert paid.makespan > free.makespan
+    benchmark.pedantic(
+        lambda: pipeline_machine(stages, items, spec=AP1000, item_nbytes=1024),
+        rounds=3, iterations=1)

@@ -1,0 +1,115 @@
+"""Sensitivity study — does the Table 1 shape survive other machines?
+
+The paper's portability claim is that skeleton programs retarget by
+re-implementing the skeletons per architecture.  Here we re-run the
+Table 1 experiment on three machine models (AP1000-class, a modern
+commodity cluster, and a perfect zero-cost-communication machine) and on a
+latency sweep, and check the qualitative structure:
+
+* speedup stays monotone and sub-linear on every *real* machine model,
+* efficiency at p=32 tracks the machine's latency-to-compute *balance*,
+  not its raw speed — the modern preset's balance is worse than the
+  AP1000's, so its efficiency is lower ("networks lag cores"),
+* past a latency threshold, adding processors stops paying — the
+  crossover the cost-guided optimiser is built around.
+
+Results → ``benchmarks/results/sensitivity_machine.txt``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_table
+from repro.apps.sort import hyperquicksort_machine, sequential_sort_machine
+from repro.machine import AP1000, MODERN_CLUSTER, PERFECT
+from repro.machine.metrics import scaling_series
+
+N_VALUES = 50_000
+SPECS = [AP1000, MODERN_CLUSTER, PERFECT]
+
+
+@pytest.fixture(scope="module")
+def workload(bench_rng):
+    return bench_rng.integers(0, 2**31, size=N_VALUES).astype(np.int32)
+
+
+@pytest.fixture(scope="module")
+def sweeps(workload):
+    out = {}
+    for spec in SPECS:
+        _s, seq = sequential_sort_machine(workload, spec=spec)
+        times = {1: seq.makespan}
+        for d in (1, 2, 3, 4, 5):
+            _p, res = hyperquicksort_machine(workload, d, spec=spec)
+            times[1 << d] = res.makespan
+        out[spec.name] = scaling_series(times)
+    return out
+
+
+def test_sensitivity_table(benchmark, workload, sweeps, results_dir):
+    rows = []
+    for name, series in sweeps.items():
+        for pt in series:
+            rows.append([name, pt.procs, f"{pt.time:.4f}",
+                         f"{pt.speedup:.2f}", f"{pt.efficiency:.0%}"])
+    write_table(
+        results_dir, "sensitivity_machine",
+        f"Hyperquicksort ({N_VALUES} integers) across machine models",
+        ["machine", "procs", "runtime (s)", "speedup", "efficiency"],
+        rows,
+        notes=("The Table 1 shape (monotone, sub-linear) holds on every "
+               "model with non-zero communication cost.  Note the modern "
+               "cluster's LOWER p=32 efficiency than the AP1000: its "
+               "latency-to-compute balance (~2000 ops per message startup "
+               "vs ~250) is worse — modern networks lag modern cores."))
+    benchmark.pedantic(
+        lambda: hyperquicksort_machine(workload, 4, spec=MODERN_CLUSTER),
+        rounds=2, iterations=1)
+
+
+def test_shape_holds_on_all_specs(sweeps):
+    for name, series in sweeps.items():
+        speeds = [pt.speedup for pt in series]
+        assert all(a < b for a, b in zip(speeds, speeds[1:])), name
+        for pt in series[1:]:
+            if name != "perfect":
+                assert pt.speedup < pt.procs, (name, pt)
+
+
+def test_machine_balance_governs_efficiency(sweeps):
+    """Efficiency at p=32 tracks the machine's *balance* (ops of compute
+    per message latency), not its raw speed.  The modern preset speeds
+    compute up 400x but latency only 50x, so its balance —
+    latency/flop_time: AP1000 ≈ 250 ops, modern ≈ 2000 ops — is worse,
+    and its parallel efficiency on a fixed-size problem is LOWER than the
+    AP1000's (the classic "modern networks lag modern cores" effect).
+    The zero-cost machine bounds both."""
+    eff = {name: series[-1].efficiency for name, series in sweeps.items()}
+    assert eff["modern-cluster"] < eff["AP1000"] <= eff["perfect"] + 1e-9
+    assert MODERN_CLUSTER.latency / MODERN_CLUSTER.flop_time > \
+        AP1000.latency / AP1000.flop_time
+
+
+def test_latency_sweep_finds_crossover(benchmark, workload, results_dir):
+    """Scaling from 16 to 32 processors must stop paying once per-message
+    latency is large enough — the communication/computation crossover."""
+    gains = {}
+    for latency in (1e-4, 1e-2, 1.0):
+        spec = AP1000.replace(latency=latency)
+        _a, r16 = hyperquicksort_machine(workload, 4, spec=spec)
+        _b, r32 = hyperquicksort_machine(workload, 5, spec=spec)
+        gains[latency] = r16.makespan / r32.makespan
+    assert gains[1e-4] > 1.0            # cheap network: 32 procs help
+    assert gains[1.0] < 1.0             # 1s latency: 32 procs hurt
+    assert gains[1e-4] > gains[1e-2] > gains[1.0]
+    rows = [[f"{lat:g}", f"{g:.3f}"] for lat, g in sorted(gains.items())]
+    write_table(results_dir, "sensitivity_latency",
+                "Speedup of p=32 over p=16 vs per-message latency",
+                ["latency (s)", "T(16)/T(32)"], rows,
+                notes="Values < 1 mean doubling the machine slows the sort.")
+    benchmark.pedantic(
+        lambda: hyperquicksort_machine(workload, 5,
+                                       spec=AP1000.replace(latency=1e-2)),
+        rounds=1, iterations=1)

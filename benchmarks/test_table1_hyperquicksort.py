@@ -1,0 +1,116 @@
+"""Table 1 — hyperquicksort runtime vs. number of processors.
+
+The paper: "The resulting code was tested on an AP1000 using a vector of
+100,000 random numbers.  Table 1 shows the total execution time in seconds
+as the number of processors is increased."
+
+We run the hand-compiled message-passing program (scatter from p0, local
+quicksort, d pivot/split/exchange/merge iterations, gather to p0) on the
+simulated AP1000 for p = 1, 2, 4, 8, 16, 32 and report the virtual runtime.
+The extracted copy of the paper lost the numeric cells of Table 1, so the
+reproduction target is the documented *shape*: runtime strictly decreasing
+in p with sub-linear speedup (see EXPERIMENTS.md).
+
+The pytest-benchmark timing measures the host-side simulation cost of the
+p = 32 row; the reproduced table is written to
+``benchmarks/results/table1.txt``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_table
+from repro.apps.sort import hyperquicksort_machine, sequential_sort_machine
+from repro.machine import AP1000
+
+N_VALUES = 100_000
+DIMS = [0, 1, 2, 3, 4, 5]  # p = 1 .. 32
+
+
+@pytest.fixture(scope="module")
+def workload(bench_rng):
+    return bench_rng.integers(0, 2**31, size=N_VALUES).astype(np.int32)
+
+
+def _run_row(values: np.ndarray, d: int):
+    if d == 0:
+        return sequential_sort_machine(values, spec=AP1000)
+    return hyperquicksort_machine(values, d, spec=AP1000)
+
+
+def test_table1_runtimes(benchmark, workload, results_dir):
+    """Regenerate Table 1 and benchmark the largest simulation."""
+    expected = np.sort(workload)
+    rows = []
+    times = {}
+    for d in DIMS:
+        out, res = _run_row(workload, d)
+        assert np.array_equal(out, expected), f"sort incorrect at d={d}"
+        times[1 << d] = res.makespan
+        rows.append([1 << d, f"{res.makespan:.3f}",
+                     res.total_messages, f"{res.efficiency():.0%}"])
+
+    # monotone decrease: the paper's rows shrink as processors are added
+    procs = sorted(times)
+    for a, b in zip(procs, procs[1:]):
+        assert times[b] < times[a], f"runtime must fall from p={a} to p={b}"
+
+    write_table(
+        results_dir, "table1",
+        f"Table 1: hyperquicksort of {N_VALUES} random integers "
+        f"(simulated {AP1000.name})",
+        ["procs", "runtime (s)", "messages", "efficiency"],
+        rows,
+        notes=("Paper reports the same experiment on a real AP1000; the "
+               "numeric cells were lost in text extraction, so the target "
+               "is the documented shape: strictly decreasing runtime, "
+               "sub-linear speedup."))
+    benchmark.extra_info["virtual_times"] = {str(p): t for p, t in times.items()}
+
+    benchmark.pedantic(
+        lambda: hyperquicksort_machine(workload, 5, spec=AP1000),
+        rounds=2, iterations=1)
+
+
+def test_table1_shape_speedup_band(workload):
+    """Speedup at p=32 lands in a plausible band around the paper's curve:
+    well above half-linear breakdown, clearly below linear."""
+    _s, seq = sequential_sort_machine(workload, spec=AP1000)
+    _p, par = hyperquicksort_machine(workload, 5, spec=AP1000)
+    speedup = seq.makespan / par.makespan
+    assert 10.0 < speedup < 32.0
+
+
+@pytest.mark.parametrize("d", DIMS)
+def test_table1_per_processor_rows(benchmark, workload, d):
+    """Host-side benchmark of each Table 1 row's simulation."""
+    out, _res = benchmark.pedantic(
+        lambda: _run_row(workload, d), rounds=1, iterations=1)
+    assert out[0] <= out[-1]
+
+
+def test_full_machine_128_extension(benchmark, workload, results_dir):
+    """Extension: the AP1000 had 128 cells; the paper's table stops at 32.
+    Run the full machine and record where scaling is by then."""
+    rows = []
+    _s, seq = sequential_sort_machine(workload, spec=AP1000)
+    for d in (5, 6, 7):
+        out, res = hyperquicksort_machine(workload, d, spec=AP1000)
+        assert np.array_equal(out, np.sort(workload))
+        sp = seq.makespan / res.makespan
+        rows.append([1 << d, f"{res.makespan:.3f}", f"{sp:.2f}",
+                     f"{sp / (1 << d):.0%}"])
+    write_table(
+        results_dir, "table1_full_machine",
+        f"Extension: hyperquicksort of {N_VALUES} integers up to the "
+        f"AP1000's full 128 cells",
+        ["procs", "runtime (s)", "speedup", "efficiency"],
+        rows,
+        notes=("Efficiency keeps eroding as local blocks shrink toward the "
+               "per-message latency floor — the paper's curve extrapolated "
+               "to the machine it actually had."))
+    benchmark.pedantic(
+        lambda: hyperquicksort_machine(workload, 7, spec=AP1000),
+        rounds=1, iterations=1)

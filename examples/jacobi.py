@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Jacobi iteration — iter_until + halo exchange with fetch.
+
+A 2-D Laplace solve with a hot top edge: the grid is partitioned into row
+blocks, each sweep fetches neighbour boundary rows (two `fetch` skeletons),
+applies the local five-point stencil (`imap`), and convergence is a
+`fold (max)` over block residuals driving `iter_until`.
+
+Run:  python examples/jacobi.py [n] [p]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.apps.stencil import jacobi_seq, jacobi_solve
+
+
+def render(grid, levels=" .:-=+*#%@"):
+    lo, hi = grid.min(), grid.max()
+    span = (hi - lo) or 1.0
+    rows = []
+    for row in grid[:: max(1, grid.shape[0] // 16)]:
+        cells = ((row - lo) / span * (len(levels) - 1)).astype(int)
+        rows.append("".join(levels[c] for c in cells[:: max(1, grid.shape[1] // 48)]))
+    return "\n".join(rows)
+
+
+def main():
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 32
+    p = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+
+    grid = np.zeros((n, n))
+    grid[0, :] = 100.0  # hot top edge
+
+    print(f"Jacobi Laplace solve on a {n}x{n} grid, {p} row blocks\n")
+    ref = jacobi_seq(grid, tol=1e-4)
+    par = jacobi_solve(grid, p, tol=1e-4)
+
+    print(f"sequential: {ref.iterations} iterations, residual {ref.residual:.2e}")
+    print(f"parallel:   {par.iterations} iterations, residual {par.residual:.2e}")
+    print(f"identical results: {bool(np.allclose(ref.grid, par.grid, atol=1e-12))}\n")
+    print("temperature field (hot edge on top):")
+    print(render(par.grid))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+All metadata lives in pyproject.toml; this file exists so `pip install -e .`
+can fall back to the legacy `setup.py develop` code path when PEP 517
+editable builds are unavailable (offline machines without `wheel`).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,128 @@
+"""Block bitonic sort on a hypercube — baseline comparator for Table 1.
+
+Batcher's bitonic sort is *the* classic hypercube sorting network and the
+natural baseline for hyperquicksort (Quinn's textbook, which the paper
+cites for hyperquicksort, presents both).  Where hyperquicksort does
+``d`` data-dependent split/exchange rounds, bitonic sort does a fixed
+``d(d+1)/2`` compare-split rounds, always exchanging *full* blocks — more
+communication, perfectly balanced load.  On the simulated AP1000 this
+reproduces the textbook result: hyperquicksort wins on uniform random
+input, and the gap grows with the number of processors.
+
+Two renderings, mirroring :mod:`repro.apps.sort`:
+
+* :func:`bitonic_sort` — the skeleton program over a ParArray
+  (``iter_for`` over compare-split steps built from ``AlignFetch``-style
+  ``align``/``fetch``/``imap`` compositions),
+* :func:`bitonic_sort_machine` — the message-passing program on the
+  simulated machine, returning virtual timing.
+
+Requires ``len(values)`` divisible by ``2**d`` (blocks must stay equal for
+the compare-split invariant).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.apps.sort import SortCostParams, seq_quicksort
+from repro.core import Block, ParArray, align, fetch, gather, imap, iter_for, parmap, partition
+from repro.errors import SkeletonError
+from repro.machine import AP1000, Comm, Hypercube, Machine, MachineSpec
+from repro.machine.simulator import RunResult
+
+__all__ = ["compare_split", "bitonic_steps", "bitonic_sort", "bitonic_sort_machine"]
+
+
+def compare_split(mine: np.ndarray, theirs: np.ndarray, keep_low: bool) -> np.ndarray:
+    """Merge two equal-length sorted blocks, keep the low or high half."""
+    mine = np.asarray(mine)
+    theirs = np.asarray(theirs)
+    if mine.size != theirs.size:
+        raise SkeletonError(
+            f"compare_split needs equal blocks, got {mine.size} and {theirs.size}")
+    merged = np.concatenate([mine, theirs])
+    merged.sort(kind="mergesort")
+    return merged[: mine.size] if keep_low else merged[mine.size:]
+
+
+def bitonic_steps(d: int) -> list[tuple[int, int]]:
+    """The (stage, substep) schedule of block bitonic sort on a d-cube.
+
+    Stage ``i`` (0-based) runs substeps ``j = i .. 0``; in substep ``j``
+    processor ``r`` compare-splits with partner ``r ^ 2**j``, keeping the
+    low half iff bit ``j`` of ``r`` equals bit ``i+1`` of ``r``.
+    """
+    return [(i, j) for i in range(d) for j in range(i, -1, -1)]
+
+
+def _keep_low(rank: int, stage: int, sub: int) -> bool:
+    return ((rank >> sub) & 1) == ((rank >> (stage + 1)) & 1)
+
+
+def bitonic_sort(values: Sequence[float] | np.ndarray, d: int) -> np.ndarray:
+    """Sort with the skeleton-level block bitonic network on ``2**d`` procs."""
+    values = np.asarray(values)
+    p = 1 << d
+    if values.size % p != 0:
+        raise SkeletonError(
+            f"bitonic sort needs len(values) divisible by {p}, got {values.size}")
+    da = parmap(seq_quicksort, partition(Block(p), values))
+
+    steps = bitonic_steps(d)
+
+    def step(k: int, x: ParArray) -> ParArray:
+        stage, sub = steps[k]
+        half = 1 << sub
+        partner_blocks = fetch(lambda r: r ^ half, x)
+        return imap(
+            lambda r, pair: compare_split(pair[0], pair[1],
+                                          keep_low=_keep_low(r, stage, sub)),
+            align(x, partner_blocks))
+
+    sorted_da = iter_for(len(steps), step, da)
+    return np.asarray(gather(ParArray(sorted_da.to_list(), dist=Block(p))))
+
+
+def bitonic_sort_machine(
+    values: Sequence[int] | np.ndarray,
+    d: int,
+    *,
+    spec: MachineSpec = AP1000,
+    params: SortCostParams = SortCostParams(),
+) -> tuple[np.ndarray, RunResult]:
+    """The message-passing block bitonic sort on the simulated hypercube.
+
+    Data is pre-distributed (no scatter/gather phase) so its timing
+    compares against ``hyperquicksort_machine(..., include_distribution=
+    False)``; both charge the same :class:`SortCostParams` constants.
+    """
+    values = np.asarray(values)
+    p = 1 << d
+    if values.size % p != 0:
+        raise SkeletonError(
+            f"bitonic sort needs len(values) divisible by {p}, got {values.size}")
+    machine = Machine(Hypercube(d), spec=spec)
+    blocks = np.split(values, p)
+    steps = bitonic_steps(d)
+
+    def program(env):
+        comm = Comm.world(env)
+        rank = comm.rank
+        local = np.asarray(blocks[rank])
+        yield env.work(params.sort_ops(local.size))
+        local = seq_quicksort(local)
+        for tag, (stage, sub) in enumerate(steps):
+            partner = rank ^ (1 << sub)
+            yield comm.send(partner, local, tag=tag,
+                            nbytes=max(int(local.nbytes), 1))
+            msg = yield comm.recv(partner, tag=tag)
+            yield env.work(params.merge_ops(local.size * 2))
+            local = compare_split(local, np.asarray(msg.payload),
+                                  keep_low=_keep_low(rank, stage, sub))
+        return local
+
+    res = machine.run(program)
+    return np.concatenate([np.asarray(v) for v in res.values]), res

@@ -1,0 +1,94 @@
+"""SCL core: the paper's skeleton library over distributed parallel arrays.
+
+Three skeleton families, matching §2 of the paper:
+
+* **configuration skeletons** (:mod:`repro.core.config`) — ``partition``,
+  ``align``, ``distribution``, ``redistribution``, ``gather``, ``split``,
+  ``combine``: how data is divided, co-located and (re)distributed,
+* **elementary skeletons** (:mod:`repro.core.elementary`,
+  :mod:`repro.core.communication`) — ``parmap``/``imap``/``fold``/``scan``
+  plus the bulk data-movement operators ``rotate``, ``rotate_row``,
+  ``rotate_col``, ``brdcast``, ``apply_brdcast``, ``send``, ``fetch``,
+* **computational skeletons** (:mod:`repro.core.computational`) — ``farm``,
+  ``spmd``, ``iter_until``, ``iter_for``: parallel control flow.
+
+Naming note: the paper's ``map`` is exported as :func:`parmap` (shadowing
+the Python builtin would be hostile); every other name follows the paper
+(snake_cased).
+"""
+
+from repro.core.pararray import ParArray, Index
+from repro.core.partition import (
+    PartitionPattern,
+    Block,
+    BlockCyclic,
+    Cyclic,
+    RowBlock,
+    ColBlock,
+    RowColBlock,
+    RowCyclic,
+    ColCyclic,
+)
+from repro.core.config import (
+    partition,
+    align,
+    unalign,
+    distribution,
+    redistribution,
+    gather,
+    split,
+    combine,
+)
+from repro.core.elementary import parmap, imap, fold, scan, fold_map, scan_seq
+from repro.core.communication import (
+    rotate,
+    rotate_row,
+    rotate_col,
+    brdcast,
+    apply_brdcast,
+    send,
+    fetch,
+)
+from repro.core.computational import farm, spmd, SpmdStage, iter_until, iter_for
+from repro.core.divconq import divide_and_conquer
+
+__all__ = [
+    "ParArray",
+    "Index",
+    "PartitionPattern",
+    "Block",
+    "BlockCyclic",
+    "Cyclic",
+    "RowBlock",
+    "ColBlock",
+    "RowColBlock",
+    "RowCyclic",
+    "ColCyclic",
+    "partition",
+    "align",
+    "unalign",
+    "distribution",
+    "redistribution",
+    "gather",
+    "split",
+    "combine",
+    "parmap",
+    "imap",
+    "fold",
+    "scan",
+    "fold_map",
+    "scan_seq",
+    "rotate",
+    "rotate_row",
+    "rotate_col",
+    "brdcast",
+    "apply_brdcast",
+    "send",
+    "fetch",
+    "farm",
+    "spmd",
+    "SpmdStage",
+    "iter_until",
+    "iter_for",
+    "divide_and_conquer",
+]

@@ -1,0 +1,203 @@
+"""Configuration skeletons (§2.1): partition, align, distribution, …
+
+A *configuration* models the logical division and placement of data: a
+sequential array is ``partition``-ed into distributed components, components
+of several arrays are ``align``-ed into co-located tuples, and the resulting
+configuration can later be ``redistribution``-ed with bulk data-movement
+operators or ``gather``-ed back into a sequential array (Fig. 1).
+
+``split`` and ``combine`` manage *nested* parallelism: ``split`` divides a
+ParArray into a ParArray of ParArrays — processor groups, the paper's MPI
+group analogue — and ``combine`` flattens a nested ParArray back.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.core.pararray import ParArray
+from repro.core.partition import Block, PartitionPattern
+from repro.errors import ConfigurationError
+from repro.util.functional import identity
+
+__all__ = [
+    "partition",
+    "align",
+    "unalign",
+    "distribution",
+    "redistribution",
+    "gather",
+    "split",
+    "combine",
+]
+
+
+def partition(pattern: PartitionPattern, seq: Any) -> ParArray:
+    """Divide a sequential array into a ParArray of sequential sub-arrays.
+
+    The result remembers ``pattern`` (in ``.dist``) so :func:`gather` can
+    invert the division exactly.
+    """
+    if not isinstance(pattern, PartitionPattern):
+        raise ConfigurationError(
+            f"pattern must be a PartitionPattern, got {type(pattern).__name__}")
+    return pattern.split(seq)
+
+
+def align(*arrays: ParArray) -> ParArray:
+    """Pair corresponding components of several ParArrays into tuples.
+
+    ``align(A, B)[i] == (A[i], B[i])``: the components of one tuple are
+    regarded as allocated to the same processor.  All arguments must have
+    the same processor-grid shape.
+    """
+    if not arrays:
+        raise ConfigurationError("align requires at least one ParArray")
+    first = arrays[0]
+    for a in arrays:
+        if not isinstance(a, ParArray):
+            raise ConfigurationError(
+                f"align arguments must be ParArrays, got {type(a).__name__}")
+        if a.shape != first.shape:
+            raise ConfigurationError(
+                f"cannot align shapes {first.shape} and {a.shape}")
+    dists = tuple(a.dist for a in arrays)
+    return first.with_items(
+        lambda idx, _v: tuple(a[idx] for a in arrays), dist=dists)
+
+
+def unalign(conf: ParArray, j: int | None = None) -> ParArray | tuple[ParArray, ...]:
+    """Extract distributed array(s) from a configuration of tuples.
+
+    With ``j`` given, returns the j-th distributed array (the paper's
+    "pattern match to extract a particular distributed array from the
+    configuration"); otherwise returns the tuple of all of them.
+    """
+    widths = {len(t) for t in conf if isinstance(t, tuple)}
+    if len(widths) != 1 or any(not isinstance(t, tuple) for t in conf):
+        raise ConfigurationError("unalign expects a configuration of equal-width tuples")
+    (width,) = widths
+    dists = conf.dist if isinstance(conf.dist, tuple) and len(conf.dist) == width \
+        else (None,) * width
+    if j is not None:
+        if not (0 <= j < width):
+            raise ConfigurationError(f"component {j} out of range for width {width}")
+        return conf.with_items(lambda _i, t: t[j], dist=dists[j])
+    return tuple(conf.with_items(lambda _i, t: t[k], dist=dists[k])
+                 for k in range(width))
+
+
+def distribution(
+    strategies: Sequence[tuple[Callable[[ParArray], ParArray] | None, PartitionPattern]],
+    arrays: Sequence[Any],
+) -> ParArray:
+    """The paper's ``distribution`` skeleton: partition + move + align.
+
+    ``strategies[j] = (move, pattern)`` partitions ``arrays[j]`` with
+    ``pattern`` and then applies the bulk data-movement operator ``move``
+    (``None`` for no initial rearrangement).  The partitioned-and-moved
+    arrays are aligned into one configuration::
+
+        distribution [(p, f), (q, g)] [A, B]
+            == align (p (partition f A)) (q (partition g B))
+    """
+    if len(strategies) != len(arrays):
+        raise ConfigurationError(
+            f"{len(strategies)} strategies for {len(arrays)} arrays")
+    if not strategies:
+        raise ConfigurationError("distribution requires at least one array")
+    parts = []
+    for (move, pattern), arr in zip(strategies, arrays):
+        pa = partition(pattern, arr)
+        move = identity if move is None else move
+        moved = move(pa)
+        if not isinstance(moved, ParArray):
+            raise ConfigurationError(
+                "bulk data-movement operator must return a ParArray, "
+                f"got {type(moved).__name__}")
+        parts.append(moved)
+    if len(parts) == 1:
+        return parts[0]
+    return align(*parts)
+
+
+def redistribution(
+    fns: Sequence[Callable[[ParArray], ParArray] | None],
+    conf: ParArray,
+) -> ParArray:
+    """Apply one bulk data-movement operator per distributed array.
+
+    ``redistribution [f1..fn] (DA1, .., DAn) = (f1 DA1, .., fn DAn)``:
+    dynamic redistribution is just bulk movement applied componentwise to
+    the configuration.  ``None`` entries leave an array untouched.  A plain
+    (non-tuple) ParArray is treated as a width-1 configuration.
+    """
+    is_tuple_conf = all(isinstance(t, tuple) for t in conf) and conf.size > 0
+    if not is_tuple_conf:
+        if len(fns) != 1:
+            raise ConfigurationError(
+                f"{len(fns)} movement operators for a width-1 configuration")
+        fn = fns[0] or identity
+        return fn(conf)
+    das = unalign(conf)
+    if len(fns) != len(das):
+        raise ConfigurationError(
+            f"{len(fns)} movement operators for width-{len(das)} configuration")
+    moved = [(fn or identity)(da) for fn, da in zip(fns, das)]
+    return align(*moved)
+
+
+def gather(pa: ParArray, pattern: PartitionPattern | None = None) -> Any:
+    """Collect a distributed array back into one sequential array.
+
+    Inverts the partition recorded on ``pa.dist`` (or an explicit
+    ``pattern``).  A ParArray produced by other means is reassembled with
+    block semantics (components concatenated in index order).
+    """
+    pattern = pattern if pattern is not None else pa.dist
+    if isinstance(pattern, PartitionPattern):
+        return pattern.unsplit(pa)
+    if pa.ndim != 1:
+        raise ConfigurationError(
+            f"gather of a {pa.ndim}-D ParArray requires its partition pattern")
+    return Block(pa.size).unsplit(ParArray(pa.to_list(), dist=None))
+
+
+def split(pattern: PartitionPattern, pa: ParArray) -> ParArray:
+    """Divide a configuration into sub-configurations (nested ParArray).
+
+    ``split`` operates at the *processor* level: the components of ``pa``
+    are grouped by ``pattern`` into a ParArray of ParArrays.  Each inner
+    ParArray is a processor group on which nested-parallel operations can
+    run (hyperquicksort's sub-hypercubes).
+    """
+    if pa.ndim != 1:
+        raise ConfigurationError(f"split supports 1-D ParArrays, got shape {pa.shape}")
+    if pattern.nparts > pa.size:
+        raise ConfigurationError(
+            f"cannot split {pa.size} processors into {pattern.nparts} groups: "
+            f"a processor group may not be empty")
+    groups = pattern.split(pa.to_list())
+    return groups.with_items(
+        lambda _i, members: ParArray(list(members)), dist=pattern)
+
+
+def combine(nested: ParArray) -> ParArray:
+    """Flatten a nested ParArray (inverse of :func:`split`).
+
+    Uses the partition pattern recorded by :func:`split` to put group
+    members back at their original processor positions; a nested array with
+    no recorded pattern is flattened by concatenation in group order.
+    """
+    for group in nested:
+        if not isinstance(group, ParArray):
+            raise ConfigurationError(
+                f"combine expects ParArray components, got {type(group).__name__}")
+    lists = nested.with_items(lambda _i, g: g.to_list(), dist=nested.dist)
+    if isinstance(nested.dist, PartitionPattern):
+        flat = nested.dist.unsplit(lists)
+    else:
+        flat = []
+        for members in lists:
+            flat.extend(members)
+    return ParArray(list(flat))

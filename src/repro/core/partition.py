@@ -1,0 +1,393 @@
+"""Partition patterns — the ``Partition_pattern`` functions of §2.1.
+
+A pattern knows three things:
+
+* :meth:`~PartitionPattern.split` — divide a sequential array (``SeqArray``:
+  a NumPy array or Python sequence) into a :class:`ParArray` of sequential
+  sub-arrays,
+* :meth:`~PartitionPattern.unsplit` — the exact inverse (used by ``gather``),
+* :meth:`~PartitionPattern.index_map` — the paper's
+  ``index_s → (index_p, index_s)`` mapping from a global element index to
+  (owning processor, local index).
+
+Provided patterns mirror the paper's built-ins: ``Block``/``Cyclic`` for
+vectors and ``RowBlock``, ``ColBlock``, ``RowColBlock``, ``RowCyclic``,
+``ColCyclic`` for two-dimensional arrays (which follow HPF's distribution
+directives, as Fig. 1 notes).  Uneven divisions are supported: the first
+``n mod p`` parts receive one extra row/column/element.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.pararray import Index, ParArray, normalize_index
+from repro.errors import ConfigurationError
+from repro.runtime.chunking import chunk_indices
+from repro.util.validation import require_positive
+
+__all__ = [
+    "PartitionPattern",
+    "Block",
+    "Cyclic",
+    "RowBlock",
+    "ColBlock",
+    "RowColBlock",
+    "RowCyclic",
+    "ColCyclic",
+]
+
+
+def _length(seq: Any) -> int:
+    try:
+        return len(seq)
+    except TypeError:
+        raise ConfigurationError(f"cannot partition object of type {type(seq).__name__}")
+
+
+def _as_matrix(seq: Any, who: str) -> np.ndarray:
+    arr = np.asarray(seq)
+    if arr.ndim != 2:
+        raise ConfigurationError(f"{who} requires a 2-D array, got {arr.ndim}-D")
+    return arr
+
+
+class PartitionPattern(abc.ABC):
+    """A reversible strategy for dividing sequential data across processors."""
+
+    #: Processor-grid shape this pattern produces.
+    shape: tuple[int, ...]
+
+    @property
+    def nparts(self) -> int:
+        """Total number of parts produced."""
+        n = 1
+        for d in self.shape:
+            n *= d
+        return n
+
+    @abc.abstractmethod
+    def split(self, seq: Any) -> ParArray:
+        """Divide ``seq`` into a ParArray of sequential sub-arrays."""
+
+    @abc.abstractmethod
+    def unsplit(self, pa: ParArray) -> Any:
+        """Reassemble what :meth:`split` divided (exact inverse)."""
+
+    @abc.abstractmethod
+    def index_map(self, seq_index: Index, seq_shape: tuple[int, ...]) -> tuple[
+        tuple[int, ...], tuple[int, ...]]:
+        """Map a global element index to ``(processor index, local index)``.
+
+        ``seq_shape`` is the shape of the sequential array being
+        partitioned (needed because block extents depend on it).
+        """
+
+    def _check_shape(self, pa: ParArray, who: str) -> None:
+        if pa.shape != self.shape:
+            raise ConfigurationError(
+                f"{who}: ParArray shape {pa.shape} does not match pattern shape {self.shape}")
+
+    def __repr__(self) -> str:
+        args = ", ".join(str(d) for d in self.shape)
+        return f"{type(self).__name__}({args})"
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.shape == other.shape
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.shape))
+
+
+def _block_owner(i: int, n: int, p: int) -> tuple[int, int]:
+    """(part, offset) of global index ``i`` under even-ish block division."""
+    base, extra = divmod(n, p)
+    boundary = extra * (base + 1)
+    if i < boundary:
+        return divmod(i, base + 1)
+    if base == 0:
+        raise ConfigurationError(f"index {i} out of range for n={n}")
+    part, off = divmod(i - boundary, base)
+    return extra + part, off
+
+
+class Block(PartitionPattern):
+    """Contiguous 1-D blocks: part ``k`` holds elements ``[n*k/p, n*(k+1)/p)``."""
+
+    def __init__(self, p: int):
+        require_positive(p, "p", ConfigurationError)
+        self.p = p
+        self.shape = (p,)
+
+    def split(self, seq: Any) -> ParArray:
+        n = _length(seq)
+        parts = [seq[lo:hi] for lo, hi in chunk_indices(n, self.p)]
+        return ParArray(parts, dist=self)
+
+    def unsplit(self, pa: ParArray) -> Any:
+        self._check_shape(pa, "Block.unsplit")
+        parts = pa.to_list()
+        if any(isinstance(part, np.ndarray) for part in parts):
+            return np.concatenate([np.asarray(part) for part in parts])
+        out: list[Any] = []
+        for part in parts:
+            out.extend(part)
+        return out
+
+    def index_map(self, seq_index: Index, seq_shape: tuple[int, ...]):
+        (i,) = normalize_index(seq_index)
+        (n,) = seq_shape
+        if not (0 <= i < n):
+            raise ConfigurationError(f"index {i} out of range for length {n}")
+        part, off = _block_owner(i, n, self.p)
+        return (part,), (off,)
+
+
+class Cyclic(PartitionPattern):
+    """Round-robin 1-D distribution: element ``i`` goes to part ``i mod p``."""
+
+    def __init__(self, p: int):
+        require_positive(p, "p", ConfigurationError)
+        self.p = p
+        self.shape = (p,)
+
+    def split(self, seq: Any) -> ParArray:
+        return ParArray([seq[k:: self.p] for k in range(self.p)], dist=self)
+
+    def unsplit(self, pa: ParArray) -> Any:
+        self._check_shape(pa, "Cyclic.unsplit")
+        parts = [list(part) for part in pa]
+        n = sum(len(part) for part in parts)
+        out: list[Any] = [None] * n
+        for k, part in enumerate(parts):
+            for j, v in enumerate(part):
+                out[k + j * self.p] = v
+        if any(isinstance(part, np.ndarray) for part in pa):
+            return np.array(out)
+        return out
+
+    def index_map(self, seq_index: Index, seq_shape: tuple[int, ...]):
+        (i,) = normalize_index(seq_index)
+        (n,) = seq_shape
+        if not (0 <= i < n):
+            raise ConfigurationError(f"index {i} out of range for length {n}")
+        return (i % self.p,), (i // self.p,)
+
+
+class BlockCyclic(PartitionPattern):
+    """HPF's general 1-D distribution: blocks of ``b`` dealt round-robin.
+
+    Element ``i`` lives in block ``i // b``; block ``j`` goes to part
+    ``j mod p``.  ``BlockCyclic(b=1, p)`` degenerates to :class:`Cyclic`;
+    ``b >= ceil(n/p)`` degenerates to :class:`Block` — the pattern HPF's
+    ``DISTRIBUTE (CYCLIC(b))`` directive generalises both with.
+    """
+
+    def __init__(self, b: int, p: int):
+        require_positive(b, "b", ConfigurationError)
+        require_positive(p, "p", ConfigurationError)
+        self.b = b
+        self.p = p
+        self.shape = (p,)
+
+    def split(self, seq: Any) -> ParArray:
+        n = _length(seq)
+        parts: list[Any] = []
+        is_np = isinstance(seq, np.ndarray)
+        for k in range(self.p):
+            pieces = [seq[j * self.b: (j + 1) * self.b]
+                      for j in range((n + self.b - 1) // self.b)
+                      if j % self.p == k]
+            if is_np:
+                parts.append(np.concatenate(pieces) if pieces
+                             else seq[0:0])
+            else:
+                flat: list[Any] = []
+                for piece in pieces:
+                    flat.extend(piece)
+                parts.append(flat)
+        return ParArray(parts, dist=self)
+
+    def unsplit(self, pa: ParArray) -> Any:
+        self._check_shape(pa, "BlockCyclic.unsplit")
+        parts = [list(part) for part in pa]
+        n = sum(len(part) for part in parts)
+        out: list[Any] = [None] * n
+        offsets = [0] * self.p
+        nblocks = (n + self.b - 1) // self.b
+        for j in range(nblocks):
+            k = j % self.p
+            size = min(self.b, n - j * self.b)
+            start = j * self.b
+            for t in range(size):
+                out[start + t] = parts[k][offsets[k] + t]
+            offsets[k] += size
+        if any(isinstance(part, np.ndarray) for part in pa):
+            return np.array(out)
+        return out
+
+    def index_map(self, seq_index: Index, seq_shape: tuple[int, ...]):
+        (i,) = normalize_index(seq_index)
+        (n,) = seq_shape
+        if not (0 <= i < n):
+            raise ConfigurationError(f"index {i} out of range for length {n}")
+        block = i // self.b
+        part = block % self.p
+        # every block before `block` is full (only the globally last block
+        # can be short), so the local offset is exact:
+        local = (block // self.p) * self.b + (i % self.b)
+        return (part,), (local,)
+
+    def __repr__(self) -> str:
+        return f"BlockCyclic(b={self.b}, p={self.p})"
+
+    def __eq__(self, other: object) -> bool:
+        return (type(self) is type(other)
+                and (self.b, self.p) == (other.b, other.p))  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash(("BlockCyclic", self.b, self.p))
+
+
+class RowBlock(PartitionPattern):
+    """Contiguous blocks of rows of a 2-D array (the paper's ``row_block``)."""
+
+    def __init__(self, p: int):
+        require_positive(p, "p", ConfigurationError)
+        self.p = p
+        self.shape = (p,)
+
+    def split(self, seq: Any) -> ParArray:
+        arr = _as_matrix(seq, "RowBlock")
+        return ParArray(
+            [arr[lo:hi, :] for lo, hi in chunk_indices(arr.shape[0], self.p)],
+            dist=self,
+        )
+
+    def unsplit(self, pa: ParArray) -> Any:
+        self._check_shape(pa, "RowBlock.unsplit")
+        return np.concatenate([np.asarray(part) for part in pa], axis=0)
+
+    def index_map(self, seq_index: Index, seq_shape: tuple[int, ...]):
+        i, j = normalize_index(seq_index)
+        rows, _cols = seq_shape
+        part, off = _block_owner(i, rows, self.p)
+        return (part,), (off, j)
+
+
+class ColBlock(PartitionPattern):
+    """Contiguous blocks of columns of a 2-D array (``col_block``)."""
+
+    def __init__(self, p: int):
+        require_positive(p, "p", ConfigurationError)
+        self.p = p
+        self.shape = (p,)
+
+    def split(self, seq: Any) -> ParArray:
+        arr = _as_matrix(seq, "ColBlock")
+        return ParArray(
+            [arr[:, lo:hi] for lo, hi in chunk_indices(arr.shape[1], self.p)],
+            dist=self,
+        )
+
+    def unsplit(self, pa: ParArray) -> Any:
+        self._check_shape(pa, "ColBlock.unsplit")
+        return np.concatenate([np.asarray(part) for part in pa], axis=1)
+
+    def index_map(self, seq_index: Index, seq_shape: tuple[int, ...]):
+        i, j = normalize_index(seq_index)
+        _rows, cols = seq_shape
+        part, off = _block_owner(j, cols, self.p)
+        return (part,), (i, off)
+
+
+class RowColBlock(PartitionPattern):
+    """2-D block decomposition onto a ``pr x pc`` processor grid."""
+
+    def __init__(self, pr: int, pc: int):
+        require_positive(pr, "pr", ConfigurationError)
+        require_positive(pc, "pc", ConfigurationError)
+        self.pr = pr
+        self.pc = pc
+        self.shape = (pr, pc)
+
+    def split(self, seq: Any) -> ParArray:
+        arr = _as_matrix(seq, "RowColBlock")
+        rspans = chunk_indices(arr.shape[0], self.pr)
+        cspans = chunk_indices(arr.shape[1], self.pc)
+        data = {
+            (i, j): arr[rlo:rhi, clo:chi]
+            for i, (rlo, rhi) in enumerate(rspans)
+            for j, (clo, chi) in enumerate(cspans)
+        }
+        return ParArray(data, self.shape, dist=self)
+
+    def unsplit(self, pa: ParArray) -> Any:
+        self._check_shape(pa, "RowColBlock.unsplit")
+        rows = [
+            np.concatenate([np.asarray(pa[(i, j)]) for j in range(self.pc)], axis=1)
+            for i in range(self.pr)
+        ]
+        return np.concatenate(rows, axis=0)
+
+    def index_map(self, seq_index: Index, seq_shape: tuple[int, ...]):
+        i, j = normalize_index(seq_index)
+        rows, cols = seq_shape
+        pi, li = _block_owner(i, rows, self.pr)
+        pj, lj = _block_owner(j, cols, self.pc)
+        return (pi, pj), (li, lj)
+
+
+class RowCyclic(PartitionPattern):
+    """Round-robin distribution of rows (``row_cyclic``)."""
+
+    def __init__(self, p: int):
+        require_positive(p, "p", ConfigurationError)
+        self.p = p
+        self.shape = (p,)
+
+    def split(self, seq: Any) -> ParArray:
+        arr = _as_matrix(seq, "RowCyclic")
+        return ParArray([arr[k:: self.p, :] for k in range(self.p)], dist=self)
+
+    def unsplit(self, pa: ParArray) -> Any:
+        self._check_shape(pa, "RowCyclic.unsplit")
+        parts = [np.asarray(part) for part in pa]
+        rows = sum(part.shape[0] for part in parts)
+        out = np.empty((rows, parts[0].shape[1]), dtype=parts[0].dtype)
+        for k, part in enumerate(parts):
+            out[k:: self.p, :] = part
+        return out
+
+    def index_map(self, seq_index: Index, seq_shape: tuple[int, ...]):
+        i, j = normalize_index(seq_index)
+        return (i % self.p,), (i // self.p, j)
+
+
+class ColCyclic(PartitionPattern):
+    """Round-robin distribution of columns (``col_cyclic``)."""
+
+    def __init__(self, p: int):
+        require_positive(p, "p", ConfigurationError)
+        self.p = p
+        self.shape = (p,)
+
+    def split(self, seq: Any) -> ParArray:
+        arr = _as_matrix(seq, "ColCyclic")
+        return ParArray([arr[:, k:: self.p] for k in range(self.p)], dist=self)
+
+    def unsplit(self, pa: ParArray) -> Any:
+        self._check_shape(pa, "ColCyclic.unsplit")
+        parts = [np.asarray(part) for part in pa]
+        cols = sum(part.shape[1] for part in parts)
+        out = np.empty((parts[0].shape[0], cols), dtype=parts[0].dtype)
+        for k, part in enumerate(parts):
+            out[:, k:: self.p] = part
+        return out
+
+    def index_map(self, seq_index: Index, seq_shape: tuple[int, ...]):
+        i, j = normalize_index(seq_index)
+        return (j % self.p,), (i, j // self.p)

@@ -1,0 +1,26 @@
+"""A textual front end for SCL — the paper's "FortranS" direction.
+
+The paper's future work: "to write a parallel program in FortranS we use
+SCL, which is the higher level of the language, to define the parallel
+structure of the program; local sequential computation for each processor
+is then programmed in Fortran."  This package is that front end with
+Python as the base language: parallel structure is written in SCL's own
+notation as text, base-language fragments are looked up by name in a
+user-supplied environment::
+
+    from repro.lang import parse_scl
+    from repro.scl import evaluate
+
+    prog = parse_scl("fold add . map square . rotate 2",
+                     env={"add": operator.add, "square": lambda x: x * x})
+    evaluate(prog, par_array)
+
+The parser produces ordinary :mod:`repro.scl` expression nodes, so parsed
+programs can be rewritten by the §4 rules, priced by the cost model, and
+compiled to the simulated machine like any other expression.
+"""
+
+from repro.lang.lexer import Token, tokenize
+from repro.lang.parser import parse_scl
+
+__all__ = ["parse_scl", "tokenize", "Token"]

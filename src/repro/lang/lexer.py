@@ -1,0 +1,67 @@
+"""Tokenizer for textual SCL programs.
+
+Tokens: identifiers (skeleton keywords and fragment names), integer
+literals (optionally signed), and the punctuation ``( ) [ ] , .`` —
+where ``.`` is SCL's composition operator.  ``--`` starts a comment that
+runs to end of line.  Positions are tracked for error messages.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+
+from repro.errors import ParseError
+
+__all__ = ["Token", "tokenize"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>      \s+                    )
+  | (?P<comment> --[^\n]*               )
+  | (?P<number>  -?\d+                  )
+  | (?P<ident>   [A-Za-z_][A-Za-z0-9_]* )
+  | (?P<punct>   [()\[\],.=]            )
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based line/column)."""
+
+    kind: str  # "number" | "ident" | "punct" | "eof"
+    text: str
+    line: int
+    col: int
+
+    def describe(self) -> str:
+        if self.kind == "eof":
+            return "end of input"
+        return f"{self.text!r}"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize an SCL program; raises :class:`ParseError` on bad input."""
+    tokens: list[Token] = []
+    line, col = 1, 1
+    pos = 0
+    while pos < len(source):
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            raise ParseError(
+                f"unexpected character {source[pos]!r} at line {line}, column {col}")
+        text = m.group(0)
+        kind = m.lastgroup or ""
+        if kind not in ("ws", "comment"):
+            tokens.append(Token(kind, text, line, col))
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            col = len(text) - text.rfind("\n")
+        else:
+            col += len(text)
+        pos = m.end()
+    tokens.append(Token("eof", "", line, col))
+    return tokens

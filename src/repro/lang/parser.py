@@ -1,0 +1,322 @@
+"""Recursive-descent parser: textual SCL → skeleton-expression nodes.
+
+Grammar (``.`` composes right-to-left, exactly as in the paper)::
+
+    program    := ('let' NAME '=' pipeline 'in')* pipeline
+    pipeline   := term ('.' term)*
+    term       := 'id'
+                | 'map'    fnarg          -- fnarg may be '(' pipeline ')'
+                | 'imap'   fn
+                | 'fold'   fn
+                | 'scan'   fn
+                | 'rotate' int
+                | 'fetch'  fn
+                | 'alignfetch' fn
+                | 'send'   fn             -- permutation send (fusible form)
+                | 'sendv'  fn             -- general vector-accumulating send
+                | 'brdcast' name          -- value looked up in env
+                | 'applybrdcast' fn int
+                | 'farm'   fn name
+                | 'split'  pattern
+                | 'combine'
+                | 'partition' pattern     -- SeqArray -> ParArray (ingress)
+                | 'gather' [pattern]      -- ParArray -> SeqArray (egress)
+                | 'SPMD' '[' stage (',' stage)* ']'
+                | 'iterFor' int '(' pipeline ')'
+                | '(' pipeline ')'
+    stage      := '(' pipeline ',' ['imap'] fn ')'  -- (global, local); 'id' = no local; 'imap fn' = index-aware local
+    pattern    := ('block'|'cyclic'|'row_block'|'col_block'|'row_cyclic'
+                  |'col_cyclic') '(' int ')'
+                | 'row_col_block' '(' int ',' int ')'
+    fn / name  := identifier resolved in the caller's environment
+    int        := integer literal, or identifier bound to an int in env
+
+Fragment names resolve against the ``env`` mapping — the "base language"
+side of the paper's two-tier model.  The parsed result is a plain
+:class:`repro.scl.nodes.Node`, fully interoperable with the rewrite
+engine, the optimiser and the compiler.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.core.partition import (
+    Block,
+    BlockCyclic,
+    ColBlock,
+    ColCyclic,
+    Cyclic,
+    RowBlock,
+    RowColBlock,
+    RowCyclic,
+)
+from repro.errors import ParseError
+from repro.lang.lexer import Token, tokenize
+from repro.scl import nodes as N
+
+__all__ = ["parse_scl"]
+
+_PATTERNS_1 = {
+    "block": Block,
+    "cyclic": Cyclic,
+    "row_block": RowBlock,
+    "col_block": ColBlock,
+    "row_cyclic": RowCyclic,
+    "col_cyclic": ColCyclic,
+}
+_PATTERNS_2 = {"row_col_block": RowColBlock, "block_cyclic": BlockCyclic}
+
+_KEYWORDS = {
+    "id", "map", "imap", "fold", "scan", "rotate", "fetch", "alignfetch",
+    "send", "sendv", "brdcast", "applybrdcast", "farm", "split", "combine",
+    "partition", "gather", "SPMD", "iterFor", "let", "in",
+} | set(_PATTERNS_1) | set(_PATTERNS_2)
+
+
+def parse_scl(source: str, env: Mapping[str, Any] | None = None) -> N.Node:
+    """Parse a textual SCL program into an expression node.
+
+    ``env`` supplies the base-language fragments (and any named integer
+    or broadcast constants) the program refers to.
+    """
+    return _Parser(tokenize(source), dict(env or {})).parse_program()
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token], env: dict[str, Any]):
+        self.tokens = tokens
+        self.env = env
+        self.pos = 0
+        #: names bound by `let name = pipeline in ...`
+        self.bindings: dict[str, N.Node] = {}
+
+    # ------------------------------------------------------------- plumbing
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.current
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def expect(self, text: str) -> Token:
+        tok = self.current
+        if tok.text != text:
+            self.fail(f"expected {text!r}, found {tok.describe()}")
+        return self.advance()
+
+    def at(self, text: str) -> bool:
+        return self.current.text == text
+
+    def fail(self, message: str) -> None:
+        tok = self.current
+        raise ParseError(f"{message} (line {tok.line}, column {tok.col})")
+
+    # -------------------------------------------------------------- grammar
+
+    def parse_program(self) -> N.Node:
+        while self.at("let"):
+            self.advance()
+            tok = self.current
+            if tok.kind != "ident" or tok.text in _KEYWORDS:
+                self.fail("expected a binding name after 'let'")
+            name = self.advance().text
+            self.expect("=")
+            self.bindings[name] = self.parse_pipeline()
+            self.expect("in")
+        node = self.parse_pipeline()
+        if self.current.kind != "eof":
+            self.fail(f"unexpected {self.current.describe()} after program")
+        return node
+
+    def parse_pipeline(self) -> N.Node:
+        terms = [self.parse_term()]
+        while self.at("."):
+            self.advance()
+            terms.append(self.parse_term())
+        return N.compose_nodes(*terms)
+
+    def parse_term(self) -> N.Node:
+        tok = self.current
+        if tok.text == "(":
+            self.advance()
+            inner = self.parse_pipeline()
+            self.expect(")")
+            return inner
+        if tok.kind != "ident":
+            self.fail(f"expected a skeleton, found {tok.describe()}")
+        name = tok.text
+        handler = getattr(self, f"_term_{name}", None)
+        if name in _KEYWORDS and handler is not None:
+            self.advance()
+            return handler()
+        if name in self.bindings:
+            self.advance()
+            return self.bindings[name]
+        self.fail(f"unknown skeleton {name!r}")
+        raise AssertionError("unreachable")
+
+    # ------------------------------------------------------ term handlers
+
+    def _term_id(self) -> N.Node:
+        return N.Id()
+
+    def _term_map(self) -> N.Node:
+        if self.at("("):
+            self.advance()
+            inner = self.parse_pipeline()
+            self.expect(")")
+            return N.Map(inner)
+        return N.Map(self.parse_fn())
+
+    def _term_imap(self) -> N.Node:
+        return N.IMap(self.parse_fn())
+
+    def _term_fold(self) -> N.Node:
+        return N.Fold(self.parse_fn())
+
+    def _term_scan(self) -> N.Node:
+        return N.Scan(self.parse_fn())
+
+    def _term_rotate(self) -> N.Node:
+        return N.Rotate(self.parse_int())
+
+    def _term_fetch(self) -> N.Node:
+        return N.Fetch(self.parse_fn())
+
+    def _term_alignfetch(self) -> N.Node:
+        return N.AlignFetch(self.parse_fn())
+
+    def _term_send(self) -> N.Node:
+        return N.PermSend(self.parse_fn())
+
+    def _term_sendv(self) -> N.Node:
+        return N.SendNode(self.parse_fn())
+
+    def _term_brdcast(self) -> N.Node:
+        return N.Brdcast(self.parse_value())
+
+    def _term_applybrdcast(self) -> N.Node:
+        fn = self.parse_fn()
+        return N.ApplyBrdcast(fn, self.parse_int())
+
+    def _term_farm(self) -> N.Node:
+        fn = self.parse_fn()
+        return N.Farm(fn, self.parse_value())
+
+    def _term_split(self) -> N.Node:
+        return N.Split(self.parse_pattern())
+
+    def _term_combine(self) -> N.Node:
+        return N.Combine()
+
+    def _term_partition(self) -> N.Node:
+        return N.Partition(self.parse_pattern())
+
+    def _term_gather(self) -> N.Node:
+        # an optional explicit pattern; otherwise invert the recorded one
+        tok = self.current
+        if tok.kind == "ident" and (tok.text in _PATTERNS_1
+                                    or tok.text in _PATTERNS_2):
+            return N.Gather(self.parse_pattern())
+        return N.Gather()
+
+    def _term_SPMD(self) -> N.Node:
+        self.expect("[")
+        stages = []
+        if not self.at("]"):
+            stages.append(self.parse_stage())
+            while self.at(","):
+                self.advance()
+                stages.append(self.parse_stage())
+        self.expect("]")
+        return N.Spmd(tuple(stages))
+
+    def _term_iterFor(self) -> N.Node:
+        n = self.parse_int()
+        self.expect("(")
+        body = self.parse_pipeline()
+        self.expect(")")
+        return N.IterFor(n, lambda _i, body=body: body)
+
+    # ------------------------------------------------------------ elements
+
+    def parse_stage(self) -> N.Stage:
+        self.expect("(")
+        global_ = self.parse_pipeline()
+        self.expect(",")
+        indexed = False
+        if self.at("id"):
+            self.advance()
+            local = None
+        else:
+            if self.at("imap"):
+                self.advance()
+                indexed = True
+            local = self.parse_fn()
+        self.expect(")")
+        return N.Stage(
+            global_=None if isinstance(global_, N.Id) else global_,
+            local=local,
+            indexed=indexed,
+        )
+
+    def parse_pattern(self):
+        tok = self.current
+        if tok.kind != "ident" or (tok.text not in _PATTERNS_1
+                                   and tok.text not in _PATTERNS_2):
+            self.fail(f"expected a partition pattern, found {tok.describe()}")
+        name = self.advance().text
+        self.expect("(")
+        first = self.parse_int()
+        if name in _PATTERNS_2:
+            self.expect(",")
+            second = self.parse_int()
+            self.expect(")")
+            return _PATTERNS_2[name](first, second)
+        self.expect(")")
+        return _PATTERNS_1[name](first)
+
+    def parse_fn(self):
+        tok = self.current
+        if tok.kind != "ident":
+            self.fail(f"expected a fragment name, found {tok.describe()}")
+        if tok.text in _KEYWORDS and tok.text not in self.env:
+            self.fail(f"expected a fragment name, found keyword {tok.text!r}")
+        name = self.advance().text
+        if name not in self.env:
+            raise ParseError(
+                f"fragment {name!r} is not defined in the environment "
+                f"(line {tok.line}, column {tok.col})")
+        fn = self.env[name]
+        if not callable(fn):
+            raise ParseError(
+                f"{name!r} resolves to a non-callable {type(fn).__name__} "
+                f"(line {tok.line}, column {tok.col})")
+        return fn
+
+    def parse_value(self) -> Any:
+        tok = self.current
+        if tok.kind == "number":
+            return int(self.advance().text)
+        if tok.kind != "ident":
+            self.fail(f"expected a value, found {tok.describe()}")
+        name = self.advance().text
+        if name not in self.env:
+            raise ParseError(
+                f"value {name!r} is not defined in the environment "
+                f"(line {tok.line}, column {tok.col})")
+        return self.env[name]
+
+    def parse_int(self) -> int:
+        tok = self.current
+        if tok.kind == "number":
+            return int(self.advance().text)
+        if tok.kind == "ident" and isinstance(self.env.get(tok.text), int):
+            return self.env[self.advance().text]
+        self.fail(f"expected an integer, found {tok.describe()}")
+        raise AssertionError("unreachable")

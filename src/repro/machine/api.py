@@ -1,0 +1,104 @@
+"""MPI-like communicators over the simulator.
+
+A :class:`Comm` names an ordered group of virtual processors and gives each
+member a group-relative *rank*.  All point-to-point and collective traffic
+inside the group is addressed by rank, so the same program text runs
+unchanged on any subgroup — which is exactly how the paper maps nested
+``ParArray`` groups onto "the concept of a group in MPI" (§2.1).
+
+``Comm.split`` derives sub-communicators from a colouring function of the
+rank.  Because every member computes the same deterministic colouring, no
+communication is needed (unlike ``MPI_Comm_split``, which must exchange
+colours; the simulator's communicators are a modelling convenience, not a
+wire protocol).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.errors import MachineError
+from repro.machine.events import ANY, Recv, Send
+from repro.machine.simulator import ProcEnv
+
+__all__ = ["Comm"]
+
+
+class Comm:
+    """An ordered processor group with rank-relative messaging."""
+
+    def __init__(self, env: ProcEnv, members: Sequence[int] | None = None):
+        self.env = env
+        if members is None:
+            members = range(env.nprocs)
+        self.members: tuple[int, ...] = tuple(members)
+        if len(set(self.members)) != len(self.members):
+            raise MachineError(f"duplicate members in communicator: {self.members}")
+        for pid in self.members:
+            env.topology.check_node(pid)
+        try:
+            self._rank = self.members.index(env.pid)
+        except ValueError:
+            raise MachineError(
+                f"processor {env.pid} is not a member of communicator "
+                f"{self.members}") from None
+
+    @classmethod
+    def world(cls, env: ProcEnv) -> "Comm":
+        """The communicator containing every processor of the machine."""
+        return cls(env)
+
+    @property
+    def rank(self) -> int:
+        """This processor's rank within the group."""
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        """Number of group members."""
+        return len(self.members)
+
+    def pid_of(self, rank: int) -> int:
+        """Global processor id of a group rank."""
+        if not (0 <= rank < self.size):
+            raise MachineError(f"rank {rank} out of range for size-{self.size} comm")
+        return self.members[rank]
+
+    def send(self, dst_rank: int, payload: Any, *, tag: int = 0,
+             nbytes: int | None = None) -> Send:
+        """Request: send ``payload`` to the member with rank ``dst_rank``."""
+        return self.env.send(self.pid_of(dst_rank), payload, tag=tag, nbytes=nbytes)
+
+    def recv(self, src_rank: int | Any = ANY, *, tag: int | Any = ANY) -> Recv:
+        """Request: receive from rank ``src_rank`` (or any member)."""
+        src = ANY if src_rank is ANY else self.pid_of(src_rank)
+        return self.env.recv(src, tag=tag)
+
+    def rank_of_pid(self, pid: int) -> int:
+        """Group rank of a global processor id (must be a member)."""
+        try:
+            return self.members.index(pid)
+        except ValueError:
+            raise MachineError(f"pid {pid} not in communicator {self.members}") from None
+
+    def split(self, color_fn: Callable[[int], int],
+              key_fn: Callable[[int], int] | None = None) -> "Comm":
+        """Sub-communicator of members sharing this rank's colour.
+
+        ``color_fn(rank)`` assigns every rank a colour; this processor joins
+        the group of ranks with its own colour, ordered by ``key_fn(rank)``
+        (default: rank order).  Deterministic — every member must use the
+        same functions.
+        """
+        my_color = color_fn(self._rank)
+        ranks = [r for r in range(self.size) if color_fn(r) == my_color]
+        if key_fn is not None:
+            ranks.sort(key=key_fn)
+        return Comm(self.env, [self.members[r] for r in ranks])
+
+    def subgroup(self, ranks: Sequence[int]) -> "Comm":
+        """Sub-communicator of the given ranks (this rank must be included)."""
+        return Comm(self.env, [self.pid_of(r) for r in ranks])
+
+    def __repr__(self) -> str:
+        return f"Comm(rank={self._rank}/{self.size}, members={self.members})"

@@ -1,0 +1,108 @@
+"""Simulation request and message objects.
+
+A virtual-processor program is a Python generator that ``yield``s request
+objects to the simulator; the simulator advances virtual time, performs the
+requested action, and resumes the generator (with a value, for receives).
+Three primitive requests exist — everything else (collectives, barriers,
+communicators) is built on top of them:
+
+* :class:`Compute` — advance this processor's clock by a CPU cost,
+* :class:`Send` — asynchronous (buffered) message send,
+* :class:`Recv` — blocking receive, matching on source and tag.
+
+``Recv`` supports ``src=ANY`` / ``tag=ANY`` wildcards.  Matching on a
+concrete ``(src, tag)`` pair is FIFO in send order and fully deterministic;
+ANY-source matching picks the earliest delivered candidate, which mirrors
+the paper's remark that many-to-one communication is non-deterministic
+("no ordering of the elements may be assumed").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+__all__ = ["ANY", "Compute", "Send", "Recv", "Message"]
+
+
+class _Any:
+    """Singleton wildcard for Recv source/tag matching."""
+
+    _instance: "_Any | None" = None
+
+    def __new__(cls) -> "_Any":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "ANY"
+
+
+#: Wildcard accepted by :class:`Recv` for ``src`` and ``tag``.
+ANY = _Any()
+
+
+@dataclasses.dataclass(frozen=True)
+class Compute:
+    """Charge ``seconds`` of CPU time to the yielding processor."""
+
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if not (self.seconds >= 0):
+            raise ValueError(f"Compute.seconds must be non-negative, got {self.seconds!r}")
+
+
+@dataclasses.dataclass(frozen=True)
+class Send:
+    """Asynchronous send of ``payload`` to processor ``dst``.
+
+    ``nbytes`` is the wire size; if ``None`` the simulator estimates it with
+    :func:`repro.machine.cost.estimate_nbytes`.  The sender is charged
+    ``send_overhead`` CPU time; delivery happens after the network transfer
+    time for the payload over the topology's hop count.
+    """
+
+    dst: int
+    payload: Any
+    tag: int = 0
+    nbytes: int | None = None
+
+
+@dataclasses.dataclass(frozen=True)
+class Recv:
+    """Blocking receive matching ``src`` and ``tag`` (either may be ANY).
+
+    Yielding a ``Recv`` suspends the processor until a matching message has
+    been delivered; the generator is resumed with the :class:`Message`.
+    """
+
+    src: int | _Any = ANY
+    tag: int | _Any = ANY
+
+    def matches(self, msg: "Message") -> bool:
+        """True iff ``msg`` satisfies this receive's source/tag pattern."""
+        return (self.src is ANY or self.src == msg.src) and (
+            self.tag is ANY or self.tag == msg.tag
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class Message:
+    """A delivered message: payload plus provenance and timing metadata."""
+
+    src: int
+    dst: int
+    tag: int
+    payload: Any
+    nbytes: int
+    sent_at: float
+    arrival: float
+    seq: int
+
+    def __repr__(self) -> str:
+        return (
+            f"Message({self.src}->{self.dst}, tag={self.tag}, "
+            f"nbytes={self.nbytes}, arrival={self.arrival:.6g})"
+        )

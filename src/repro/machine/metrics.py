@@ -1,0 +1,98 @@
+"""Performance analysis of simulated runs.
+
+Post-mortem metrics over a :class:`~repro.machine.simulator.RunResult`:
+load imbalance, communication intensity, per-processor breakdowns, and
+speedup/efficiency series across runs — the quantities the paper's
+evaluation section reasons about, factored out so benchmarks and user code
+compute them one way.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping, Sequence
+
+from repro.errors import MachineError
+from repro.machine.simulator import RunResult
+
+__all__ = [
+    "load_imbalance",
+    "comm_fraction",
+    "per_proc_table",
+    "ScalingPoint",
+    "scaling_series",
+]
+
+
+def load_imbalance(result: RunResult) -> float:
+    """Max-over-mean busy time across processors (1.0 = perfectly balanced).
+
+    The classic imbalance factor: the makespan of a bulk-synchronous phase
+    is set by the busiest processor, so a value of 1.3 means ~23% of the
+    machine-time is lost waiting for stragglers.
+    """
+    busy = [s.busy_seconds for s in result.stats]
+    mean = sum(busy) / len(busy)
+    if mean == 0:
+        return 1.0
+    return max(busy) / mean
+
+
+def comm_fraction(result: RunResult) -> float:
+    """Fraction of total processor-time spent in messaging overhead + idle.
+
+    ``0.0`` = pure computation; values near ``1.0`` mean the run is
+    communication-bound (where the paper's transformation rules pay off).
+    """
+    total = result.nprocs * result.makespan
+    if total == 0:
+        return 0.0
+    compute = result.total_compute_seconds
+    return max(0.0, min(1.0, 1.0 - compute / total))
+
+
+def per_proc_table(result: RunResult) -> str:
+    """An aligned text table of per-processor compute/overhead/idle times."""
+    header = f"{'pid':>4}  {'compute':>10}  {'overhead':>10}  {'idle':>10}  " \
+             f"{'msgs out':>8}  {'bytes out':>10}  {'finish':>10}"
+    lines = [header, "-" * len(header)]
+    for s in result.stats:
+        lines.append(
+            f"{s.pid:>4}  {s.compute_seconds:>10.6f}  {s.overhead_seconds:>10.6f}  "
+            f"{s.idle_seconds:>10.6f}  {s.msgs_sent:>8}  {s.bytes_sent:>10}  "
+            f"{s.finish_time:>10.6f}")
+    return "\n".join(lines)
+
+
+@dataclasses.dataclass(frozen=True)
+class ScalingPoint:
+    """One (p, time) point of a scaling study, with derived quantities."""
+
+    procs: int
+    time: float
+    speedup: float
+    efficiency: float
+
+
+def scaling_series(times: Mapping[int, float] | Sequence[tuple[int, float]],
+                   *, baseline: float | None = None) -> list[ScalingPoint]:
+    """Speedup/efficiency series from {processors: runtime}.
+
+    ``baseline`` defaults to the time at the smallest processor count
+    scaled as if it were p=1 (i.e. ``T(p_min) * p_min``) when p=1 is absent,
+    or simply ``T(1)`` when present — the Figure 3 convention.
+    """
+    pairs = sorted(dict(times).items())
+    if not pairs:
+        raise MachineError("scaling_series needs at least one (p, time) pair")
+    for p, t in pairs:
+        if p <= 0 or t <= 0:
+            raise MachineError(f"invalid scaling point (p={p}, t={t})")
+    if baseline is None:
+        p0, t0 = pairs[0]
+        baseline = t0 if p0 == 1 else t0 * p0
+    return [
+        ScalingPoint(procs=p, time=t, speedup=baseline / t,
+                     efficiency=baseline / (t * p))
+        for p, t in pairs
+    ]

@@ -1,0 +1,369 @@
+"""Discrete-event simulator for message-passing programs.
+
+The :class:`Machine` runs one generator-based program per virtual processor.
+Each processor has its own virtual clock; the scheduler always steps the
+*runnable* processor with the smallest clock, which keeps message causality
+intact (a processor can only be overtaken by messages sent at earlier or
+equal virtual times).  Receives on a concrete ``(src, tag)`` pair are FIFO
+and deterministic; the simulation result therefore does not depend on host
+scheduling, only on the program and the cost model.
+
+Programs look like::
+
+    def worker(env: ProcEnv):
+        yield env.work(ops=1000)                      # charge CPU time
+        yield env.send(dst=1, payload=data)           # async send
+        msg = yield env.recv(src=1)                   # blocking receive
+        return msg.payload                            # per-proc result
+
+    machine = Machine(Hypercube(3), spec=AP1000)
+    result = machine.run(worker)
+    result.makespan            # virtual seconds
+    result.values              # list of per-processor return values
+
+Accounting: per processor the simulator tracks compute seconds, messaging
+overhead seconds, idle (blocked-waiting) seconds, message and byte counters;
+:class:`RunResult` aggregates them and exposes the makespan used by all the
+benchmarks in this repository.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Generator, Iterable, Sequence
+
+from repro.errors import DeadlockError, MachineError
+from repro.machine.cost import MachineSpec, estimate_nbytes, PERFECT
+from repro.machine.events import ANY, Compute, Message, Recv, Send
+from repro.machine.topology import FullyConnected, Topology
+from repro.machine.trace import Trace
+
+__all__ = ["Machine", "ProcEnv", "ProcStats", "RunResult"]
+
+Program = Callable[["ProcEnv"], Generator[Any, Any, Any]]
+
+_READY = "ready"
+_BLOCKED = "blocked"
+_DONE = "done"
+
+
+@dataclasses.dataclass
+class ProcStats:
+    """Per-processor accounting accumulated during a run."""
+
+    pid: int
+    compute_seconds: float = 0.0
+    overhead_seconds: float = 0.0
+    idle_seconds: float = 0.0
+    msgs_sent: int = 0
+    msgs_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    finish_time: float = 0.0
+
+    @property
+    def busy_seconds(self) -> float:
+        """Compute plus messaging-overhead time."""
+        return self.compute_seconds + self.overhead_seconds
+
+
+@dataclasses.dataclass
+class RunResult:
+    """Outcome of a :meth:`Machine.run`: values, timing, traffic."""
+
+    values: list[Any]
+    stats: list[ProcStats]
+    trace: Trace | None = None
+
+    @property
+    def nprocs(self) -> int:
+        return len(self.stats)
+
+    @property
+    def makespan(self) -> float:
+        """Virtual time at which the last processor finished."""
+        return max((s.finish_time for s in self.stats), default=0.0)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(s.msgs_sent for s in self.stats)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(s.bytes_sent for s in self.stats)
+
+    @property
+    def total_compute_seconds(self) -> float:
+        return sum(s.compute_seconds for s in self.stats)
+
+    @property
+    def total_idle_seconds(self) -> float:
+        return sum(s.idle_seconds for s in self.stats)
+
+    def efficiency(self) -> float:
+        """Mean fraction of the makespan each processor spent busy."""
+        if self.makespan == 0:
+            return 1.0
+        return sum(s.busy_seconds for s in self.stats) / (self.nprocs * self.makespan)
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph run summary."""
+        return (
+            f"{self.nprocs} procs, makespan {self.makespan:.6f}s, "
+            f"{self.total_messages} msgs / {self.total_bytes} bytes, "
+            f"efficiency {self.efficiency():.1%}"
+        )
+
+
+class ProcEnv:
+    """Handle given to each virtual-processor program.
+
+    Exposes the processor id, machine spec and topology, and constructors
+    for the three primitive simulation requests.  All methods build request
+    objects — the program must ``yield`` them to take effect.
+    """
+
+    def __init__(self, machine: "Machine", pid: int):
+        self._machine = machine
+        self.pid = pid
+
+    @property
+    def nprocs(self) -> int:
+        """Total number of processors in the machine."""
+        return self._machine.nprocs
+
+    @property
+    def spec(self) -> MachineSpec:
+        """The machine's cost model."""
+        return self._machine.spec
+
+    @property
+    def topology(self) -> Topology:
+        """The machine's interconnect."""
+        return self._machine.topology
+
+    @property
+    def now(self) -> float:
+        """This processor's current virtual clock."""
+        return self._machine._clock[self.pid]
+
+    def compute(self, seconds: float) -> Compute:
+        """Request: charge ``seconds`` of CPU time."""
+        return Compute(float(seconds))
+
+    def work(self, ops: float) -> Compute:
+        """Request: charge CPU time for ``ops`` elementary operations."""
+        return Compute(self.spec.compute_time(ops))
+
+    def send(self, dst: int, payload: Any, *, tag: int = 0,
+             nbytes: int | None = None) -> Send:
+        """Request: asynchronously send ``payload`` to processor ``dst``."""
+        return Send(dst=dst, payload=payload, tag=tag, nbytes=nbytes)
+
+    def recv(self, src: int | Any = ANY, *, tag: int | Any = ANY) -> Recv:
+        """Request: block until a message matching ``(src, tag)`` arrives."""
+        return Recv(src=src, tag=tag)
+
+    def __repr__(self) -> str:
+        return f"ProcEnv(pid={self.pid}, nprocs={self.nprocs})"
+
+
+class _Proc:
+    """Internal per-processor simulator state."""
+
+    __slots__ = ("pid", "gen", "status", "pending_recv", "resume_value",
+                 "recv_posted_at", "mailbox", "value")
+
+    def __init__(self, pid: int, gen: Generator[Any, Any, Any]):
+        self.pid = pid
+        self.gen = gen
+        self.status = _READY
+        self.pending_recv: Recv | None = None
+        self.resume_value: Any = None
+        self.recv_posted_at = 0.0
+        self.mailbox: list[Message] = []
+        self.value: Any = None
+
+
+class Machine:
+    """A simulated distributed-memory machine (see module docstring)."""
+
+    def __init__(self, topology: Topology | int, *,
+                 spec: MachineSpec = PERFECT, record_trace: bool = False,
+                 single_port: bool = False):
+        if isinstance(topology, int):
+            topology = FullyConnected(topology)
+        if not isinstance(topology, Topology):
+            raise MachineError(
+                f"topology must be a Topology or int, got {type(topology).__name__}")
+        self.topology = topology
+        self.spec = spec
+        self.record_trace = record_trace
+        #: Single-port (full-duplex) contention model: each processor's
+        #: network port transmits at most one message at a time, and
+        #: receives at most one at a time.  Port reservations are made in
+        #: the simulator's (causal) global processing order.  Off by
+        #: default: the base model is contention-free Hockney.
+        self.single_port = single_port
+        self._clock: list[float] = []
+        self._tx_free: list[float] = []
+        self._rx_free: list[float] = []
+
+    @property
+    def nprocs(self) -> int:
+        """Number of virtual processors."""
+        return self.topology.size
+
+    def run(self, program: Program | Sequence[Program], *,
+            args: Iterable[tuple] | None = None) -> RunResult:
+        """Execute one program per processor and return the result.
+
+        ``program`` is either a single program (SPMD: every processor runs
+        it, distinguished by ``env.pid``) or a sequence of ``nprocs``
+        programs (MPMD).  ``args`` optionally supplies extra positional
+        arguments per processor.
+        """
+        n = self.nprocs
+        if callable(program):
+            programs: list[Program] = [program] * n
+        else:
+            programs = list(program)
+            if len(programs) != n:
+                raise MachineError(
+                    f"expected {n} programs, got {len(programs)}")
+        extra = [()] * n if args is None else [tuple(a) for a in args]
+        if len(extra) != n:
+            raise MachineError(f"expected {n} arg tuples, got {len(extra)}")
+
+        self._clock = [0.0] * n
+        self._tx_free = [0.0] * n
+        self._rx_free = [0.0] * n
+        trace = Trace() if self.record_trace else None
+        stats = [ProcStats(pid=p) for p in range(n)]
+        procs = []
+        for pid in range(n):
+            env = ProcEnv(self, pid)
+            gen = programs[pid](env, *extra[pid])
+            if not isinstance(gen, Generator):
+                raise MachineError(
+                    f"program for pid {pid} must be a generator function "
+                    f"(did you forget to yield?); got {type(gen).__name__}")
+            procs.append(_Proc(pid, gen))
+
+        send_seq = 0
+        alive = n
+
+        def deliver(msg: Message) -> None:
+            dst = procs[msg.dst]
+            if dst.status == _DONE:
+                raise MachineError(
+                    f"message {msg!r} sent to already-finished processor {msg.dst}")
+            dst.mailbox.append(msg)
+            if dst.status == _BLOCKED and dst.pending_recv is not None:
+                self._try_unblock(dst, stats[dst.pid], trace)
+
+        while alive > 0:
+            runnable = [p for p in procs if p.status == _READY]
+            if not runnable:
+                blocked = [p.pid for p in procs if p.status == _BLOCKED]
+                raise DeadlockError(
+                    f"deadlock: processors {blocked} blocked on receives "
+                    f"that can never be satisfied")
+            proc = min(runnable, key=lambda p: (self._clock[p.pid], p.pid))
+            pid = proc.pid
+            st = stats[pid]
+            try:
+                request = proc.gen.send(proc.resume_value)
+            except StopIteration as stop:
+                proc.status = _DONE
+                proc.value = stop.value
+                st.finish_time = self._clock[pid]
+                alive -= 1
+                if proc.mailbox:
+                    raise MachineError(
+                        f"processor {pid} finished with {len(proc.mailbox)} "
+                        f"unconsumed messages in its mailbox")
+                continue
+            proc.resume_value = None
+
+            if isinstance(request, Compute):
+                start = self._clock[pid]
+                self._clock[pid] = start + request.seconds
+                st.compute_seconds += request.seconds
+                if trace is not None:
+                    trace.record(pid, "compute", start, self._clock[pid])
+            elif isinstance(request, Send):
+                self.topology.check_node(request.dst)
+                if request.dst == pid:
+                    raise MachineError(f"processor {pid} sent a message to itself")
+                nbytes = (estimate_nbytes(request.payload, self.spec.word_bytes)
+                          if request.nbytes is None else int(request.nbytes))
+                start = self._clock[pid]
+                self._clock[pid] = start + self.spec.send_overhead
+                st.overhead_seconds += self.spec.send_overhead
+                hops = max(1, self.topology.hops(pid, request.dst))
+                if self.single_port:
+                    wire = nbytes / self.spec.bandwidth
+                    startup = (self.spec.latency
+                               + self.spec.per_hop_latency * (hops - 1))
+                    tx_start = max(self._clock[pid], self._tx_free[pid])
+                    self._tx_free[pid] = tx_start + wire
+                    arrival = max(tx_start + startup,
+                                  self._rx_free[request.dst]) + wire
+                    self._rx_free[request.dst] = arrival
+                else:
+                    arrival = self._clock[pid] + self.spec.transfer_time(nbytes, hops)
+                send_seq += 1
+                msg = Message(src=pid, dst=request.dst, tag=request.tag,
+                              payload=request.payload, nbytes=nbytes,
+                              sent_at=start, arrival=arrival, seq=send_seq)
+                st.msgs_sent += 1
+                st.bytes_sent += nbytes
+                if trace is not None:
+                    trace.record(pid, "send", start, self._clock[pid],
+                                 dst=request.dst, tag=request.tag, nbytes=nbytes)
+                deliver(msg)
+            elif isinstance(request, Recv):
+                proc.status = _BLOCKED
+                proc.pending_recv = request
+                proc.recv_posted_at = self._clock[pid]
+                self._try_unblock(proc, st, trace)
+            else:
+                raise MachineError(
+                    f"processor {pid} yielded {request!r}; expected "
+                    f"Compute, Send or Recv (use `yield from` for collectives)")
+
+        return RunResult(values=[p.value for p in procs], stats=stats, trace=trace)
+
+    def _try_unblock(self, proc: _Proc, st: ProcStats, trace: Trace | None) -> None:
+        """Complete ``proc``'s pending receive if a matching message exists."""
+        recv = proc.pending_recv
+        assert recv is not None
+        best_idx = -1
+        for i, msg in enumerate(proc.mailbox):
+            if recv.matches(msg):
+                if best_idx < 0 or (
+                    (msg.arrival, msg.seq)
+                    < (proc.mailbox[best_idx].arrival, proc.mailbox[best_idx].seq)
+                ):
+                    best_idx = i
+                # concrete-(src,tag) receives are FIFO in send order
+                if recv.src is not ANY and recv.tag is not ANY:
+                    break
+        if best_idx < 0:
+            return
+        msg = proc.mailbox.pop(best_idx)
+        pid = proc.pid
+        wait_start = proc.recv_posted_at
+        ready_at = max(wait_start, msg.arrival)
+        st.idle_seconds += ready_at - wait_start
+        self._clock[pid] = ready_at + self.spec.recv_overhead
+        st.overhead_seconds += self.spec.recv_overhead
+        st.msgs_received += 1
+        st.bytes_received += msg.nbytes
+        if trace is not None:
+            trace.record(pid, "recv", wait_start, self._clock[pid],
+                         src=msg.src, tag=msg.tag, nbytes=msg.nbytes)
+        proc.status = _READY
+        proc.pending_recv = None
+        proc.resume_value = msg

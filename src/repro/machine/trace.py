@@ -1,0 +1,94 @@
+"""Execution traces for simulated runs.
+
+When a :class:`~repro.machine.simulator.Machine` is created with
+``record_trace=True`` it records one :class:`TraceEvent` per compute, send
+and receive interval.  Traces power the communication-algebra benchmarks
+(message counts before/after rewriting) and make Gantt-style inspection of
+skeleton programs possible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from typing import Any, Iterator
+
+__all__ = ["TraceEvent", "Trace"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    """One timed interval on one processor."""
+
+    pid: int
+    kind: str  # "compute" | "send" | "recv"
+    start: float
+    end: float
+    detail: dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Trace:
+    """An append-only sequence of :class:`TraceEvent` with query helpers."""
+
+    def __init__(self) -> None:
+        self._events: list[TraceEvent] = []
+
+    def record(self, pid: int, kind: str, start: float, end: float,
+               **detail: Any) -> None:
+        """Append one event (called by the simulator)."""
+        self._events.append(TraceEvent(pid, kind, start, end, detail))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def events(self, *, pid: int | None = None,
+               kind: str | None = None) -> list[TraceEvent]:
+        """Events filtered by processor and/or kind."""
+        return [
+            e for e in self._events
+            if (pid is None or e.pid == pid) and (kind is None or e.kind == kind)
+        ]
+
+    def kind_counts(self) -> Counter:
+        """How many events of each kind were recorded."""
+        return Counter(e.kind for e in self._events)
+
+    def message_count(self) -> int:
+        """Number of sends in the trace."""
+        return sum(1 for e in self._events if e.kind == "send")
+
+    def bytes_sent(self) -> int:
+        """Total payload bytes across all sends."""
+        return sum(e.detail.get("nbytes", 0) for e in self._events if e.kind == "send")
+
+    def busy_intervals(self, pid: int) -> list[tuple[float, float]]:
+        """(start, end) of every non-idle interval on ``pid``, in time order."""
+        spans = [(e.start, e.end) for e in self.events(pid=pid) if e.duration > 0]
+        return sorted(spans)
+
+    def gantt(self, *, width: int = 60) -> str:
+        """A coarse ASCII Gantt chart of the run (one row per processor)."""
+        if not self._events:
+            return "(empty trace)"
+        t_end = max(e.end for e in self._events)
+        if t_end == 0:
+            return "(zero-length trace)"
+        pids = sorted({e.pid for e in self._events})
+        glyph = {"compute": "#", "send": ">", "recv": "<"}
+        rows = []
+        for pid in pids:
+            cells = [" "] * width
+            for e in self.events(pid=pid):
+                lo = int(e.start / t_end * (width - 1))
+                hi = max(lo, int(e.end / t_end * (width - 1)))
+                for i in range(lo, hi + 1):
+                    cells[i] = glyph.get(e.kind, "?")
+            rows.append(f"p{pid:<3d}|{''.join(cells)}|")
+        return "\n".join(rows)

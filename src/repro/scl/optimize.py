@@ -1,0 +1,179 @@
+"""Cost-guided optimisation of skeleton expressions.
+
+:func:`estimate_cost` prices an expression against a
+:class:`~repro.machine.cost.MachineSpec` using the same latency/bandwidth
+model as the simulator: every skeleton application contributes per-element
+compute, per-message communication, and per-barrier synchronisation terms.
+:func:`optimize` runs the §4 rewrite rules and reports the predicted saving
+— the mechanised version of the paper's "compile time optimisation can be
+systematically realised based on a class of transformation rules".
+
+The model is deliberately coarse (it prices *structure*, not user code —
+each opaque function application costs ``fn_ops`` elementary operations).
+Its job is to rank alternatives, and the ablation benchmarks check its
+rankings against simulated execution.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.machine.cost import MachineSpec, PERFECT
+from repro.scl import nodes as N
+
+__all__ = ["ExprCost", "estimate_cost", "optimize", "OptimizeReport"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ExprCost:
+    """Predicted execution profile of an expression on ``n`` components."""
+
+    seconds: float
+    messages: int
+    barriers: int
+
+    def __add__(self, other: "ExprCost") -> "ExprCost":
+        return ExprCost(self.seconds + other.seconds,
+                        self.messages + other.messages,
+                        self.barriers + other.barriers)
+
+    def scaled(self, times: int) -> "ExprCost":
+        return ExprCost(self.seconds * times, self.messages * times,
+                        self.barriers * times)
+
+
+def _ceil_log2(n: int) -> int:
+    return (n - 1).bit_length() if n > 1 else 0
+
+
+def estimate_cost(node: N.Node, *, n: int, spec: MachineSpec = PERFECT,
+                  fn_ops: float = 1.0, element_bytes: int | None = None) -> ExprCost:
+    """Predicted cost of ``node`` over ``n`` components.
+
+    ``fn_ops`` is the assumed per-element cost (elementary operations) of
+    each opaque function application; ``element_bytes`` the wire size of a
+    component (defaults to one machine word).
+    """
+    eb = spec.word_bytes if element_bytes is None else element_bytes
+    barrier = (spec.latency + spec.send_overhead + spec.recv_overhead) * _ceil_log2(max(n, 1))
+    msg = spec.transfer_time(eb) + spec.send_overhead + spec.recv_overhead
+    fn_time = spec.compute_time(fn_ops)
+
+    def go(node: N.Node, n: int) -> ExprCost:
+        if isinstance(node, N.Id):
+            return ExprCost(0.0, 0, 0)
+        if isinstance(node, N.Compose):
+            total = ExprCost(0.0, 0, 0)
+            for step in node.steps:
+                total = total + go(step, n)
+            return total
+        if isinstance(node, N.Map):
+            if isinstance(node.f, N.Node):
+                return go(node.f, n) + ExprCost(barrier, 0, 1)
+            parts = node.f.parts if hasattr(node.f, "parts") else (node.f,)
+            return ExprCost(fn_time * len(parts) + barrier, 0, 1)
+        if isinstance(node, (N.IMap, N.Farm)):
+            return ExprCost(fn_time + barrier, 0, 1)
+        if isinstance(node, (N.Fold, N.Scan)):
+            # log-n combine rounds; the rounds themselves are the
+            # synchronisation, so no separate barrier term
+            rounds = _ceil_log2(max(n, 1))
+            return ExprCost(rounds * (msg + fn_time), rounds * n // 2, 1)
+        if isinstance(node, N.FoldrFused):
+            # inherently sequential: n combine steps on one processor
+            return ExprCost(n * 2 * fn_time, 0, 0)
+        if isinstance(node, (N.Rotate, N.RotateRow, N.RotateCol,
+                             N.Fetch, N.AlignFetch, N.PermSend, N.SendNode)):
+            # one message in and out per component, overlapped across procs
+            return ExprCost(msg, n, 1)
+        if isinstance(node, (N.Brdcast, N.ApplyBrdcast)):
+            rounds = _ceil_log2(max(n, 1))
+            return ExprCost(rounds * msg, max(n - 1, 0), 1)
+        if isinstance(node, N.Split):
+            return ExprCost(barrier, 0, 1)
+        if isinstance(node, N.Combine):
+            return ExprCost(barrier, 0, 1)
+        if isinstance(node, (N.Partition, N.Gather)):
+            # full redistribution: the whole array crosses the root's link
+            # plus a log-depth tree of message startups
+            rounds = _ceil_log2(max(n, 1))
+            return ExprCost(
+                rounds * (spec.latency + spec.send_overhead + spec.recv_overhead)
+                + n * eb / spec.bandwidth,
+                max(n - 1, 0), 1)
+        if isinstance(node, N.Spmd):
+            total = ExprCost(0.0, 0, 0)
+            for stage in node.stages:
+                if stage.local is not None:
+                    total = total + ExprCost(fn_time, 0, 0)
+                if stage.global_ is not None:
+                    total = total + go(stage.global_, n)
+                total = total + ExprCost(barrier, 0, 1)
+            return total
+        if isinstance(node, N.IterFor):
+            body = go(node.body(0), n)
+            return body.scaled(node.n)
+        return ExprCost(0.0, 0, 0)
+
+    return go(node, n)
+
+
+@dataclasses.dataclass(frozen=True)
+class OptimizeReport:
+    """Outcome of :func:`optimize`: the programs, costs and rule trace."""
+
+    original: N.Node
+    optimized: N.Node
+    cost_before: ExprCost
+    cost_after: ExprCost
+    steps: tuple
+
+    @property
+    def accepted(self) -> bool:
+        """True when the rewritten form was predicted no slower."""
+        return self.optimized is not self.original
+
+    @property
+    def speedup(self) -> float:
+        """Predicted ratio of original to optimised time."""
+        if self.cost_after.seconds == 0:
+            return float("inf") if self.cost_before.seconds > 0 else 1.0
+        return self.cost_before.seconds / self.cost_after.seconds
+
+    def __str__(self) -> str:
+        from repro.scl.pretty import pretty
+
+        lines = [f"original : {pretty(self.original)}",
+                 f"optimised: {pretty(self.optimized)}"]
+        for s in self.steps:
+            lines.append(f"  applied {s.rule}")
+        lines.append(
+            f"predicted: {self.cost_before.seconds:.3e}s -> "
+            f"{self.cost_after.seconds:.3e}s "
+            f"({self.cost_before.messages} -> {self.cost_after.messages} msgs, "
+            f"{self.cost_before.barriers} -> {self.cost_after.barriers} barriers)")
+        return "\n".join(lines)
+
+
+def optimize(node: N.Node, *, n: int, spec: MachineSpec = PERFECT,
+             fn_ops: float = 1.0, element_bytes: int | None = None,
+             rules=None) -> OptimizeReport:
+    """Rewrite ``node`` with the §4 rules, keeping the result only when the
+    cost model predicts it is no slower.
+
+    All the paper's rules are individually improving under this model, so
+    in practice the rewritten form always wins; the guard protects against
+    user-supplied rule sets.
+    """
+    from repro.scl.rewrite import RewriteEngine
+    from repro.scl.rules import ALL_RULES
+
+    engine = RewriteEngine(ALL_RULES if rules is None else rules)
+    rewritten, steps = engine.rewrite(node)
+    before = estimate_cost(node, n=n, spec=spec, fn_ops=fn_ops,
+                           element_bytes=element_bytes)
+    after = estimate_cost(rewritten, n=n, spec=spec, fn_ops=fn_ops,
+                          element_bytes=element_bytes)
+    if after.seconds <= before.seconds:
+        return OptimizeReport(node, rewritten, before, after, tuple(steps))
+    return OptimizeReport(node, node, before, before, ())

@@ -1,0 +1,125 @@
+"""The rewrite engine: meaning-preserving transformation of expressions.
+
+A :class:`Rule` matches a *window* of adjacent steps in a composition chain
+(``f . g . h`` viewed as the tuple ``(f, g, h)``, rightmost applied first)
+and produces replacement steps.  The :class:`RewriteEngine` applies a rule
+set bottom-up to fixpoint:
+
+1. rewrite every sub-expression (children first),
+2. slide each rule's window across the node's composition chain,
+3. repeat until no rule fires (bounded by ``max_passes``).
+
+Every application is recorded as a :class:`RewriteStep`, so optimisation
+reports can show *which* law fired where — the paper's "compile time
+optimisation ... systematically realised based on a class of transformation
+rules", made inspectable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Sequence
+
+from repro.errors import RewriteError
+from repro.scl import nodes as N
+
+__all__ = ["Rule", "RewriteStep", "RewriteEngine"]
+
+#: A window matcher: receives ``window_size`` adjacent steps and returns the
+#: replacement steps, or ``None`` when the rule does not apply.
+Matcher = Callable[[tuple[N.Node, ...]], "tuple[N.Node, ...] | None"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Rule:
+    """A named rewrite rule over composition windows."""
+
+    name: str
+    window_size: int
+    matcher: Matcher
+    law: str = ""  # human-readable statement, e.g. "map f . map g = map (f.g)"
+
+    def try_apply(self, window: tuple[N.Node, ...]) -> tuple[N.Node, ...] | None:
+        """Replacement steps if this rule matches ``window``, else ``None``."""
+        if len(window) != self.window_size:
+            return None
+        return self.matcher(window)
+
+    def __repr__(self) -> str:
+        return f"Rule({self.name!r})"
+
+
+@dataclasses.dataclass(frozen=True)
+class RewriteStep:
+    """A record of one rule application."""
+
+    rule: str
+    before: tuple[N.Node, ...]
+    after: tuple[N.Node, ...]
+
+    def __str__(self) -> str:
+        from repro.scl.pretty import pretty
+
+        b = " . ".join(pretty(n) for n in self.before)
+        a = " . ".join(pretty(n) for n in self.after) or "id"
+        return f"{self.rule}: {b}  ==>  {a}"
+
+
+class RewriteEngine:
+    """Applies a rule set to fixpoint, bottom-up."""
+
+    def __init__(self, rules: Sequence[Rule], *, max_passes: int = 200):
+        self.rules = list(rules)
+        if max_passes <= 0:
+            raise RewriteError(f"max_passes must be positive, got {max_passes}")
+        #: Global budget of rule applications per :meth:`rewrite` call —
+        #: bounds diverging rule sets even when they keep creating fresh
+        #: sub-expressions.
+        self.max_passes = max_passes
+
+    def rewrite(self, node: N.Node) -> tuple[N.Node, list[RewriteStep]]:
+        """Fully rewrite ``node``; returns the result and the step log."""
+        steps: list[RewriteStep] = []
+        out = self._rewrite(node, steps)
+        return out, steps
+
+    # ------------------------------------------------------------ internals
+
+    def _rewrite(self, node: N.Node, steps: list[RewriteStep]) -> N.Node:
+        node = self._rewrite_children(node, steps)
+        while True:
+            changed, node = self._apply_here(node, steps)
+            if not changed:
+                return node
+            if len(steps) >= self.max_passes:
+                raise RewriteError(
+                    f"rewrite exceeded {self.max_passes} rule applications "
+                    f"(diverging rule set?)")
+            # a rewrite may have produced new sub-expressions — revisit them
+            node = self._rewrite_children(node, steps)
+
+    def _rewrite_children(self, node: N.Node, steps: list[RewriteStep]) -> N.Node:
+        kids = node.children()
+        if not kids:
+            return node
+        new_kids = tuple(self._rewrite(k, steps) for k in kids)
+        if new_kids == kids:
+            return node
+        return node.replace_children(new_kids)
+
+    def _apply_here(self, node: N.Node,
+                    steps: list[RewriteStep]) -> tuple[bool, N.Node]:
+        chain = node.steps if isinstance(node, N.Compose) else (node,)
+        for rule in self.rules:
+            w = rule.window_size
+            if w > len(chain):
+                continue
+            for at in range(len(chain) - w + 1):
+                window = chain[at: at + w]
+                replacement = rule.try_apply(window)
+                if replacement is None:
+                    continue
+                steps.append(RewriteStep(rule.name, window, replacement))
+                new_chain = chain[:at] + tuple(replacement) + chain[at + w:]
+                return True, N.compose_nodes(*new_chain)
+        return False, node

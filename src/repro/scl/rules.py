@@ -1,0 +1,249 @@
+"""The paper's transformation rules (§4), as rewrite-engine rules.
+
+Each rule is stated exactly as in the paper and verified behaviourally by
+the property-based test-suite (rewritten expression ≡ original on random
+programs and inputs):
+
+* **map fusion** — ``map f . map g = map (f . g)``: removes a barrier
+  synchronisation and improves load balance (the functional abstraction of
+  loop fusion),
+* **map distribution** — ``foldr (f . g) = fold f . map g`` when ``f`` is
+  associative: the left side is sequential (the fused function is not
+  associative); splitting exposes parallelism (the analogue of loop
+  distribution),
+* **communication algebra** — ``send f . send g = send (f . g)`` and
+  ``fetch f . fetch g = fetch (g . f)``: two communication steps become
+  one; :data:`ROTATE_FUSION` is the same law specialised to rotations,
+* **SPMD flattening** — nested SPMD over ``split P`` becomes a flat SPMD
+  with a segmented global function (NESL-style segmented instructions).
+
+Side-conditions are enforced structurally: map distribution requires the
+``op_associative`` assertion on the :class:`~repro.scl.nodes.FoldrFused`
+node; send fusion only matches the single-destination :class:`PermSend`
+form for which the law is exact; flattening requires index-insensitive
+local functions (``Stage.indexed == False``).
+"""
+
+from __future__ import annotations
+
+from repro.scl import nodes as N
+from repro.scl.rewrite import Rule, RewriteEngine
+from repro.util.functional import Composed
+
+__all__ = [
+    "MAP_FUSION",
+    "MAP_DISTRIBUTION",
+    "FETCH_FUSION",
+    "SEND_FUSION",
+    "ROTATE_FUSION",
+    "ROTATE_ROW_FUSION",
+    "ROTATE_COL_FUSION",
+    "GATHER_PARTITION_ELIM",
+    "SPMD_STAGE_MERGE",
+    "SPMD_FLATTENING",
+    "ALL_RULES",
+    "default_engine",
+]
+
+
+def _map_fusion(window: tuple[N.Node, ...]) -> tuple[N.Node, ...] | None:
+    outer, inner = window
+    if not (isinstance(outer, N.Map) and isinstance(inner, N.Map)):
+        return None
+    f, g = outer.f, inner.f
+    if isinstance(f, N.Node) and isinstance(g, N.Node):
+        return (N.Map(N.compose_nodes(f, g)),)
+    if isinstance(f, N.Node) or isinstance(g, N.Node):
+        return None  # mixed node/callable maps: leave for nested rewriting
+    return (N.Map(Composed(f, g)),)
+
+
+MAP_FUSION = Rule(
+    name="map-fusion",
+    window_size=2,
+    matcher=_map_fusion,
+    law="map f . map g = map (f . g)",
+)
+
+
+def _map_distribution(window: tuple[N.Node, ...]) -> tuple[N.Node, ...] | None:
+    (node,) = window
+    if not isinstance(node, N.FoldrFused) or not node.op_associative:
+        return None
+    return (N.Fold(node.op), N.Map(node.g))
+
+
+MAP_DISTRIBUTION = Rule(
+    name="map-distribution",
+    window_size=1,
+    matcher=_map_distribution,
+    law="foldr (f . g) = fold f . map g   [f associative]",
+)
+
+
+def _fetch_fusion(window: tuple[N.Node, ...]) -> tuple[N.Node, ...] | None:
+    outer, inner = window
+    if not (isinstance(outer, N.Fetch) and isinstance(inner, N.Fetch)):
+        return None
+    # fetch f (fetch g A)[i] = A[g(f(i))]  =>  fetch (g . f)
+    return (N.Fetch(Composed(inner.f, outer.f)),)
+
+
+FETCH_FUSION = Rule(
+    name="fetch-fusion",
+    window_size=2,
+    matcher=_fetch_fusion,
+    law="fetch f . fetch g = fetch (g . f)",
+)
+
+
+def _send_fusion(window: tuple[N.Node, ...]) -> tuple[N.Node, ...] | None:
+    outer, inner = window
+    if not (isinstance(outer, N.PermSend) and isinstance(inner, N.PermSend)):
+        return None
+    # send f (send g A): element k lands at f(g(k))  =>  send (f . g)
+    return (N.PermSend(Composed(outer.f, inner.f)),)
+
+
+SEND_FUSION = Rule(
+    name="send-fusion",
+    window_size=2,
+    matcher=_send_fusion,
+    law="send f . send g = send (f . g)",
+)
+
+
+def _rotate_fusion(window: tuple[N.Node, ...]) -> tuple[N.Node, ...] | None:
+    outer, inner = window
+    if not (isinstance(outer, N.Rotate) and isinstance(inner, N.Rotate)):
+        return None
+    k = outer.k + inner.k
+    if k == 0:
+        return ()
+    return (N.Rotate(k),)
+
+
+ROTATE_FUSION = Rule(
+    name="rotate-fusion",
+    window_size=2,
+    matcher=_rotate_fusion,
+    law="rotate j . rotate k = rotate (j + k)   [derived from fetch fusion]",
+)
+
+
+def _rotate_row_fusion(window: tuple[N.Node, ...]) -> tuple[N.Node, ...] | None:
+    outer, inner = window
+    if not (isinstance(outer, N.RotateRow) and isinstance(inner, N.RotateRow)):
+        return None
+    df1, df2 = outer.df, inner.df
+    return (N.RotateRow(lambda i, df1=df1, df2=df2: df1(i) + df2(i)),)
+
+
+ROTATE_ROW_FUSION = Rule(
+    name="rotate-row-fusion",
+    window_size=2,
+    matcher=_rotate_row_fusion,
+    law="rotate_row f . rotate_row g = rotate_row (λi. f i + g i)",
+)
+
+
+def _rotate_col_fusion(window: tuple[N.Node, ...]) -> tuple[N.Node, ...] | None:
+    outer, inner = window
+    if not (isinstance(outer, N.RotateCol) and isinstance(inner, N.RotateCol)):
+        return None
+    df1, df2 = outer.df, inner.df
+    return (N.RotateCol(lambda j, df1=df1, df2=df2: df1(j) + df2(j)),)
+
+
+ROTATE_COL_FUSION = Rule(
+    name="rotate-col-fusion",
+    window_size=2,
+    matcher=_rotate_col_fusion,
+    law="rotate_col f . rotate_col g = rotate_col (λj. f j + g j)",
+)
+
+
+def _spmd_stage_merge(window: tuple[N.Node, ...]) -> tuple[N.Node, ...] | None:
+    later, earlier = window
+    if not (isinstance(later, N.Spmd) and isinstance(earlier, N.Spmd)):
+        return None
+    # SPMD fs1 . SPMD fs2 applies fs2's stages first
+    return (N.Spmd(earlier.stages + later.stages),)
+
+
+SPMD_STAGE_MERGE = Rule(
+    name="spmd-stage-merge",
+    window_size=2,
+    matcher=_spmd_stage_merge,
+    law="SPMD fs1 . SPMD fs2 = SPMD (fs2 ++ fs1)",
+)
+
+
+def _spmd_flattening(window: tuple[N.Node, ...]) -> tuple[N.Node, ...] | None:
+    outer, nested, splitter = window
+    # outer: SPMD [gf1] (global-only, single stage)
+    if not (isinstance(outer, N.Spmd) and len(outer.stages) == 1):
+        return None
+    s1 = outer.stages[0]
+    if s1.local is not None or s1.global_ is None:
+        return None
+    # nested: map (SPMD [(gf2, lf)]) — one stage, index-insensitive local
+    if not (isinstance(nested, N.Map) and isinstance(nested.f, N.Spmd)):
+        return None
+    inner_spmd = nested.f
+    if len(inner_spmd.stages) != 1:
+        return None
+    s2 = inner_spmd.stages[0]
+    if s2.indexed:
+        return None  # index-aware locals see different indices after flattening
+    if not isinstance(splitter, N.Split):
+        return None
+    # sgf = gf1 . map gf2 . split P  (the segmented global function)
+    inner_global = N.Map(s2.global_) if s2.global_ is not None else N.Id()
+    sgf = N.compose_nodes(s1.global_, inner_global, N.Split(splitter.pattern))
+    return (N.Spmd((N.Stage(global_=sgf, local=s2.local),)),)
+
+
+SPMD_FLATTENING = Rule(
+    name="spmd-flattening",
+    window_size=3,
+    matcher=_spmd_flattening,
+    law=("SPMD [gf1] . map (SPMD [(gf2, lf)]) . split P "
+         "= SPMD [(gf1 . map gf2 . split P, lf)]"),
+)
+
+def _gather_partition_elim(window: tuple[N.Node, ...]) -> tuple[N.Node, ...] | None:
+    outer, inner = window
+    if not (isinstance(outer, N.Gather) and isinstance(inner, N.Partition)):
+        return None
+    if outer.pattern is not None and outer.pattern != inner.pattern:
+        return None  # gathering with a different pattern is a transposition
+    return ()
+
+
+GATHER_PARTITION_ELIM = Rule(
+    name="gather-partition-elimination",
+    window_size=2,
+    matcher=_gather_partition_elim,
+    law="gather . partition P = id",
+)
+
+
+#: The complete rule set of §4 (plus the derived rotation rules).
+ALL_RULES = (
+    MAP_FUSION,
+    MAP_DISTRIBUTION,
+    FETCH_FUSION,
+    SEND_FUSION,
+    ROTATE_FUSION,
+    ROTATE_ROW_FUSION,
+    ROTATE_COL_FUSION,
+    GATHER_PARTITION_ELIM,
+    SPMD_FLATTENING,
+    SPMD_STAGE_MERGE,
+)
+
+
+def default_engine(*, max_passes: int = 200) -> RewriteEngine:
+    """A rewrite engine loaded with all the paper's rules."""
+    return RewriteEngine(ALL_RULES, max_passes=max_passes)

@@ -1,0 +1,38 @@
+"""Stream (task-parallel) skeletons.
+
+The paper positions SCL against P3L, whose skeletons "connect together
+... single streams", and notes that "parallel composition of concurrent
+tasks can be supported ... on top of the SCL layer; thus task parallelism
+is supported when it is needed".  This package is that layer: skeletons
+over *streams* (Python iterables) rather than distributed arrays:
+
+* :func:`stream_map` / :func:`stream_farm` — ordered and unordered
+  concurrent map over a stream with bounded in-flight work,
+* :func:`stream_filter`, :func:`stream_reduce`, :func:`stream_scan` —
+  the stream counterparts of the elementary skeletons,
+* :func:`pipeline` — stage-parallel composition: each stage runs in its
+  own thread, connected by bounded queues (P3L's ``pipe``),
+* :func:`pipeline_machine` — the same pipeline on the simulated machine,
+  one stage per processor, reproducing the textbook fill/drain law
+  ``T ≈ (m + s - 1) · t_stage``.
+"""
+
+from repro.stream.skeletons import (
+    stream_map,
+    stream_farm,
+    stream_filter,
+    stream_reduce,
+    stream_scan,
+)
+from repro.stream.pipeline import pipeline, PipelineStage, pipeline_machine
+
+__all__ = [
+    "stream_map",
+    "stream_farm",
+    "stream_filter",
+    "stream_reduce",
+    "stream_scan",
+    "pipeline",
+    "PipelineStage",
+    "pipeline_machine",
+]

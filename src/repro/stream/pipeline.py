@@ -1,0 +1,163 @@
+"""Stage-parallel pipelines — P3L's ``pipe`` skeleton.
+
+:func:`pipeline` composes per-item stage functions into a pipeline where
+each stage runs in its own thread, connected by bounded queues.  The
+result stream is always in input order and element-wise identical to
+composing the stages sequentially; only the *timing* changes (stage
+overlap).
+
+:func:`pipeline_machine` runs the same structure on the simulated
+machine — stage ``s`` on processor ``s``, items flowing as messages — so
+the classic fill/drain law ``T ≈ (m + s - 1) · t_bottleneck`` can be
+measured rather than assumed (and is, in the test-suite).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import queue
+import threading
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.errors import SkeletonError
+from repro.machine import Comm, Machine, MachineSpec, PERFECT
+from repro.machine.cost import estimate_nbytes
+from repro.machine.simulator import RunResult
+from repro.machine.topology import Ring
+
+__all__ = ["PipelineStage", "pipeline", "pipeline_machine"]
+
+_SENTINEL = object()
+
+
+@dataclasses.dataclass(frozen=True)
+class PipelineStage:
+    """One pipeline stage: a per-item function plus an optional op cost.
+
+    ``ops`` is only consulted by :func:`pipeline_machine` (virtual time);
+    the thread pipeline just calls ``fn``.
+    """
+
+    fn: Callable[[Any], Any]
+    ops: float = 10.0
+    name: str = ""
+
+    @classmethod
+    def of(cls, stage: "PipelineStage | Callable[[Any], Any]") -> "PipelineStage":
+        if isinstance(stage, PipelineStage):
+            return stage
+        if callable(stage):
+            return cls(fn=stage, name=getattr(stage, "__name__", ""))
+        raise SkeletonError(f"pipeline stage must be callable, got {stage!r}")
+
+
+def pipeline(stages: Sequence["PipelineStage | Callable[[Any], Any]"], *,
+             buffer: int = 8) -> Callable[[Iterable[Any]], Iterator[Any]]:
+    """Compose stages into a thread-parallel pipeline over streams.
+
+    ``pipeline([f, g, h])(xs)`` yields ``h(g(f(x)))`` for each ``x`` in
+    order, with the three stages overlapping on consecutive items.
+    ``buffer`` bounds each inter-stage queue (backpressure).
+    """
+    parsed = [PipelineStage.of(s) for s in stages]
+    if buffer <= 0:
+        raise SkeletonError(f"buffer must be positive, got {buffer}")
+
+    def run(items: Iterable[Any]) -> Iterator[Any]:
+        if not parsed:
+            yield from items
+            return
+        queues: list[queue.Queue] = [queue.Queue(maxsize=buffer)
+                                     for _ in range(len(parsed) + 1)]
+        failure: list[BaseException] = []
+
+        def feeder() -> None:
+            try:
+                for x in items:
+                    queues[0].put(x)
+            except BaseException as exc:  # propagate producer errors
+                failure.append(exc)
+            finally:
+                queues[0].put(_SENTINEL)
+
+        def worker(idx: int) -> None:
+            fn = parsed[idx].fn
+            q_in, q_out = queues[idx], queues[idx + 1]
+            try:
+                while True:
+                    item = q_in.get()
+                    if item is _SENTINEL:
+                        break
+                    q_out.put(fn(item))
+            except BaseException as exc:
+                failure.append(exc)
+                # drain so upstream put() never blocks forever
+                while q_in.get() is not _SENTINEL:
+                    pass
+            finally:
+                q_out.put(_SENTINEL)
+
+        threads = [threading.Thread(target=feeder, daemon=True)]
+        threads += [threading.Thread(target=worker, args=(i,), daemon=True)
+                    for i in range(len(parsed))]
+        for t in threads:
+            t.start()
+        out = queues[-1]
+        while True:
+            item = out.get()
+            if item is _SENTINEL:
+                break
+            yield item
+        for t in threads:
+            t.join()
+        if failure:
+            raise failure[0]
+
+    return run
+
+
+def pipeline_machine(
+    stages: Sequence["PipelineStage | Callable[[Any], Any]"],
+    items: Sequence[Any],
+    *,
+    spec: MachineSpec = PERFECT,
+    item_nbytes: int | None = None,
+) -> tuple[list[Any], RunResult]:
+    """Run a pipeline on the simulated machine, one stage per processor.
+
+    Processor ``s`` receives each item from processor ``s - 1``, charges
+    its stage's ``ops``, and forwards the result.  Returns the ordered
+    output list (collected on the last processor) and the run result —
+    whose makespan exhibits the fill/drain behaviour
+    ``T ≈ (m + s - 1) · t_bottleneck`` for ``m`` items.
+    """
+    parsed = [PipelineStage.of(s) for s in stages]
+    if not parsed:
+        raise SkeletonError("pipeline_machine requires at least one stage")
+    items = list(items)
+    s = len(parsed)
+    machine = Machine(Ring(s) if s > 1 else 1, spec=spec)
+
+    def program(env):
+        comm = Comm.world(env)
+        rank = comm.rank
+        stage = parsed[rank]
+        outputs = []
+        for k in range(len(items)):
+            if rank == 0:
+                value = items[k]
+            else:
+                msg = yield comm.recv(rank - 1, tag=k)
+                value = msg.payload
+            yield env.work(stage.ops)
+            value = stage.fn(value)
+            if rank < comm.size - 1:
+                nbytes = (estimate_nbytes(value, env.spec.word_bytes)
+                          if item_nbytes is None else item_nbytes)
+                yield comm.send(rank + 1, value, tag=k, nbytes=nbytes)
+            else:
+                outputs.append(value)
+        return outputs
+
+    res = machine.run(program)
+    return res.values[-1], res

@@ -1,0 +1,24 @@
+"""Shared utilities: functional helpers, validation, deterministic RNG."""
+
+from repro.util.functional import compose, identity, check_associative, foldr
+from repro.util.validation import (
+    require,
+    require_type,
+    require_positive,
+    require_power_of_two,
+    is_power_of_two,
+    ilog2,
+)
+
+__all__ = [
+    "compose",
+    "identity",
+    "check_associative",
+    "foldr",
+    "require",
+    "require_type",
+    "require_positive",
+    "require_power_of_two",
+    "is_power_of_two",
+    "ilog2",
+]

@@ -1,0 +1,108 @@
+"""Functional helpers used throughout the skeleton library.
+
+SCL is a functional coordination language; its transformation laws (map
+fusion, communication algebra) are stated in terms of function composition.
+These helpers give composition a first-class, introspectable representation
+so the rewrite engine can build ``f . g`` objects and tests can compare them
+behaviourally.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+__all__ = ["identity", "compose", "Composed", "check_associative", "foldr"]
+
+_T = TypeVar("_T")
+_U = TypeVar("_U")
+
+
+def identity(x: _T) -> _T:
+    """The identity function; unit of composition (``SPMD [] = id``)."""
+    return x
+
+
+class Composed:
+    """A concrete ``f . g`` composition: ``Composed(f, g)(x) == f(g(x))``.
+
+    Unlike a lambda, a :class:`Composed` keeps references to its parts so
+    rewrite rules and pretty-printers can inspect the pipeline it denotes.
+    Instances compare equal when their flattened part lists are equal, which
+    makes composition associativity observable in tests.
+    """
+
+    __slots__ = ("parts",)
+
+    def __init__(self, *fns: Callable[..., Any]):
+        parts: list[Callable[..., Any]] = []
+        for fn in fns:
+            if isinstance(fn, Composed):
+                parts.extend(fn.parts)
+            elif fn is identity:
+                continue
+            else:
+                parts.append(fn)
+        self.parts: tuple[Callable[..., Any], ...] = tuple(parts)
+
+    def __call__(self, x: Any) -> Any:
+        for fn in reversed(self.parts):
+            x = fn(x)
+        return x
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Composed) and self.parts == other.parts
+
+    def __hash__(self) -> int:
+        return hash(("Composed", self.parts))
+
+    def __repr__(self) -> str:
+        names = " . ".join(getattr(f, "__name__", repr(f)) for f in self.parts)
+        return f"<Composed {names or 'id'}>"
+
+
+def compose(*fns: Callable[..., Any]) -> Callable[[Any], Any]:
+    """Compose functions right-to-left: ``compose(f, g)(x) == f(g(x))``.
+
+    With no arguments returns :func:`identity`; with one, that function
+    unchanged.  Otherwise returns a :class:`Composed` so the pipeline stays
+    inspectable.
+    """
+    if not fns:
+        return identity
+    if len(fns) == 1:
+        return fns[0]
+    return Composed(*fns)
+
+
+def check_associative(
+    op: Callable[[_T, _T], _T],
+    samples: Sequence[_T],
+    *,
+    eq: Callable[[Any, Any], bool] | None = None,
+    max_triples: int = 64,
+) -> bool:
+    """Empirically check associativity of ``op`` over sample triples.
+
+    The paper requires the argument of ``fold``/``scan`` to be associative
+    ("otherwise the result is undefined").  This helper lets callers and the
+    test-suite validate that obligation on representative data.  It tests up
+    to ``max_triples`` ordered triples drawn from ``samples``.
+    """
+    if eq is None:
+        eq = lambda a, b: a == b  # noqa: E731 - tiny local default
+    triples = itertools.islice(itertools.product(samples, repeat=3), max_triples)
+    return all(eq(op(op(a, b), c), op(a, op(b, c))) for a, b, c in triples)
+
+
+def foldr(op: Callable[[_T, _U], _U], init: _U, xs: Iterable[_T]) -> _U:
+    """Right fold: ``foldr op z [a,b,c] == op(a, op(b, op(c, z)))``.
+
+    This is the *sequential* reduction of the paper's map-distribution law
+    (§4): ``foldr (f . g) z`` is inherently serial because ``f . g`` is not
+    associative; rewriting it to ``fold f . map g`` exposes parallelism.
+    """
+    acc = init
+    for x in reversed(list(xs)):
+        acc = op(x, acc)
+    return acc

@@ -1,0 +1,24 @@
+"""Plain-text table rendering shared by the CLI and the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["render_table"]
+
+
+def render_table(title: str, header: Sequence[str],
+                 rows: Sequence[Sequence[Any]], notes: str = "") -> str:
+    """Render an aligned, underlined text table."""
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(header)
+    ]
+    lines = [title, "=" * len(title), ""]
+    lines.append("  ".join(str(h).rjust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(c).rjust(w) for c, w in zip(row, widths)))
+    if notes:
+        lines += ["", notes]
+    return "\n".join(lines) + "\n"

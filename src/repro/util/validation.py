@@ -1,0 +1,53 @@
+"""Argument validation helpers with consistent error types."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import SclError
+
+__all__ = [
+    "require",
+    "require_type",
+    "require_positive",
+    "require_power_of_two",
+    "is_power_of_two",
+    "ilog2",
+]
+
+
+def require(cond: bool, message: str, exc: type[SclError] = SclError) -> None:
+    """Raise ``exc(message)`` unless ``cond`` holds."""
+    if not cond:
+        raise exc(message)
+
+
+def require_type(value: Any, types: type | tuple[type, ...], name: str,
+                 exc: type[SclError] = SclError) -> None:
+    """Raise unless ``value`` is an instance of ``types``."""
+    if not isinstance(value, types):
+        expected = getattr(types, "__name__", str(types))
+        raise exc(f"{name} must be {expected}, got {type(value).__name__}")
+
+
+def require_positive(value: int, name: str, exc: type[SclError] = SclError) -> None:
+    """Raise unless ``value`` is a positive integer."""
+    if not isinstance(value, int) or isinstance(value, bool) or value <= 0:
+        raise exc(f"{name} must be a positive integer, got {value!r}")
+
+
+def is_power_of_two(n: int) -> bool:
+    """True iff ``n`` is a positive power of two."""
+    return isinstance(n, int) and not isinstance(n, bool) and n > 0 and (n & (n - 1)) == 0
+
+
+def require_power_of_two(value: int, name: str, exc: type[SclError] = SclError) -> None:
+    """Raise unless ``value`` is a positive power of two (hypercube sizes)."""
+    if not is_power_of_two(value):
+        raise exc(f"{name} must be a positive power of two, got {value!r}")
+
+
+def ilog2(n: int) -> int:
+    """Exact integer log2 of a power of two."""
+    require_power_of_two(n, "n")
+    return n.bit_length() - 1

@@ -1,0 +1,134 @@
+"""Tests for repro.apps.nbody — the systolic ring all-pairs computation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.nbody import (
+    NBodyCostParams,
+    forces_machine,
+    forces_parallel,
+    forces_seq,
+    pairwise_forces,
+)
+from repro.errors import SkeletonError
+from repro.machine import PERFECT
+
+
+def cluster(rng, n):
+    return rng.standard_normal((n, 3)), rng.uniform(0.5, 2.0, size=n)
+
+
+class TestPairwiseForces:
+    def test_two_bodies_attract(self):
+        pos = np.array([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]])
+        mass = np.array([1.0, 1.0])
+        f = pairwise_forces(pos, pos, mass)
+        assert f[0, 0] > 0 and f[1, 0] < 0  # pulled toward each other
+
+    def test_newtons_third_law(self, rng):
+        pos, mass = cluster(rng, 2)
+        f = pairwise_forces(pos, pos, mass)
+        # with equal-mass normalisation F_ij = -F_ji only when masses equal
+        pos2 = pos
+        m_eq = np.array([1.0, 1.0])
+        f = pairwise_forces(pos2, pos2, m_eq)
+        assert np.allclose(f[0], -f[1], atol=1e-9)
+
+    def test_self_interaction_softened_to_zero(self):
+        pos = np.array([[1.0, 2.0, 3.0]])
+        f = pairwise_forces(pos, pos, np.array([5.0]))
+        assert np.allclose(f, 0.0)
+
+    def test_symmetric_configuration_cancels(self):
+        pos = np.array([[0.0, 0, 0], [1.0, 0, 0], [-1.0, 0, 0]])
+        mass = np.ones(3)
+        f = pairwise_forces(pos, pos, mass)
+        assert np.allclose(f[0], 0.0, atol=1e-9)
+
+    def test_total_momentum_conserved(self, rng):
+        pos, mass = cluster(rng, 20)
+        f = forces_seq(pos, mass)
+        # sum of m_i * a_i = sum of forces-with-mass-weighting: with our
+        # normalisation (acceleration per unit target mass), weight by mass
+        total = np.sum(f * mass[:, None], axis=0)
+        assert np.allclose(total, 0.0, atol=1e-8)
+
+
+class TestParallel:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 5, 8])
+    def test_matches_sequential(self, rng, p):
+        pos, mass = cluster(rng, 48)
+        assert np.allclose(forces_parallel(pos, mass, p),
+                           forces_seq(pos, mass), atol=1e-10)
+
+    def test_uneven_block_sizes(self, rng):
+        pos, mass = cluster(rng, 23)
+        assert np.allclose(forces_parallel(pos, mass, 5),
+                           forces_seq(pos, mass), atol=1e-10)
+
+    def test_single_body_per_processor(self, rng):
+        pos, mass = cluster(rng, 6)
+        assert np.allclose(forces_parallel(pos, mass, 6),
+                           forces_seq(pos, mass), atol=1e-10)
+
+    def test_bad_shapes_rejected(self, rng):
+        with pytest.raises(SkeletonError, match=r"\(n, 3\)"):
+            forces_parallel(np.zeros((4, 2)), np.ones(4), 2)
+        with pytest.raises(SkeletonError, match="masses"):
+            forces_parallel(np.zeros((4, 3)), np.ones(3), 2)
+
+    def test_too_many_processors_rejected(self, rng):
+        pos, mass = cluster(rng, 3)
+        with pytest.raises(SkeletonError):
+            forces_parallel(pos, mass, 5)
+
+    @settings(max_examples=15)
+    @given(st.integers(1, 6), st.integers(0, 10**6))
+    def test_any_processor_count_property(self, p, seed):
+        r = np.random.default_rng(seed)
+        n = p * int(r.integers(1, 5))
+        pos, mass = cluster(r, n)
+        assert np.allclose(forces_parallel(pos, mass, p),
+                           forces_seq(pos, mass), atol=1e-9)
+
+
+class TestMachine:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 8])
+    def test_matches_sequential(self, rng, p):
+        pos, mass = cluster(rng, 40)
+        out, _res = forces_machine(pos, mass, p)
+        assert np.allclose(out, forces_seq(pos, mass), atol=1e-10)
+
+    def test_ring_message_pattern(self, rng):
+        """p procs x (p - 1) rotation rounds, one message each."""
+        p = 4
+        pos, mass = cluster(rng, 16)
+        _out, res = forces_machine(pos, mass, p, spec=PERFECT)
+        assert res.total_messages == p * (p - 1)
+
+    def test_runtime_decreases_with_processors(self, rng):
+        pos, mass = cluster(rng, 512)
+        times = []
+        for p in (1, 4, 16):
+            _o, res = forces_machine(pos, mass, p)
+            times.append(res.makespan)
+        assert times[0] > times[1] > times[2]
+
+    def test_compute_is_perfectly_balanced_when_divisible(self, rng):
+        from repro.machine.metrics import load_imbalance
+
+        pos, mass = cluster(rng, 64)
+        _o, res = forces_machine(pos, mass, 8, spec=PERFECT)
+        assert load_imbalance(res) == pytest.approx(1.0, abs=1e-6)
+
+    def test_cost_params_scale(self, rng):
+        pos, mass = cluster(rng, 128)
+        _a, cheap = forces_machine(pos, mass, 4,
+                                   params=NBodyCostParams(ops_per_interaction=1))
+        _b, dear = forces_machine(pos, mass, 4,
+                                  params=NBodyCostParams(ops_per_interaction=100))
+        assert dear.makespan > cheap.makespan

@@ -1,0 +1,187 @@
+"""Tests for repro.core.communication — bulk data-movement skeletons."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    ParArray,
+    apply_brdcast,
+    brdcast,
+    fetch,
+    rotate,
+    rotate_col,
+    rotate_row,
+    send,
+)
+from repro.errors import SkeletonError
+
+
+class TestRotate:
+    def test_positive_pulls_from_right(self):
+        assert rotate(1, ParArray([0, 1, 2])).to_list() == [1, 2, 0]
+
+    def test_negative_pulls_from_left(self):
+        assert rotate(-1, ParArray([0, 1, 2])).to_list() == [2, 0, 1]
+
+    def test_zero_is_identity(self):
+        pa = ParArray([5, 6])
+        assert rotate(0, pa) == pa
+
+    def test_full_cycle_is_identity(self):
+        pa = ParArray(list(range(7)))
+        assert rotate(7, pa) == pa
+
+    def test_wraps_modulo(self):
+        pa = ParArray([0, 1, 2])
+        assert rotate(5, pa) == rotate(2, pa)
+
+    def test_2d_rejected(self):
+        with pytest.raises(SkeletonError):
+            rotate(1, ParArray([[1, 2]], shape=(1, 2)))
+
+    @given(st.lists(st.integers(), min_size=1, max_size=30),
+           st.integers(-50, 50), st.integers(-50, 50))
+    def test_rotation_composition_property(self, xs, j, k):
+        """rotate j . rotate k == rotate (j+k) — the communication-algebra
+        law specialised to rotations."""
+        pa = ParArray(xs)
+        assert rotate(j, rotate(k, pa)) == rotate(j + k, pa)
+
+    @given(st.lists(st.integers(), min_size=1, max_size=30), st.integers(-50, 50))
+    def test_rotate_inverse_property(self, xs, k):
+        pa = ParArray(xs)
+        assert rotate(-k, rotate(k, pa)) == pa
+
+
+class TestRotateRowCol:
+    def grid(self):
+        return ParArray([[1, 2, 3], [4, 5, 6]], shape=(2, 3))
+
+    def test_rotate_row_per_row_distance(self):
+        out = rotate_row(lambda i: i, self.grid())
+        assert out.to_nested_list() == [[1, 2, 3], [5, 6, 4]]
+
+    def test_rotate_col_per_col_distance(self):
+        out = rotate_col(lambda j: j % 2, self.grid())
+        assert out.to_nested_list() == [[1, 5, 3], [4, 2, 6]]
+
+    def test_zero_distance_identity(self):
+        g = self.grid()
+        assert rotate_row(lambda i: 0, g) == g
+        assert rotate_col(lambda j: 0, g) == g
+
+    def test_row_rotation_wraps(self):
+        out = rotate_row(lambda i: 4, self.grid())  # 4 mod 3 == 1
+        assert out.to_nested_list() == [[2, 3, 1], [5, 6, 4]]
+
+    def test_1d_rejected(self):
+        with pytest.raises(SkeletonError):
+            rotate_row(lambda i: 1, ParArray([1, 2]))
+        with pytest.raises(SkeletonError):
+            rotate_col(lambda j: 1, ParArray([1, 2]))
+
+    def test_rows_independent(self):
+        out = rotate_row(lambda i: 1 if i == 0 else 0, self.grid())
+        assert out.to_nested_list() == [[2, 3, 1], [4, 5, 6]]
+
+    @given(st.integers(1, 5), st.integers(1, 5), st.integers(-9, 9))
+    def test_row_col_inverse_property(self, m, n, k):
+        g = ParArray([[i * n + j for j in range(n)] for i in range(m)],
+                     shape=(m, n))
+        assert rotate_row(lambda i: -k, rotate_row(lambda i: k, g)) == g
+        assert rotate_col(lambda j: -k, rotate_col(lambda j: k, g)) == g
+
+
+class TestBrdcast:
+    def test_pairs_value_with_local(self):
+        out = brdcast("env", ParArray([1, 2]))
+        assert out.to_list() == [("env", 1), ("env", 2)]
+
+    def test_2d(self):
+        out = brdcast(0, ParArray([[1, 2]], shape=(1, 2)))
+        assert out[(0, 1)] == (0, 2)
+
+    def test_rejects_non_pararray(self):
+        with pytest.raises(SkeletonError):
+            brdcast(1, [1, 2])  # type: ignore[arg-type]
+
+
+class TestApplyBrdcast:
+    def test_matches_paper_definition(self):
+        """applybrdcast f i A = brdcast (f A[i]) A"""
+        pa = ParArray([10, 20, 30])
+        f = lambda x: x + 1
+        assert apply_brdcast(f, 1, pa) == brdcast(f(20), pa)
+
+    def test_source_index_out_of_range(self):
+        with pytest.raises(Exception):
+            apply_brdcast(lambda x: x, 9, ParArray([1]))
+
+
+class TestSend:
+    def test_single_destination(self):
+        out = send(lambda k: [(k + 1) % 3], ParArray(["a", "b", "c"]))
+        assert out.to_list() == [["c"], ["a"], ["b"]]
+
+    def test_many_to_one_accumulates_vector(self):
+        out = send(lambda k: [0], ParArray([1, 2, 3]))
+        assert sorted(out[0]) == [1, 2, 3]
+        assert out[1] == [] and out[2] == []
+
+    def test_one_to_many_duplicates(self):
+        out = send(lambda k: [0, 1] if k == 0 else [], ParArray(["x", "y"]))
+        assert out[0] == ["x"] and out[1] == ["x"]
+
+    def test_drop_everything(self):
+        out = send(lambda k: [], ParArray([1, 2]))
+        assert out.to_list() == [[], []]
+
+    def test_out_of_range_destination_rejected(self):
+        with pytest.raises(SkeletonError, match="destination"):
+            send(lambda k: [5], ParArray([1, 2]))
+
+    @given(st.integers(1, 20), st.integers(0, 1000))
+    def test_multiset_preservation_property(self, n, seed):
+        """Whatever the index map, send never creates or destroys elements
+        (arrival order is unspecified, so compare as multisets)."""
+        import random
+
+        r = random.Random(seed)
+        dests = {k: [r.randrange(n) for _ in range(r.randrange(3))]
+                 for k in range(n)}
+        pa = ParArray(list(range(n)))
+        out = send(lambda k: dests[k], pa)
+        arrived = sorted(x for box in out for x in box)
+        expected = sorted(k for k, ds in dests.items() for _ in ds)
+        assert arrived == expected
+
+
+class TestFetch:
+    def test_pulls_from_source_index(self):
+        out = fetch(lambda i: (i + 1) % 3, ParArray([10, 20, 30]))
+        assert out.to_list() == [20, 30, 10]
+
+    def test_one_to_many(self):
+        out = fetch(lambda i: 0, ParArray([7, 8, 9]))
+        assert out.to_list() == [7, 7, 7]
+
+    def test_out_of_range_source_rejected(self):
+        with pytest.raises(SkeletonError, match="source"):
+            fetch(lambda i: -1, ParArray([1]))
+
+    @given(st.lists(st.integers(), min_size=1, max_size=25),
+           st.integers(0, 10**6), st.integers(0, 10**6))
+    def test_fetch_fusion_property(self, xs, a, b):
+        """fetch f . fetch g == fetch (g . f) — §4's communication algebra."""
+        n = len(xs)
+        f = lambda i: (i + a) % n
+        g = lambda i: (i * (b % n + 1)) % n
+        pa = ParArray(xs)
+        assert fetch(f, fetch(g, pa)) == fetch(lambda i: g(f(i)), pa)
+
+    def test_rotate_is_a_fetch(self):
+        pa = ParArray(list(range(6)))
+        assert fetch(lambda i: (i + 2) % 6, pa) == rotate(2, pa)

@@ -1,0 +1,231 @@
+"""Tests for repro.core.config — the Figure 1 data-distribution model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    Block,
+    ColBlock,
+    Cyclic,
+    ParArray,
+    RowBlock,
+    align,
+    combine,
+    distribution,
+    gather,
+    partition,
+    redistribution,
+    rotate,
+    split,
+    unalign,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPartitionGather:
+    def test_partition_requires_pattern(self):
+        with pytest.raises(ConfigurationError):
+            partition("block", [1, 2, 3])  # type: ignore[arg-type]
+
+    def test_gather_uses_recorded_pattern(self):
+        xs = list(range(9))
+        assert gather(partition(Cyclic(2), xs)) == xs
+
+    def test_gather_explicit_pattern_overrides(self):
+        pa = ParArray([[0, 2], [1, 3]])
+        assert gather(pa, Cyclic(2)) == [0, 1, 2, 3]
+
+    def test_gather_without_pattern_concatenates(self):
+        pa = ParArray([[1, 2], [3]])
+        assert gather(pa) == [1, 2, 3]
+
+    def test_gather_2d_without_pattern_rejected(self):
+        pa = ParArray([[1, 2], [3, 4]], shape=(2, 2))
+        with pytest.raises(ConfigurationError):
+            gather(pa)
+
+
+class TestAlign:
+    def test_pairs_components(self):
+        conf = align(ParArray([1, 2]), ParArray(["a", "b"]))
+        assert conf.to_list() == [(1, "a"), (2, "b")]
+
+    def test_three_way(self):
+        conf = align(ParArray([1]), ParArray([2]), ParArray([3]))
+        assert conf[0] == (1, 2, 3)
+
+    def test_2d_alignment(self):
+        a = ParArray([[1, 2], [3, 4]], shape=(2, 2))
+        b = ParArray([[5, 6], [7, 8]], shape=(2, 2))
+        assert align(a, b)[(1, 0)] == (3, 7)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError, match="align"):
+            align(ParArray([1, 2]), ParArray([1, 2, 3]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            align()
+
+    def test_non_pararray_rejected(self):
+        with pytest.raises(ConfigurationError):
+            align(ParArray([1]), [1])  # type: ignore[arg-type]
+
+    def test_records_dists(self):
+        a = partition(Block(2), [1, 2])
+        b = partition(Cyclic(2), [3, 4])
+        conf = align(a, b)
+        assert conf.dist == (Block(2), Cyclic(2))
+
+
+class TestUnalign:
+    def test_extract_all(self):
+        conf = align(ParArray([1, 2]), ParArray([3, 4]))
+        da, db = unalign(conf)
+        assert da.to_list() == [1, 2] and db.to_list() == [3, 4]
+
+    def test_extract_single(self):
+        conf = align(ParArray([1, 2]), ParArray([3, 4]))
+        assert unalign(conf, 1).to_list() == [3, 4]
+
+    def test_restores_dist_metadata(self):
+        a = partition(Block(2), list(range(4)))
+        b = partition(Cyclic(2), list(range(4)))
+        da, db = unalign(align(a, b))
+        assert da.dist == Block(2) and db.dist == Cyclic(2)
+        assert gather(db) == list(range(4))
+
+    def test_component_out_of_range(self):
+        conf = align(ParArray([1]), ParArray([2]))
+        with pytest.raises(ConfigurationError):
+            unalign(conf, 5)
+
+    def test_non_tuple_configuration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            unalign(ParArray([1, 2]))
+
+    def test_ragged_tuples_rejected(self):
+        with pytest.raises(ConfigurationError):
+            unalign(ParArray([(1, 2), (3,)]))
+
+
+class TestDistribution:
+    def test_matches_paper_definition(self):
+        """distribution [(p,f),(q,g)] [A,B] = align (p (partition f A))
+        (q (partition g B))"""
+        A = np.arange(8)
+        B = np.arange(8) * 10
+        move = lambda pa: rotate(1, pa)
+        conf = distribution([(move, Block(4)), (None, Cyclic(4))], [A, B])
+        expected = align(rotate(1, partition(Block(4), A)),
+                         partition(Cyclic(4), B))
+        assert conf == expected
+
+    def test_single_array_returns_plain_distribution(self):
+        conf = distribution([(None, Block(2))], [np.arange(4)])
+        assert conf.dist == Block(2)
+        assert np.array_equal(gather(conf), np.arange(4))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            distribution([(None, Block(2))], [np.arange(4), np.arange(4)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            distribution([], [])
+
+    def test_bad_movement_return_rejected(self):
+        with pytest.raises(ConfigurationError, match="ParArray"):
+            distribution([(lambda pa: "oops", Block(2))], [np.arange(4)])
+
+
+class TestRedistribution:
+    def test_componentwise_movement(self):
+        a = ParArray([0, 1, 2, 3])
+        b = ParArray([4, 5, 6, 7])
+        conf = align(a, b)
+        out = redistribution([lambda da: rotate(1, da), None], conf)
+        oa, ob = unalign(out)
+        assert oa.to_list() == [1, 2, 3, 0]
+        assert ob.to_list() == [4, 5, 6, 7]
+
+    def test_width_1_plain_array(self):
+        pa = ParArray([1, 2, 3])
+        assert redistribution([lambda da: rotate(1, da)], pa).to_list() == [2, 3, 1]
+
+    def test_wrong_operator_count_rejected(self):
+        conf = align(ParArray([1]), ParArray([2]))
+        with pytest.raises(ConfigurationError):
+            redistribution([None], conf)
+
+    def test_width_1_wrong_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            redistribution([None, None], ParArray([1, 2]))
+
+
+class TestSplitCombine:
+    def test_split_produces_nested(self):
+        nested = split(Block(2), ParArray(list(range(6))))
+        assert nested.size == 2
+        assert isinstance(nested[0], ParArray)
+        assert nested[0].to_list() == [0, 1, 2]
+
+    def test_combine_inverts_block_split(self):
+        flat = ParArray(list(range(8)))
+        assert combine(split(Block(4), flat)) == flat
+
+    def test_combine_inverts_cyclic_split(self):
+        flat = ParArray(list(range(9)))
+        assert combine(split(Cyclic(3), flat)) == flat
+
+    def test_combine_without_pattern_concatenates(self):
+        nested = ParArray([ParArray([1, 2]), ParArray([3])])
+        assert combine(nested).to_list() == [1, 2, 3]
+
+    def test_split_2d_rejected(self):
+        with pytest.raises(ConfigurationError):
+            split(Block(2), ParArray([[1, 2], [3, 4]], shape=(2, 2)))
+
+    def test_combine_non_nested_rejected(self):
+        with pytest.raises(ConfigurationError):
+            combine(ParArray([1, 2]))
+
+    @given(st.integers(1, 5), st.integers(1, 40))
+    def test_split_combine_roundtrip_property(self, parts, n):
+        if parts > n:
+            parts = n
+        flat = ParArray(list(range(n)))
+        for pattern in (Block(parts), Cyclic(parts)):
+            nested = split(pattern, flat)
+            assert combine(nested) == flat
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ConfigurationError, match="empty"):
+            split(Block(5), ParArray([1, 2]))
+
+
+class TestFigure1Pipeline:
+    """Structural reproduction of Fig. 1: array -> partition -> align."""
+
+    def test_two_matrices_co_located(self):
+        A = np.arange(24).reshape(4, 6).astype(float)
+        B = np.arange(24).reshape(4, 6) * 2.0
+        conf = distribution([(None, RowBlock(2)), (None, RowBlock(2))], [A, B])
+        # each component is a tuple of co-located row blocks
+        for idx in conf.indices():
+            a_blk, b_blk = conf[idx]
+            assert np.array_equal(np.asarray(b_blk), np.asarray(a_blk) * 2)
+        da, db = unalign(conf)
+        assert np.array_equal(gather(da), A)
+        assert np.array_equal(gather(db), B)
+
+    def test_mixed_row_col_distribution(self):
+        A = np.arange(16).reshape(4, 4)
+        conf = distribution([(None, RowBlock(2)), (None, ColBlock(2))], [A, A])
+        da, db = unalign(conf)
+        assert np.array_equal(gather(da), A)
+        assert np.array_equal(gather(db), A)

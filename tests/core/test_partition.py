@@ -1,0 +1,226 @@
+"""Tests for repro.core.partition — every pattern, round trips, index maps."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.partition import (
+    Block,
+    ColBlock,
+    ColCyclic,
+    Cyclic,
+    RowBlock,
+    RowColBlock,
+    RowCyclic,
+)
+from repro.errors import ConfigurationError
+
+MATRIX_PATTERNS = [RowBlock(1), RowBlock(3), ColBlock(2), ColBlock(5),
+                   RowColBlock(2, 2), RowColBlock(3, 2), RowCyclic(2),
+                   RowCyclic(4), ColCyclic(3)]
+VECTOR_PATTERNS = [Block(1), Block(3), Block(7), Cyclic(1), Cyclic(2), Cyclic(5)]
+
+
+class TestBlock:
+    def test_even_split(self):
+        pa = Block(2).split([1, 2, 3, 4])
+        assert pa.to_list() == [[1, 2], [3, 4]]
+
+    def test_uneven_split_front_loads(self):
+        pa = Block(3).split(list(range(7)))
+        assert [len(part) for part in pa] == [3, 2, 2]
+
+    def test_numpy_split_returns_views(self):
+        a = np.arange(10)
+        pa = Block(2).split(a)
+        assert np.shares_memory(np.asarray(pa[0]), a)
+
+    def test_unsplit_concatenates_numpy(self):
+        a = np.arange(10)
+        assert np.array_equal(Block(3).unsplit(Block(3).split(a)), a)
+
+    def test_dist_metadata_recorded(self):
+        assert Block(2).split([1, 2]).dist == Block(2)
+
+    def test_index_map(self):
+        # n=7, p=3 -> parts of size 3,2,2
+        pat = Block(3)
+        assert pat.index_map(0, (7,)) == ((0,), (0,))
+        assert pat.index_map(2, (7,)) == ((0,), (2,))
+        assert pat.index_map(3, (7,)) == ((1,), (0,))
+        assert pat.index_map(6, (7,)) == ((2,), (1,))
+
+    def test_index_map_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            Block(2).index_map(5, (4,))
+
+    def test_invalid_p(self):
+        with pytest.raises(ConfigurationError):
+            Block(0)
+
+
+class TestCyclic:
+    def test_round_robin(self):
+        pa = Cyclic(3).split(list(range(7)))
+        assert pa.to_list() == [[0, 3, 6], [1, 4], [2, 5]]
+
+    def test_unsplit_interleaves(self):
+        xs = list(range(11))
+        assert Cyclic(4).unsplit(Cyclic(4).split(xs)) == xs
+
+    def test_numpy_round_trip(self):
+        a = np.arange(9) * 2
+        assert np.array_equal(Cyclic(2).unsplit(Cyclic(2).split(a)), a)
+
+    def test_index_map(self):
+        pat = Cyclic(3)
+        assert pat.index_map(7, (10,)) == ((1,), (2,))
+
+    def test_shape(self):
+        assert Cyclic(5).shape == (5,)
+        assert Cyclic(5).nparts == 5
+
+
+class TestMatrixPatterns:
+    @pytest.mark.parametrize("pattern", MATRIX_PATTERNS, ids=repr)
+    @pytest.mark.parametrize("shape", [(6, 6), (7, 5), (10, 3), (3, 10)])
+    def test_split_unsplit_round_trip(self, pattern, shape):
+        a = np.arange(shape[0] * shape[1]).reshape(shape)
+        assert np.array_equal(pattern.unsplit(pattern.split(a)), a)
+
+    @pytest.mark.parametrize("pattern", MATRIX_PATTERNS, ids=repr)
+    def test_index_map_consistent_with_split(self, pattern):
+        """pattern.index_map must point at exactly the element split placed."""
+        a = np.arange(48).reshape(6, 8)
+        pa = pattern.split(a)
+        for i in range(6):
+            for j in range(8):
+                pidx, lidx = pattern.index_map((i, j), a.shape)
+                assert np.asarray(pa[pidx])[lidx] == a[i, j], (pattern, i, j)
+
+    def test_rowcolblock_grid_shape(self):
+        pa = RowColBlock(2, 3).split(np.zeros((4, 6)))
+        assert pa.shape == (2, 3)
+        assert np.asarray(pa[(0, 0)]).shape == (2, 2)
+
+    def test_rowblock_rejects_1d(self):
+        with pytest.raises(ConfigurationError, match="2-D"):
+            RowBlock(2).split(np.arange(4))
+
+    def test_unsplit_wrong_shape_rejected(self):
+        from repro.core.pararray import ParArray
+
+        with pytest.raises(ConfigurationError):
+            RowBlock(2).unsplit(ParArray([np.zeros((1, 2))]))
+
+
+class TestVectorIndexMapProperty:
+    @pytest.mark.parametrize("pattern", VECTOR_PATTERNS, ids=repr)
+    @given(n=st.integers(1, 60))
+    def test_index_map_consistent_with_split(self, pattern, n):
+        xs = list(range(n))
+        pa = pattern.split(xs)
+        for i in range(n):
+            pidx, lidx = pattern.index_map(i, (n,))
+            assert pa[pidx][lidx[0]] == xs[i]
+
+    @pytest.mark.parametrize("pattern", VECTOR_PATTERNS, ids=repr)
+    @given(n=st.integers(0, 60))
+    def test_round_trip(self, pattern, n):
+        xs = list(range(n))
+        assert list(pattern.unsplit(pattern.split(xs))) == xs
+
+    @pytest.mark.parametrize("pattern", VECTOR_PATTERNS, ids=repr)
+    @given(n=st.integers(1, 60))
+    def test_parts_cover_everything_once(self, pattern, n):
+        pa = pattern.split(list(range(n)))
+        seen = [x for part in pa for x in part]
+        assert sorted(seen) == list(range(n))
+
+
+class TestPatternEquality:
+    def test_same_pattern_equal(self):
+        assert Block(3) == Block(3)
+        assert hash(Block(3)) == hash(Block(3))
+
+    def test_different_params_unequal(self):
+        assert Block(3) != Block(4)
+
+    def test_different_kind_unequal(self):
+        assert Block(3) != Cyclic(3)
+
+    def test_repr_shows_shape(self):
+        assert repr(RowColBlock(2, 3)) == "RowColBlock(2, 3)"
+
+
+class TestBlockCyclic:
+    def test_deals_blocks_round_robin(self):
+        from repro.core.partition import BlockCyclic
+
+        pat = BlockCyclic(2, 2)
+        pa = pat.split(list(range(8)))
+        assert pa.to_list() == [[0, 1, 4, 5], [2, 3, 6, 7]]
+
+    def test_b1_equals_cyclic(self):
+        from repro.core.partition import BlockCyclic
+
+        xs = list(range(11))
+        assert BlockCyclic(1, 3).split(xs).to_list() == Cyclic(3).split(xs).to_list()
+
+    def test_large_b_equals_block_for_divisible(self):
+        from repro.core.partition import BlockCyclic
+
+        xs = list(range(12))
+        assert BlockCyclic(4, 3).split(xs).to_list() == \
+            Block(3).split(xs).to_list()
+
+    def test_short_final_block(self):
+        from repro.core.partition import BlockCyclic
+
+        pat = BlockCyclic(3, 2)
+        pa = pat.split(list(range(7)))  # blocks [0,1,2],[3,4,5],[6]
+        assert pa.to_list() == [[0, 1, 2, 6], [3, 4, 5]]
+
+    @given(n=st.integers(0, 80), b=st.integers(1, 6), p=st.integers(1, 5))
+    def test_round_trip_property(self, n, b, p):
+        from repro.core.partition import BlockCyclic
+
+        pat = BlockCyclic(b, p)
+        xs = list(range(n))
+        assert list(pat.unsplit(pat.split(xs))) == xs
+
+    @given(n=st.integers(1, 80), b=st.integers(1, 6), p=st.integers(1, 5))
+    def test_index_map_property(self, n, b, p):
+        from repro.core.partition import BlockCyclic
+
+        pat = BlockCyclic(b, p)
+        xs = list(range(n))
+        pa = pat.split(xs)
+        for i in range(n):
+            pidx, lidx = pat.index_map(i, (n,))
+            assert pa[pidx][lidx[0]] == xs[i]
+
+    def test_numpy_round_trip(self):
+        from repro.core.partition import BlockCyclic
+
+        a = np.arange(17) * 3
+        pat = BlockCyclic(4, 3)
+        assert np.array_equal(pat.unsplit(pat.split(a)), a)
+
+    def test_equality(self):
+        from repro.core.partition import BlockCyclic
+
+        assert BlockCyclic(2, 3) == BlockCyclic(2, 3)
+        assert BlockCyclic(2, 3) != BlockCyclic(3, 2)
+        assert hash(BlockCyclic(2, 3)) == hash(BlockCyclic(2, 3))
+
+    def test_invalid_params(self):
+        from repro.core.partition import BlockCyclic
+
+        with pytest.raises(ConfigurationError):
+            BlockCyclic(0, 2)
+        with pytest.raises(ConfigurationError):
+            BlockCyclic(2, 0)

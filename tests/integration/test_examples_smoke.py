@@ -1,0 +1,48 @@
+"""Every example script must run clean (small workloads).
+
+The examples are the library's public face; this module executes each one
+in a subprocess so API drift anywhere in the package breaks CI, not a
+user's first five minutes.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent.parent / "examples"
+
+#: script -> small-workload argv (keep the suite fast)
+CASES = {
+    "quickstart.py": [],
+    "hyperquicksort.py": ["4096"],
+    "gauss_jordan.py": ["24"],
+    "cannon_matmul.py": ["8", "2"],
+    "jacobi.py": ["16", "2"],
+    "transformations.py": [],
+    "scl_language.py": [],
+    "nbody_ring.py": ["96"],
+    "pipeline_stream.py": [],
+    "wordcount_mapreduce.py": [],
+}
+
+
+def test_every_example_has_a_case():
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == set(CASES), (
+        f"examples/ and the smoke matrix diverged: "
+        f"missing={on_disk - set(CASES)}, stale={set(CASES) - on_disk}")
+
+
+@pytest.mark.parametrize("script,args", sorted(CASES.items()))
+def test_example_runs_clean(script, args):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, (
+        f"{script} failed:\n--- stdout ---\n{proc.stdout[-2000:]}\n"
+        f"--- stderr ---\n{proc.stderr[-2000:]}")
+    assert proc.stdout.strip(), f"{script} produced no output"

@@ -1,0 +1,162 @@
+"""Integration: the full tool-chain, layer by layer.
+
+The complete SCL story is text → expression → transformation → compiled
+message-passing execution, with the pure interpreter as the semantics
+oracle at every step.  These tests drive whole programs through all of it.
+"""
+
+from __future__ import annotations
+
+import operator
+
+import numpy as np
+import pytest
+
+from repro.core import Block, ParArray
+from repro.lang import parse_scl
+from repro.machine import AP1000, Hypercube, Machine, PERFECT
+from repro.machine.metrics import comm_fraction, load_imbalance
+from repro.scl import (
+    base_fragment,
+    default_engine,
+    estimate_cost,
+    evaluate,
+    optimize,
+    pretty,
+    run_expression,
+)
+
+
+class TestTextToMachine:
+    """Parse textual SCL, rewrite it, compile it, compare all the way."""
+
+    def _env(self):
+        return {
+            "inc": lambda x: x + 1,
+            "dbl": lambda x: x * 2,
+            "add": operator.add,
+            "neighbour": lambda i: (i + 1) % 8,
+        }
+
+    def test_parsed_rewritten_compiled_agree(self):
+        env = self._env()
+        src = "map inc . map dbl . rotate 2 . rotate -1 . fetch neighbour"
+        prog = parse_scl(src, env)
+        optimised, steps = default_engine().rewrite(prog)
+        assert steps, "expected fusions to fire"
+
+        pa = ParArray([5, 2, 8, 1, 9, 3, 7, 4])
+        reference = evaluate(prog, pa)
+        assert evaluate(optimised, pa) == reference
+
+        machine = Machine(Hypercube(3), spec=AP1000)
+        got_orig, res_orig = run_expression(prog, pa, machine)
+        got_opt, res_opt = run_expression(optimised, pa, machine)
+        assert got_orig == reference and got_opt == reference
+        # the optimised program must communicate strictly less
+        assert res_opt.total_messages < res_orig.total_messages
+        assert res_opt.makespan < res_orig.makespan
+
+    def test_cost_model_ranking_matches_simulation(self):
+        """estimate_cost's ranking of original vs optimised must agree with
+        the simulator's measured makespans."""
+        env = self._env()
+        prog = parse_scl("map inc . map dbl . rotate 1 . rotate 1", env)
+        optimised, _ = default_engine().rewrite(prog)
+        pa = ParArray(list(range(8)))
+        machine = Machine(Hypercube(3), spec=AP1000)
+        _o1, r1 = run_expression(prog, pa, machine)
+        _o2, r2 = run_expression(optimised, pa, machine)
+        c1 = estimate_cost(prog, n=8, spec=AP1000)
+        c2 = estimate_cost(optimised, n=8, spec=AP1000)
+        assert (c2.seconds < c1.seconds) == (r2.makespan < r1.makespan)
+
+    def test_nested_text_program_on_machine(self):
+        env = self._env()
+        src = "combine . map (rotate 1 . map inc) . split block(2)"
+        prog = parse_scl(src, env)
+        pa = ParArray([10, 20, 30, 40, 50, 60, 70, 80])
+        want = evaluate(prog, pa)
+        got, _res = run_expression(prog, pa, Machine(Hypercube(3), spec=PERFECT))
+        assert got == want
+
+    def test_reduction_program_end_to_end(self):
+        env = self._env()
+        prog = parse_scl("fold add . map dbl", env)
+        pa = ParArray(list(range(8)))
+        want = evaluate(prog, pa)
+        got, _res = run_expression(prog, pa, Machine(Hypercube(3), spec=AP1000))
+        assert got == want == 2 * sum(range(8))
+
+
+class TestCostAnnotatedPipeline:
+    def test_fragment_costs_shape_the_timing(self):
+        @base_fragment(ops=500_000)
+        def heavy(x):
+            return x + 1
+
+        @base_fragment(ops=5)
+        def light(x):
+            return x + 1
+
+        from repro.scl import Map
+
+        pa = ParArray(list(range(8)))
+        machine = Machine(Hypercube(3), spec=AP1000)
+        _o1, heavy_res = run_expression(Map(heavy), pa, machine)
+        _o2, light_res = run_expression(Map(light), pa, machine)
+        assert heavy_res.makespan > light_res.makespan * 100
+        # heavy maps are compute-bound, light ones are not
+        assert comm_fraction(heavy_res) < 0.01
+
+    def test_imbalanced_fragments_show_in_metrics(self):
+        @base_fragment(ops=lambda x: 1_000_000 if x == 0 else 10)
+        def skewed(x):
+            return x
+
+        from repro.scl import Map
+
+        pa = ParArray(list(range(8)))
+        _o, res = run_expression(Map(skewed), pa,
+                                 Machine(Hypercube(3), spec=PERFECT))
+        assert load_imbalance(res) > 5.0
+
+
+class TestOptimizerEndToEnd:
+    def test_optimize_report_round_trip(self):
+        env = {"f": lambda x: x + 1, "g": lambda x: x * 3}
+        prog = parse_scl("map f . map g . rotate 2 . rotate -2", env)
+        rep = optimize(prog, n=32, spec=AP1000)
+        assert rep.accepted
+        assert "map-fusion" in str(rep)
+        pa = ParArray(list(range(32)))
+        assert evaluate(rep.original, pa) == evaluate(rep.optimized, pa)
+
+    def test_pretty_of_every_layer(self):
+        env = {"f": lambda x: x}
+        prog = parse_scl("SPMD [(rotate 1, f)] . split block(2) ", env)
+        text = pretty(prog)
+        assert "SPMD" in text and "split" in text
+
+
+class TestSortPipelineAllRenderings:
+    """One workload through every hyperquicksort rendering in the repo."""
+
+    def test_five_way_agreement(self, rng):
+        from repro.apps.sort import (
+            hyperquicksort,
+            hyperquicksort_compiled,
+            hyperquicksort_flat,
+            hyperquicksort_machine,
+            seq_quicksort,
+        )
+
+        vals = rng.integers(0, 10**6, size=512).astype(np.int64)
+        expected = np.sort(vals)
+        assert np.array_equal(seq_quicksort(vals), expected)
+        assert np.array_equal(hyperquicksort(vals, 3), expected)
+        assert np.array_equal(hyperquicksort_flat(vals, 3), expected)
+        m, _ = hyperquicksort_machine(vals, 3)
+        assert np.array_equal(m, expected)
+        c, _ = hyperquicksort_compiled(vals, 3)
+        assert np.array_equal(c, expected)

@@ -1,0 +1,115 @@
+"""Grammar-driven fuzzing of the textual SCL front end.
+
+Random programs are generated *from the grammar* as text, parsed, and
+checked against the equivalent directly-constructed expression: the parser
+must agree with the AST builders on every sentence of its language.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Block, Cyclic, ParArray
+from repro.lang import parse_scl
+from repro.scl import (
+    Combine,
+    Fetch,
+    Fold,
+    Map,
+    Rotate,
+    Scan,
+    Split,
+    compose_nodes,
+    evaluate,
+)
+
+N = 6
+
+#: one shared environment — fragments compare by identity, so every parse
+#: must resolve to the same objects
+FRAG_ENV = {
+    "f1": lambda x: x + 1,
+    "f2": lambda x: x * 2,
+    "f3": lambda x: x - 3,
+    "add": lambda a, b: a + b,
+    "idx1": lambda i: (i + 1) % N,
+    "idx2": lambda i: (i * 5) % N,
+}
+
+
+def frag_env():
+    return FRAG_ENV
+
+
+@st.composite
+def term_pair(draw):
+    """One (source text, expected node) pair."""
+    env = frag_env()
+    kind = draw(st.sampled_from(
+        ["map", "rotate", "fetch", "id", "paren_rotate"]))
+    if kind == "map":
+        name = draw(st.sampled_from(["f1", "f2", "f3"]))
+        return f"map {name}", Map(env[name])
+    if kind == "rotate":
+        k = draw(st.integers(-9, 9))
+        return f"rotate {k}", Rotate(k)
+    if kind == "fetch":
+        name = draw(st.sampled_from(["idx1", "idx2"]))
+        return f"fetch {name}", Fetch(env[name])
+    if kind == "paren_rotate":
+        k = draw(st.integers(0, 5))
+        return f"(rotate {k} . rotate {k})", compose_nodes(Rotate(k), Rotate(k))
+    return "id", None  # dropped by compose_nodes
+
+
+class TestGrammarFuzz:
+    @settings(max_examples=60)
+    @given(st.lists(term_pair(), min_size=1, max_size=6))
+    def test_parse_agrees_with_direct_construction(self, pairs):
+        src = " . ".join(text for text, _node in pairs)
+        expected = compose_nodes(*[n for _t, n in pairs if n is not None])
+        prog = parse_scl(src, frag_env())
+        # structural equality for everything except opaque lambdas, which
+        # compare by identity — the env functions are shared, so this holds
+        assert prog == expected
+
+    @settings(max_examples=40)
+    @given(st.lists(term_pair(), min_size=1, max_size=6),
+           st.lists(st.integers(-50, 50), min_size=N, max_size=N))
+    def test_parsed_programs_evaluate(self, pairs, xs):
+        src = " . ".join(text for text, _node in pairs)
+        prog = parse_scl(src, frag_env())
+        pa = ParArray(xs)
+        expected_node = compose_nodes(*[n for _t, n in pairs if n is not None])
+        assert evaluate(prog, pa) == evaluate(expected_node, pa)
+
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(-3, 3), min_size=1, max_size=4),
+           st.sampled_from(["block(2)", "cyclic(3)", "block(6)"]))
+    def test_wrapped_in_split_combine(self, rotations, pattern_text):
+        """Rotation pipelines placed inside groups parse and evaluate;
+        group-local rotations preserve the value multiset."""
+        inner = " . ".join(f"rotate {k}" for k in rotations)
+        src = f"combine . map ({inner}) . split {pattern_text}"
+        prog = parse_scl(src, frag_env())
+        pa = ParArray(list(range(N)))
+        out = evaluate(prog, pa)
+        assert sorted(out.to_list()) == list(range(N))
+
+    @settings(max_examples=30)
+    @given(st.lists(term_pair(), min_size=1, max_size=5))
+    def test_whitespace_and_comments_invariant(self, pairs):
+        src = " . ".join(text for text, _node in pairs)
+        noisy = src.replace(" . ", "\n  .  -- stage\n  ")
+        assert parse_scl(noisy, frag_env()) == parse_scl(src, frag_env())
+
+    @settings(max_examples=30)
+    @given(st.lists(term_pair(), min_size=2, max_size=5))
+    def test_let_binding_equivalent_to_inline(self, pairs):
+        first_text, _ = pairs[0]
+        rest = " . ".join(t for t, _n in pairs[1:])
+        bound = f"let head = {first_text} in head . {rest}"
+        inline = f"{first_text} . {rest}"
+        assert parse_scl(bound, frag_env()) == parse_scl(inline, frag_env())

@@ -1,0 +1,61 @@
+"""Tests for repro.lang.lexer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang.lexer import Token, tokenize
+
+
+def kinds(src):
+    return [t.kind for t in tokenize(src)]
+
+
+def texts(src):
+    return [t.text for t in tokenize(src) if t.kind != "eof"]
+
+
+class TestTokenize:
+    def test_empty_input_gives_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1 and toks[0].kind == "eof"
+
+    def test_identifiers(self):
+        assert texts("map square") == ["map", "square"]
+
+    def test_numbers_including_negative(self):
+        assert texts("rotate -3") == ["rotate", "-3"]
+        assert tokenize("42")[0].kind == "number"
+
+    def test_punctuation(self):
+        assert texts("( ) [ ] , .") == ["(", ")", "[", "]", ",", "."]
+
+    def test_composition_program(self):
+        assert texts("fold add . map square") == \
+            ["fold", "add", ".", "map", "square"]
+
+    def test_whitespace_ignored(self):
+        assert texts("  map\t\nf  ") == ["map", "f"]
+
+    def test_comments_stripped(self):
+        assert texts("map f -- apply f\n. rotate 1") == \
+            ["map", "f", ".", "rotate", "1"]
+
+    def test_positions_tracked(self):
+        toks = tokenize("map f\n. rotate 2")
+        dot = next(t for t in toks if t.text == ".")
+        assert (dot.line, dot.col) == (2, 1)
+        two = next(t for t in toks if t.text == "2")
+        assert (two.line, two.col) == (2, 10)
+
+    def test_underscores_in_identifiers(self):
+        assert texts("row_col_block") == ["row_col_block"]
+
+    def test_invalid_character_rejected(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            tokenize("map @f")
+
+    def test_describe(self):
+        assert tokenize("x")[0].describe() == "'x'"
+        assert tokenize("")[0].describe() == "end of input"

@@ -1,0 +1,332 @@
+"""Tests for repro.lang.parser — textual SCL → expressions → execution."""
+
+from __future__ import annotations
+
+import operator
+
+import numpy as np
+import pytest
+
+from repro.core import Block, Cyclic, ParArray, RowColBlock
+from repro.errors import ParseError
+from repro.lang import parse_scl
+from repro.scl import (
+    Brdcast,
+    Combine,
+    Compose,
+    Fetch,
+    Fold,
+    Id,
+    Map,
+    PermSend,
+    Rotate,
+    SendNode,
+    Split,
+    Spmd,
+    compose_nodes,
+    default_engine,
+    evaluate,
+)
+
+
+def square(x):
+    return x * x
+
+
+ENV = {
+    "add": operator.add,
+    "square": square,
+    "inc": lambda x: x + 1,
+    "double": lambda x: x * 2,
+    "addidx": lambda i, x: x + i,
+    "next": lambda i: (i + 1) % 8,
+    "tozero": lambda k: [0],
+    "perm": lambda k: (k + 1) % 8,
+    "p": 4,
+    "envval": {"shared": True},
+    "worker": lambda env, x: x if env is None else x + 1,
+}
+
+PA = ParArray([3, 1, 4, 1, 5, 9, 2, 6])
+
+
+class TestParsedStructure:
+    def test_id(self):
+        assert parse_scl("id") == Id()
+
+    def test_single_skeleton(self):
+        assert parse_scl("rotate 3") == Rotate(3)
+
+    def test_negative_rotate(self):
+        assert parse_scl("rotate -2") == Rotate(-2)
+
+    def test_map_of_named_fragment(self):
+        assert parse_scl("map square", ENV) == Map(square)
+
+    def test_composition_order(self):
+        prog = parse_scl("fold add . map square", ENV)
+        assert prog == compose_nodes(Fold(operator.add), Map(square))
+
+    def test_parentheses_group(self):
+        prog = parse_scl("map square . (rotate 1 . rotate 2)", ENV)
+        assert isinstance(prog, Compose)
+        assert prog.steps == (Map(square), Rotate(1), Rotate(2))
+
+    def test_map_of_subpipeline_is_nested(self):
+        prog = parse_scl("map (rotate 1 . map inc)", ENV)
+        assert prog == Map(compose_nodes(Rotate(1), Map(ENV["inc"])))
+
+    def test_split_patterns(self):
+        assert parse_scl("split block(4)") == Split(Block(4))
+        assert parse_scl("split cyclic(2)") == Split(Cyclic(2))
+        assert parse_scl("split row_col_block(2, 3)") == Split(RowColBlock(2, 3))
+
+    def test_pattern_size_from_env(self):
+        assert parse_scl("split block(p)", ENV) == Split(Block(4))
+
+    def test_send_variants(self):
+        assert parse_scl("send perm", ENV) == PermSend(ENV["perm"])
+        assert parse_scl("sendv tozero", ENV) == SendNode(ENV["tozero"])
+
+    def test_brdcast_value_from_env(self):
+        assert parse_scl("brdcast envval", ENV) == Brdcast(ENV["envval"])
+
+    def test_brdcast_literal_int(self):
+        assert parse_scl("brdcast 7") == Brdcast(7)
+
+    def test_spmd_stages(self):
+        prog = parse_scl("SPMD [(rotate 1, inc), (id, double)]", ENV)
+        assert isinstance(prog, Spmd)
+        assert len(prog.stages) == 2
+        assert prog.stages[0].global_ == Rotate(1)
+        assert prog.stages[0].local is ENV["inc"]
+        assert prog.stages[1].global_ is None
+
+    def test_spmd_empty(self):
+        assert parse_scl("SPMD []") == Spmd(())
+
+    def test_iter_for(self):
+        prog = parse_scl("iterFor 3 (rotate 1)")
+        assert prog.n == 3
+        assert prog.body(0) == Rotate(1)
+
+    def test_combine(self):
+        assert parse_scl("combine") == Combine()
+
+    def test_fetch(self):
+        assert parse_scl("fetch next", ENV) == Fetch(ENV["next"])
+
+    def test_comments_allowed(self):
+        prog = parse_scl("""
+            fold add        -- reduce
+            . map square    -- transform
+        """, ENV)
+        assert prog == compose_nodes(Fold(operator.add), Map(square))
+
+
+class TestParsedEvaluation:
+    def test_sum_of_squares(self):
+        prog = parse_scl("fold add . map square", ENV)
+        assert evaluate(prog, PA) == sum(x * x for x in PA.to_list())
+
+    def test_rotate_pipeline(self):
+        prog = parse_scl("rotate 1 . rotate 2", ENV)
+        assert evaluate(prog, PA) == evaluate(Rotate(3), PA)
+
+    def test_spmd_program(self):
+        prog = parse_scl("SPMD [(rotate 1, double)]", ENV)
+        assert evaluate(prog, ParArray([1, 2, 3])).to_list() == [4, 6, 2]
+
+    def test_nested_split_program(self):
+        prog = parse_scl("combine . map (rotate 1) . split block(2)", ENV)
+        out = evaluate(prog, ParArray([0, 1, 2, 3]))
+        assert out.to_list() == [1, 0, 3, 2]
+
+    def test_farm(self):
+        env = dict(ENV, nothing=None)
+        prog = parse_scl("farm worker nothing", env)
+        assert evaluate(prog, PA) == PA
+
+    def test_imap(self):
+        prog = parse_scl("imap addidx", ENV)
+        assert evaluate(prog, ParArray([10, 10])).to_list() == [10, 11]
+
+    def test_parsed_program_rewrites(self):
+        prog = parse_scl("map inc . map double . rotate 1 . rotate -1", ENV)
+        optimised, steps = default_engine().rewrite(prog)
+        assert {s.rule for s in steps} == {"map-fusion", "rotate-fusion"}
+        assert evaluate(prog, PA) == evaluate(optimised, PA)
+
+    def test_parsed_program_compiles_to_machine(self):
+        from repro.machine import Machine, Hypercube, AP1000
+        from repro.scl import run_expression
+
+        prog = parse_scl("fetch next . map square", ENV)
+        want = evaluate(prog, PA)
+        got, _res = run_expression(prog, PA, Machine(Hypercube(3), spec=AP1000))
+        assert got == want
+
+    def test_paper_gauss_skeleton_shape(self):
+        """The paper's gauss skeleton parses (with opaque fragments)."""
+        env = {"UPDATE": lambda pv: pv, "PARTIALPIVOT": lambda b: b, "n": 4}
+        prog = parse_scl(
+            "iterFor n (map UPDATE . applybrdcast PARTIALPIVOT 0)", env)
+        assert prog.n == 4
+
+
+class TestParseErrors:
+    def test_unknown_skeleton(self):
+        with pytest.raises(ParseError, match="unknown skeleton"):
+            parse_scl("frobnicate f", ENV)
+
+    def test_missing_fragment(self):
+        with pytest.raises(ParseError, match="not defined"):
+            parse_scl("map missing", ENV)
+
+    def test_non_callable_fragment(self):
+        with pytest.raises(ParseError, match="non-callable"):
+            parse_scl("map p", ENV)
+
+    def test_keyword_as_fragment(self):
+        with pytest.raises(ParseError, match="keyword"):
+            parse_scl("map fold", ENV)
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError, match="after program"):
+            parse_scl("rotate 1 extra", ENV)
+
+    def test_missing_int(self):
+        with pytest.raises(ParseError, match="integer"):
+            parse_scl("rotate x", ENV)
+
+    def test_unclosed_paren(self):
+        with pytest.raises(ParseError):
+            parse_scl("(rotate 1", ENV)
+
+    def test_bad_pattern(self):
+        with pytest.raises(ParseError, match="partition pattern"):
+            parse_scl("split weird(3)", ENV)
+
+    def test_unclosed_spmd(self):
+        with pytest.raises(ParseError):
+            parse_scl("SPMD [(id, inc)", ENV)
+
+    def test_error_reports_position(self):
+        with pytest.raises(ParseError, match=r"line 2"):
+            parse_scl("rotate 1\n. frobnicate", ENV)
+
+    def test_dangling_dot(self):
+        with pytest.raises(ParseError):
+            parse_scl("rotate 1 .", ENV)
+
+
+class TestPartitionGatherTerms:
+    def test_partition_term(self):
+        from repro.scl import Partition
+
+        assert parse_scl("partition block(3)") == Partition(Block(3))
+
+    def test_gather_bare(self):
+        from repro.scl import Gather
+
+        assert parse_scl("gather") == Gather()
+
+    def test_gather_with_pattern(self):
+        from repro.scl import Gather
+
+        assert parse_scl("gather cyclic(2)") == Gather(Cyclic(2))
+
+    def test_whole_program_parses_and_runs(self):
+        import collections
+
+        env = {"count": collections.Counter,
+               "merge": lambda a, b: collections.Counter(a) + collections.Counter(b)}
+        prog = parse_scl("fold merge . map count . partition block(4)", env)
+        words = ["a", "b", "a", "c", "a", "b"]
+        out = evaluate(prog, words)
+        assert out == collections.Counter(words)
+
+    def test_round_trip_program(self):
+        env = dict(ENV, double_block=lambda blk: [x * 2 for x in blk])
+        prog = parse_scl("gather . map double_block . partition block(3)", env)
+        assert evaluate(prog, [1, 2, 3, 4, 5]) == [2, 4, 6, 8, 10]
+
+    def test_elimination_fires_on_parsed_text(self):
+        from repro.scl import Id
+
+        prog = parse_scl("gather . partition cyclic(4)")
+        out, steps = default_engine().rewrite(prog)
+        assert out == Id()
+        assert steps[0].rule == "gather-partition-elimination"
+
+
+class TestLetBindings:
+    def test_single_binding(self):
+        prog = parse_scl("let shift = rotate 1 . rotate 2 in shift . shift")
+        assert prog == compose_nodes(Rotate(1), Rotate(2), Rotate(1), Rotate(2))
+
+    def test_binding_used_inside_map(self):
+        prog = parse_scl("let body = rotate 1 in combine . map (body) . split block(2)")
+        from repro.scl import Split, Combine
+
+        assert prog == compose_nodes(Combine(), Map(Rotate(1)), Split(Block(2)))
+
+    def test_multiple_bindings(self):
+        src = """
+            let first = rotate 1 in
+            let second = first . rotate 2 in
+            second . first
+        """
+        prog = parse_scl(src)
+        # second = first . rotate 2 = (rotate 1 . rotate 2)
+        assert prog == compose_nodes(Rotate(1), Rotate(2), Rotate(1))
+
+    def test_paper_style_hypersort_skeleton(self):
+        """The paper's hypersort shape with named phases, parsed whole."""
+        env = {
+            "SEQ_QUICKSORT": lambda b: sorted(b),
+            "MERGE": lambda pair: sorted(list(pair[0]) + list(pair[1])),
+        }
+        src = """
+            let prepare = map SEQ_QUICKSORT . partition block(2) in
+            gather . prepare
+        """
+        prog = parse_scl(src, env)
+        out = evaluate(prog, [5, 3, 8, 1])
+        assert out == [3, 5, 1, 8]  # per-block sorted, block order kept
+
+    def test_binding_evaluates(self):
+        prog = parse_scl("let twice = map double in twice . twice", ENV)
+        out = evaluate(prog, ParArray([1, 2]))
+        assert out.to_list() == [4, 8]
+
+    def test_binding_name_cannot_be_keyword(self):
+        with pytest.raises(ParseError, match="binding name"):
+            parse_scl("let map = rotate 1 in map")
+
+    def test_missing_in_rejected(self):
+        with pytest.raises(ParseError):
+            parse_scl("let x = rotate 1 x")
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(ParseError):
+            parse_scl("let x rotate 1 in x")
+
+    def test_unbound_name_still_unknown(self):
+        with pytest.raises(ParseError, match="unknown skeleton"):
+            parse_scl("let x = rotate 1 in y")
+
+
+class TestIndexedStageLocals:
+    def test_imap_marker_sets_indexed(self):
+        prog = parse_scl("SPMD [(id, imap addidx)]", ENV)
+        assert prog.stages[0].indexed is True
+        assert prog.stages[0].local is ENV["addidx"]
+
+    def test_indexed_stage_evaluates(self):
+        prog = parse_scl("SPMD [(id, imap addidx)]", ENV)
+        assert evaluate(prog, ParArray([10, 10, 10])).to_list() == [10, 11, 12]
+
+    def test_plain_local_not_indexed(self):
+        prog = parse_scl("SPMD [(id, double)]", ENV)
+        assert prog.stages[0].indexed is False

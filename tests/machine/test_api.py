@@ -1,0 +1,140 @@
+"""Tests for repro.machine.api (communicators)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MachineError
+from repro.machine.api import Comm
+from repro.machine.cost import PERFECT
+from repro.machine.simulator import Machine
+
+
+def run_collect(nprocs, body):
+    """Run `body(env, comm)` (a generator fn) on a world comm; return values."""
+
+    def prog(env):
+        comm = Comm.world(env)
+        result = yield from body(env, comm)
+        return result
+
+    return Machine(nprocs, spec=PERFECT).run(prog).values
+
+
+class TestCommBasics:
+    def test_world_rank_equals_pid(self):
+        def body(env, comm):
+            yield env.compute(0)
+            return (comm.rank, comm.size)
+
+        assert run_collect(4, body) == [(0, 4), (1, 4), (2, 4), (3, 4)]
+
+    def test_rank_relative_messaging(self):
+        def body(env, comm):
+            if comm.rank == 0:
+                yield comm.send(comm.size - 1, "hello")
+                return None
+            if comm.rank == comm.size - 1:
+                msg = yield comm.recv(0)
+                return msg.payload
+            yield env.compute(0)
+            return None
+
+        assert run_collect(3, body)[2] == "hello"
+
+    def test_pid_of_and_rank_of_pid(self):
+        def body(env, comm):
+            yield env.compute(0)
+            if env.pid in (0, 2):
+                sub = comm.subgroup([2, 0])
+                return (sub.pid_of(0), sub.pid_of(1), sub.rank_of_pid(env.pid))
+            return None
+
+        values = run_collect(3, body)
+        assert values[0] == (2, 0, 1)
+        assert values[2] == (2, 0, 0)
+
+    def test_nonmember_cannot_construct(self):
+        def prog(env):
+            Comm(env, members=[0])  # pid 1 is not a member
+            yield env.compute(0)
+
+        with pytest.raises(MachineError, match="not a member"):
+            Machine(2, spec=PERFECT).run([lambda env: _noop(env), prog])
+
+    def test_duplicate_members_rejected(self):
+        def prog(env):
+            Comm(env, members=[0, 0])
+            yield env.compute(0)
+
+        with pytest.raises(MachineError, match="duplicate"):
+            Machine(1, spec=PERFECT).run(prog)
+
+    def test_rank_out_of_range_rejected(self):
+        def prog(env):
+            comm = Comm.world(env)
+            comm.pid_of(5)
+            yield env.compute(0)
+
+        with pytest.raises(MachineError, match="out of range"):
+            Machine(2, spec=PERFECT).run(prog)
+
+    def test_repr(self):
+        def body(env, comm):
+            yield env.compute(0)
+            return repr(comm)
+
+        assert "Comm(rank=0/2" in run_collect(2, body)[0]
+
+
+class TestSplit:
+    def test_split_by_parity(self):
+        def body(env, comm):
+            sub = comm.split(lambda r: r % 2)
+            yield env.compute(0)
+            return (sub.size, sub.rank, sub.members)
+
+        values = run_collect(4, body)
+        assert values[0] == (2, 0, (0, 2))
+        assert values[1] == (2, 0, (1, 3))
+        assert values[2] == (2, 1, (0, 2))
+        assert values[3] == (2, 1, (1, 3))
+
+    def test_split_with_key_reorders(self):
+        def body(env, comm):
+            sub = comm.split(lambda r: 0, key_fn=lambda r: -r)
+            yield env.compute(0)
+            return sub.members
+
+        assert run_collect(3, body)[0] == (2, 1, 0)
+
+    def test_hypercube_halving_split(self):
+        """The hyperquicksort sub-cube split: colour = rank // half."""
+
+        def body(env, comm):
+            half = comm.size // 2
+            sub = comm.split(lambda r: r // half)
+            yield env.compute(0)
+            return sub.members
+
+        values = run_collect(8, body)
+        assert values[0] == (0, 1, 2, 3)
+        assert values[7] == (4, 5, 6, 7)
+
+    def test_messaging_within_subgroup(self):
+        def body(env, comm):
+            sub = comm.split(lambda r: r % 2)
+            if sub.rank == 0:
+                yield sub.send(1, f"from {env.pid}")
+                return None
+            msg = yield sub.recv(0)
+            return msg.payload
+
+        values = run_collect(4, body)
+        assert values[2] == "from 0"
+        assert values[3] == "from 1"
+
+
+def _noop(env):
+    yield env.compute(0)
+    return None

@@ -1,0 +1,281 @@
+"""Tests for repro.machine.collectives_ext — the bandwidth-optimal family."""
+
+from __future__ import annotations
+
+import operator
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineError
+from repro.machine import AP1000, Comm, Machine, PERFECT
+from repro.machine import collectives as C
+from repro.machine import collectives_ext as CX
+
+SIZES = [1, 2, 3, 4, 5, 8]
+
+
+def run_world(nprocs, body, spec=PERFECT):
+    def prog(env):
+        comm = Comm.world(env)
+        result = yield from body(comm)
+        return result
+
+    return Machine(nprocs, spec=spec).run(prog)
+
+
+class TestReduceScatter:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_each_rank_gets_its_chunk_sum(self, n):
+        def body(comm):
+            # member r contributes chunks [r*10 + c for c in range(n)]
+            mine = [comm.rank * 10 + c for c in range(comm.size)]
+            out = yield from CX.reduce_scatter(comm, mine, operator.add)
+            return out
+
+        values = run_world(n, body).values
+        # rank r holds the sum over members of chunk (r + 1) % n
+        total_member_part = sum(r * 10 for r in range(n))
+        for r, got in enumerate(values):
+            c = (r + 1) % n
+            assert got == total_member_part + n * c
+
+    def test_numpy_vector_chunks(self):
+        n = 4
+
+        def body(comm):
+            mine = [np.full(3, float(comm.rank + 1)) for _ in range(comm.size)]
+            out = yield from CX.reduce_scatter(comm, mine, operator.add)
+            return out
+
+        values = run_world(n, body).values
+        for got in values:
+            assert np.allclose(got, 1 + 2 + 3 + 4)
+
+    def test_wrong_chunk_count_rejected(self):
+        def body(comm):
+            out = yield from CX.reduce_scatter(comm, [1], operator.add)
+            return out
+
+        with pytest.raises(MachineError, match="chunks"):
+            run_world(3, body)
+
+    def test_message_rounds(self):
+        n = 6
+
+        def body(comm):
+            out = yield from CX.reduce_scatter(
+                comm, [1] * comm.size, operator.add, nbytes=8)
+            return out
+
+        res = run_world(n, body)
+        assert res.total_messages == n * (n - 1)
+
+
+class TestRingAllreduce:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_matches_tree_allreduce(self, n):
+        def ring(comm):
+            mine = [(comm.rank + 1) * (c + 1) for c in range(comm.size)]
+            out = yield from CX.ring_allreduce(comm, mine, operator.add)
+            return out
+
+        def tree(comm):
+            mine = [(comm.rank + 1) * (c + 1) for c in range(comm.size)]
+            out = []
+            for c in range(comm.size):
+                v = yield from C.allreduce(comm, mine[c], operator.add)
+                out.append(v)
+            return out
+
+        ring_vals = run_world(n, ring).values
+        tree_vals = run_world(n, tree).values
+        assert ring_vals == tree_vals
+        assert all(v == ring_vals[0] for v in ring_vals)
+
+    def test_vector_semantics(self):
+        n = 4
+
+        def body(comm):
+            chunks = [np.arange(2) + comm.rank for _ in range(comm.size)]
+            out = yield from CX.ring_allreduce(comm, chunks, operator.add)
+            return np.concatenate(out)
+
+        values = run_world(n, body).values
+        expected = np.concatenate(
+            [sum(np.arange(2) + r for r in range(n)) for _ in range(n)])
+        for v in values:
+            assert np.allclose(v, expected)
+
+    def test_bandwidth_advantage_for_large_payloads(self):
+        """Ring allreduce must beat tree reduce+bcast once the payload is
+        big enough — the crossover the algorithm exists for."""
+        n = 8
+        big = 10_000_000  # bytes per chunk
+
+        def ring(comm):
+            out = yield from CX.ring_allreduce(
+                comm, [1] * comm.size, operator.add, nbytes=big // comm.size)
+            return out
+
+        def tree(comm):
+            v = yield from C.allreduce(comm, 1, operator.add, nbytes=big)
+            return v
+
+        t_ring = run_world(n, ring, spec=AP1000).makespan
+        t_tree = run_world(n, tree, spec=AP1000).makespan
+        assert t_ring < t_tree
+
+    def test_tree_wins_for_tiny_payloads(self):
+        n = 8
+
+        def ring(comm):
+            out = yield from CX.ring_allreduce(
+                comm, [1] * comm.size, operator.add, nbytes=1)
+            return out
+
+        def tree(comm):
+            v = yield from C.allreduce(comm, 1, operator.add, nbytes=1)
+            return v
+
+        t_ring = run_world(n, ring, spec=AP1000).makespan
+        t_tree = run_world(n, tree, spec=AP1000).makespan
+        assert t_tree < t_ring
+
+
+class TestPipelinedBcast:
+    @pytest.mark.parametrize("n", SIZES)
+    @pytest.mark.parametrize("chunks", [1, 3, 8])
+    def test_delivers_value_everywhere(self, n, chunks):
+        def body(comm):
+            v = yield from CX.pipelined_bcast(
+                comm, "payload" if comm.rank == 0 else None,
+                chunks=chunks, nbytes=4096)
+            return v
+
+        assert run_world(n, body).values == ["payload"] * n
+
+    def test_nonzero_root(self):
+        def body(comm):
+            v = yield from CX.pipelined_bcast(
+                comm, "x" if comm.rank == 2 else None, root=2, nbytes=64)
+            return v
+
+        assert run_world(5, body).values == ["x"] * 5
+
+    def test_invalid_params(self):
+        def bad_root(comm):
+            v = yield from CX.pipelined_bcast(comm, 1, root=9)
+            return v
+
+        with pytest.raises(MachineError):
+            run_world(2, bad_root)
+
+        def bad_chunks(comm):
+            v = yield from CX.pipelined_bcast(comm, 1, chunks=0)
+            return v
+
+        with pytest.raises(MachineError):
+            run_world(2, bad_chunks)
+
+    def test_pipelining_beats_tree_for_large_payloads(self):
+        n = 8
+        big = 50_000_000
+
+        def pipe(comm):
+            v = yield from CX.pipelined_bcast(
+                comm, 1 if comm.rank == 0 else None, chunks=16, nbytes=big)
+            return v
+
+        def tree(comm):
+            v = yield from C.bcast(comm, 1 if comm.rank == 0 else None,
+                                   nbytes=big)
+            return v
+
+        t_pipe = run_world(n, pipe, spec=AP1000).makespan
+        t_tree = run_world(n, tree, spec=AP1000).makespan
+        assert t_pipe < t_tree
+
+    def test_tree_beats_pipelining_for_small_payloads(self):
+        n = 16
+
+        def pipe(comm):
+            v = yield from CX.pipelined_bcast(
+                comm, 1 if comm.rank == 0 else None, chunks=4, nbytes=8)
+            return v
+
+        def tree(comm):
+            v = yield from C.bcast(comm, 1 if comm.rank == 0 else None,
+                                   nbytes=8)
+            return v
+
+        t_pipe = run_world(n, pipe, spec=AP1000).makespan
+        t_tree = run_world(n, tree, spec=AP1000).makespan
+        assert t_tree < t_pipe
+
+    def test_singleton(self):
+        def body(comm):
+            v = yield from CX.pipelined_bcast(comm, 42)
+            return v
+
+        assert run_world(1, body).values == [42]
+
+
+class TestSmartBcast:
+    def _run(self, kind, nbytes, n=16):
+        def prog(env):
+            comm = Comm.world(env)
+            if kind == "smart":
+                v = yield from CX.smart_bcast(
+                    comm, "v" if comm.rank == 0 else None, nbytes=nbytes)
+            elif kind == "tree":
+                v = yield from C.bcast(
+                    comm, "v" if comm.rank == 0 else None, nbytes=nbytes)
+            else:
+                v = yield from CX.pipelined_bcast(
+                    comm, "v" if comm.rank == 0 else None, chunks=8,
+                    nbytes=nbytes)
+            return v
+
+        res = run_world(n, prog if False else None, spec=AP1000) \
+            if False else Machine(n, spec=AP1000).run(prog)
+        assert all(v == "v" for v in res.values)
+        return res.makespan
+
+    @pytest.mark.parametrize("nbytes", [8, 1024, 20_000])
+    def test_small_payload_picks_tree(self, nbytes):
+        assert self._run("smart", nbytes) == pytest.approx(
+            self._run("tree", nbytes))
+
+    def test_huge_payload_picks_pipeline(self):
+        nbytes = 50_000_000
+        assert self._run("smart", nbytes) == pytest.approx(
+            self._run("pipe", nbytes))
+
+    @pytest.mark.parametrize("nbytes", [8, 4096, 1_000_000, 50_000_000])
+    def test_never_worse_than_either(self, nbytes):
+        t_smart = self._run("smart", nbytes)
+        assert t_smart <= min(self._run("tree", nbytes),
+                              self._run("pipe", nbytes)) * 1.01
+
+    def test_size_agreement_without_explicit_nbytes(self):
+        """Members must agree on the algorithm even when only the root
+        knows the payload size (one extra small broadcast)."""
+        import numpy as np
+
+        def prog(env):
+            comm = Comm.world(env)
+            payload = np.zeros(1000) if comm.rank == 0 else None
+            v = yield from CX.smart_bcast(comm, payload)
+            return np.asarray(v).size
+
+        res = Machine(8, spec=AP1000).run(prog)
+        assert res.values == [1000] * 8
+
+    def test_singleton(self):
+        def prog(env):
+            comm = Comm.world(env)
+            v = yield from CX.smart_bcast(comm, 42)
+            return v
+
+        assert Machine(1, spec=AP1000).run(prog).values == [42]

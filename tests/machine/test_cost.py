@@ -1,0 +1,108 @@
+"""Tests for repro.machine.cost."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import MachineError
+from repro.machine.cost import AP1000, MODERN_CLUSTER, PERFECT, MachineSpec, estimate_nbytes
+
+
+class TestMachineSpec:
+    def test_transfer_time_is_latency_plus_bandwidth_term(self):
+        spec = MachineSpec(latency=1e-3, bandwidth=1e6, per_hop_latency=0.0)
+        assert spec.transfer_time(1000) == pytest.approx(1e-3 + 1e-3)
+
+    def test_per_hop_latency_charged_beyond_first_hop(self):
+        spec = MachineSpec(latency=0.0, bandwidth=1e9, per_hop_latency=1e-6)
+        assert spec.transfer_time(0, hops=1) == pytest.approx(0.0)
+        assert spec.transfer_time(0, hops=4) == pytest.approx(3e-6)
+
+    def test_compute_time_scales_with_ops(self):
+        spec = MachineSpec(flop_time=2e-7)
+        assert spec.compute_time(1e6) == pytest.approx(0.2)
+
+    def test_words_uses_word_bytes(self):
+        assert MachineSpec(word_bytes=4).words(10) == 40
+
+    def test_replace_changes_one_field(self):
+        spec = AP1000.replace(latency=1e-6)
+        assert spec.latency == 1e-6
+        assert spec.bandwidth == AP1000.bandwidth
+
+    @pytest.mark.parametrize("field,value", [
+        ("flop_time", -1.0),
+        ("latency", float("nan")),
+        ("bandwidth", 0.0),
+        ("bandwidth", -5.0),
+        ("word_bytes", 0),
+        ("send_overhead", -1e-9),
+    ])
+    def test_invalid_constants_rejected(self, field, value):
+        with pytest.raises(MachineError):
+            MachineSpec(**{field: value})
+
+    def test_negative_nbytes_rejected(self):
+        with pytest.raises(MachineError):
+            AP1000.transfer_time(-1)
+
+    def test_zero_hops_rejected(self):
+        with pytest.raises(MachineError):
+            AP1000.transfer_time(10, hops=0)
+
+    def test_negative_ops_rejected(self):
+        with pytest.raises(MachineError):
+            AP1000.compute_time(-1)
+
+    @given(st.integers(0, 10**9), st.integers(1, 16))
+    def test_transfer_time_monotone_in_size_and_hops(self, nbytes, hops):
+        t = AP1000.transfer_time(nbytes, hops)
+        assert t >= AP1000.transfer_time(nbytes, 1) or hops == 1
+        assert AP1000.transfer_time(nbytes + 1024, hops) >= t
+
+
+class TestPresets:
+    def test_ap1000_is_slower_than_modern(self):
+        assert AP1000.flop_time > MODERN_CLUSTER.flop_time
+        assert AP1000.latency > MODERN_CLUSTER.latency
+        assert AP1000.bandwidth < MODERN_CLUSTER.bandwidth
+
+    def test_perfect_communication_is_free(self):
+        assert PERFECT.transfer_time(10**9) == pytest.approx(0.0, abs=1e-15)
+        assert PERFECT.send_overhead == 0.0
+
+    def test_presets_are_named(self):
+        assert AP1000.name == "AP1000"
+        assert PERFECT.name == "perfect"
+
+
+class TestEstimateNbytes:
+    def test_numpy_arrays_exact(self):
+        a = np.zeros(100, dtype=np.float64)
+        assert estimate_nbytes(a) == 800
+
+    def test_scalars_cost_one_word(self):
+        assert estimate_nbytes(5, word_bytes=8) == 8
+        assert estimate_nbytes(3.14, word_bytes=4) == 4
+        assert estimate_nbytes(True) == 8
+        assert estimate_nbytes(None) == 8
+
+    def test_sequences_sum_elements(self):
+        assert estimate_nbytes([1, 2, 3], word_bytes=8) == 24
+        assert estimate_nbytes((1, [2, 3]), word_bytes=8) == 24
+
+    def test_strings_by_length(self):
+        assert estimate_nbytes("hello") == 5
+        assert estimate_nbytes(b"") == 1
+
+    def test_dicts_count_keys_and_values(self):
+        assert estimate_nbytes({"a": 1}, word_bytes=8) == 9  # len("a") + 8
+
+    def test_opaque_objects_cost_one_word(self):
+        assert estimate_nbytes(object(), word_bytes=8) == 8
+
+    def test_empty_list_costs_one_word(self):
+        assert estimate_nbytes([], word_bytes=8) == 8

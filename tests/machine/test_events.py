@@ -1,0 +1,72 @@
+"""Tests for repro.machine.events."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.events import ANY, Compute, Message, Recv, Send
+
+
+class TestAny:
+    def test_singleton(self):
+        from repro.machine.events import _Any
+
+        assert _Any() is ANY
+
+    def test_repr(self):
+        assert repr(ANY) == "ANY"
+
+
+class TestCompute:
+    def test_stores_seconds(self):
+        assert Compute(1.5).seconds == 1.5
+
+    def test_zero_allowed(self):
+        Compute(0.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Compute(-0.1)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            Compute(float("nan"))
+
+
+class TestRecvMatching:
+    def _msg(self, src=1, tag=5):
+        return Message(src=src, dst=0, tag=tag, payload=None, nbytes=0,
+                       sent_at=0.0, arrival=1.0, seq=1)
+
+    def test_exact_match(self):
+        assert Recv(src=1, tag=5).matches(self._msg())
+
+    def test_src_mismatch(self):
+        assert not Recv(src=2, tag=5).matches(self._msg())
+
+    def test_tag_mismatch(self):
+        assert not Recv(src=1, tag=6).matches(self._msg())
+
+    def test_any_src(self):
+        assert Recv(src=ANY, tag=5).matches(self._msg())
+
+    def test_any_tag(self):
+        assert Recv(src=1, tag=ANY).matches(self._msg())
+
+    def test_any_any(self):
+        assert Recv().matches(self._msg())
+
+
+class TestDataclasses:
+    def test_send_defaults(self):
+        s = Send(dst=3, payload="x")
+        assert s.tag == 0 and s.nbytes is None
+
+    def test_message_repr_contains_route(self):
+        m = Message(src=1, dst=2, tag=0, payload=None, nbytes=10,
+                    sent_at=0.0, arrival=0.5, seq=7)
+        assert "1->2" in repr(m)
+
+    def test_requests_are_frozen(self):
+        with pytest.raises(Exception):
+            Compute(1.0).seconds = 2.0  # type: ignore[misc]

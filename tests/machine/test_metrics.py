@@ -1,0 +1,99 @@
+"""Tests for repro.machine.metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MachineError
+from repro.machine import Machine, PERFECT, AP1000
+from repro.machine.metrics import (
+    ScalingPoint,
+    comm_fraction,
+    load_imbalance,
+    per_proc_table,
+    scaling_series,
+)
+
+
+def run_with_work(work_by_pid, spec=PERFECT):
+    def prog(env):
+        yield env.compute(work_by_pid[env.pid])
+
+    return Machine(len(work_by_pid), spec=spec).run(prog)
+
+
+class TestLoadImbalance:
+    def test_balanced_run_is_one(self):
+        res = run_with_work([1.0, 1.0, 1.0, 1.0])
+        assert load_imbalance(res) == pytest.approx(1.0)
+
+    def test_single_straggler(self):
+        res = run_with_work([1.0, 1.0, 1.0, 5.0])
+        assert load_imbalance(res) == pytest.approx(5.0 / 2.0)
+
+    def test_all_idle_is_one(self):
+        res = run_with_work([0.0, 0.0])
+        assert load_imbalance(res) == 1.0
+
+
+class TestCommFraction:
+    def test_pure_compute_is_zero(self):
+        res = run_with_work([1.0, 1.0])
+        assert comm_fraction(res) == pytest.approx(0.0)
+
+    def test_messaging_increases_fraction(self):
+        def prog(env):
+            if env.pid == 0:
+                yield env.send(1, b"x" * 100_000, nbytes=100_000)
+                yield env.compute(0.0001)
+            else:
+                yield env.recv(0)
+                yield env.compute(0.0001)
+
+        res = Machine(2, spec=AP1000).run(prog)
+        assert comm_fraction(res) > 0.5
+
+    def test_empty_run(self):
+        res = run_with_work([0.0])
+        assert comm_fraction(res) == 0.0
+
+
+class TestPerProcTable:
+    def test_contains_every_processor(self):
+        res = run_with_work([0.5, 0.25, 0.125])
+        table = per_proc_table(res)
+        for pid in range(3):
+            assert f"\n{pid:>4}  " in "\n" + table
+
+    def test_has_header(self):
+        table = per_proc_table(run_with_work([0.1]))
+        assert "compute" in table and "idle" in table
+
+
+class TestScalingSeries:
+    def test_with_explicit_p1(self):
+        pts = scaling_series({1: 10.0, 2: 6.0, 4: 4.0})
+        assert pts[0] == ScalingPoint(1, 10.0, 1.0, 1.0)
+        assert pts[1].speedup == pytest.approx(10.0 / 6.0)
+        assert pts[2].efficiency == pytest.approx(10.0 / 16.0)
+
+    def test_without_p1_extrapolates_baseline(self):
+        pts = scaling_series({2: 5.0, 4: 3.0})
+        assert pts[0].speedup == pytest.approx(2.0)
+
+    def test_explicit_baseline(self):
+        pts = scaling_series({4: 2.0}, baseline=8.0)
+        assert pts[0].speedup == pytest.approx(4.0)
+        assert pts[0].efficiency == pytest.approx(1.0)
+
+    def test_accepts_pairs(self):
+        pts = scaling_series([(2, 4.0), (1, 6.0)])
+        assert [p.procs for p in pts] == [1, 2]
+
+    def test_invalid_points_rejected(self):
+        with pytest.raises(MachineError):
+            scaling_series({0: 1.0})
+        with pytest.raises(MachineError):
+            scaling_series({1: -1.0})
+        with pytest.raises(MachineError):
+            scaling_series({})

@@ -1,0 +1,329 @@
+"""Tests for repro.machine.simulator — the discrete-event core."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DeadlockError, MachineError
+from repro.machine.cost import PERFECT, MachineSpec
+from repro.machine.events import ANY
+from repro.machine.simulator import Machine, ProcEnv
+from repro.machine.topology import Hypercube, Ring
+
+
+SPEC = MachineSpec(name="test", flop_time=1e-6, latency=1e-3, bandwidth=1e6,
+                   per_hop_latency=1e-4, send_overhead=1e-5, recv_overhead=1e-5,
+                   word_bytes=8)
+
+
+class TestBasicExecution:
+    def test_single_processor_return_value(self):
+        def prog(env):
+            yield env.compute(0.5)
+            return env.pid * 10
+
+        res = Machine(1, spec=SPEC).run(prog)
+        assert res.values == [0]
+        assert res.makespan == pytest.approx(0.5)
+
+    def test_compute_advances_only_own_clock(self):
+        def prog(env):
+            yield env.compute(1.0 if env.pid == 0 else 0.25)
+            return None
+
+        res = Machine(2, spec=SPEC).run(prog)
+        assert res.stats[0].finish_time == pytest.approx(1.0)
+        assert res.stats[1].finish_time == pytest.approx(0.25)
+        assert res.makespan == pytest.approx(1.0)
+
+    def test_work_uses_flop_time(self):
+        def prog(env):
+            yield env.work(1000)
+
+        res = Machine(1, spec=SPEC).run(prog)
+        assert res.makespan == pytest.approx(1000 * SPEC.flop_time)
+
+    def test_mpmd_different_programs(self):
+        def a(env):
+            yield env.compute(0.1)
+            return "a"
+
+        def b(env):
+            yield env.compute(0.2)
+            return "b"
+
+        res = Machine(2, spec=SPEC).run([a, b])
+        assert res.values == ["a", "b"]
+
+    def test_extra_args_per_processor(self):
+        def prog(env, base):
+            yield env.compute(0.0)
+            return base + env.pid
+
+        res = Machine(3, spec=SPEC).run(prog, args=[(10,), (20,), (30,)])
+        assert res.values == [10, 21, 32]
+
+    def test_non_generator_program_rejected(self):
+        def not_gen(env):
+            return 42
+
+        with pytest.raises(MachineError, match="generator"):
+            Machine(1, spec=SPEC).run(not_gen)
+
+    def test_wrong_program_count_rejected(self):
+        def prog(env):
+            yield env.compute(0)
+
+        with pytest.raises(MachineError):
+            Machine(3, spec=SPEC).run([prog, prog])
+
+    def test_bad_yield_value_rejected(self):
+        def prog(env):
+            yield "not a request"
+
+        with pytest.raises(MachineError, match="yielded"):
+            Machine(1, spec=SPEC).run(prog)
+
+
+class TestMessaging:
+    def test_payload_delivered_unchanged(self):
+        payload = {"data": [1, 2, 3]}
+
+        def prog(env):
+            if env.pid == 0:
+                yield env.send(1, payload)
+                return None
+            msg = yield env.recv(0)
+            return msg.payload
+
+        res = Machine(2, spec=SPEC).run(prog)
+        assert res.values[1] is payload
+
+    def test_message_timing_includes_latency_and_bandwidth(self):
+        def prog(env):
+            if env.pid == 0:
+                yield env.send(1, None, nbytes=1000)
+            else:
+                yield env.recv(0)
+
+        res = Machine(2, spec=SPEC).run(prog)
+        # sender: send_overhead; wire: latency + 1000/bw; receiver adds recv_overhead
+        expected = SPEC.send_overhead + SPEC.latency + 1000 / SPEC.bandwidth + SPEC.recv_overhead
+        assert res.stats[1].finish_time == pytest.approx(expected)
+
+    def test_receiver_idle_time_accounted(self):
+        def prog(env):
+            if env.pid == 0:
+                yield env.compute(1.0)   # make the receiver wait
+                yield env.send(1, "x", nbytes=8)
+            else:
+                yield env.recv(0)
+
+        res = Machine(2, spec=SPEC).run(prog)
+        assert res.stats[1].idle_seconds == pytest.approx(
+            1.0 + SPEC.send_overhead + SPEC.transfer_time(8))
+
+    def test_fifo_order_between_pair(self):
+        def prog(env):
+            if env.pid == 0:
+                for i in range(5):
+                    yield env.send(1, i, tag=3)
+                return None
+            got = []
+            for _ in range(5):
+                msg = yield env.recv(0, tag=3)
+                got.append(msg.payload)
+            return got
+
+        res = Machine(2, spec=SPEC).run(prog)
+        assert res.values[1] == [0, 1, 2, 3, 4]
+
+    def test_tag_filtering(self):
+        def prog(env):
+            if env.pid == 0:
+                yield env.send(1, "wrong", tag=1)
+                yield env.send(1, "right", tag=2)
+                return None
+            msg = yield env.recv(0, tag=2)
+            msg2 = yield env.recv(0, tag=1)
+            return (msg.payload, msg2.payload)
+
+        res = Machine(2, spec=SPEC).run(prog)
+        assert res.values[1] == ("right", "wrong")
+
+    def test_any_source_receive(self):
+        def prog(env):
+            if env.pid == 2:
+                a = yield env.recv(ANY)
+                b = yield env.recv(ANY)
+                return sorted([a.payload, b.payload])
+            yield env.send(2, env.pid)
+            return None
+
+        res = Machine(3, spec=SPEC).run(prog)
+        assert res.values[2] == [0, 1]
+
+    def test_hops_increase_transfer_time(self):
+        def prog(env):
+            if env.pid == 0:
+                yield env.send(env.nprocs - 1, None, nbytes=0)
+            elif env.pid == env.nprocs - 1:
+                yield env.recv(0)
+
+        ring = Machine(Ring(8), spec=SPEC).run(prog)   # 0 -> 7 is 1 hop on ring
+        far_spec = SPEC
+        # on a ring, 0->4 is 4 hops
+        def prog2(env):
+            if env.pid == 0:
+                yield env.send(4, None, nbytes=0)
+            elif env.pid == 4:
+                yield env.recv(0)
+
+        mid = Machine(Ring(8), spec=far_spec).run(prog2)
+        assert mid.stats[4].finish_time > ring.stats[7].finish_time
+
+    def test_self_send_rejected(self):
+        def prog(env):
+            yield env.send(env.pid, None)
+
+        with pytest.raises(MachineError, match="itself"):
+            Machine(2, spec=SPEC).run(prog)
+
+    def test_send_to_invalid_node_rejected(self):
+        def prog(env):
+            yield env.send(99, None)
+
+        with pytest.raises(Exception):
+            Machine(2, spec=SPEC).run(prog)
+
+
+class TestAccounting:
+    def test_message_counters(self):
+        def prog(env):
+            if env.pid == 0:
+                yield env.send(1, None, nbytes=100)
+                yield env.send(1, None, nbytes=50)
+                return None
+            yield env.recv(0)
+            yield env.recv(0)
+
+        res = Machine(2, spec=SPEC).run(prog)
+        assert res.stats[0].msgs_sent == 2
+        assert res.stats[0].bytes_sent == 150
+        assert res.stats[1].msgs_received == 2
+        assert res.stats[1].bytes_received == 150
+        assert res.total_messages == 2
+        assert res.total_bytes == 150
+
+    def test_efficiency_of_pure_compute_is_one(self):
+        def prog(env):
+            yield env.compute(1.0)
+
+        res = Machine(4, spec=PERFECT).run(prog)
+        assert res.efficiency() == pytest.approx(1.0)
+
+    def test_summary_mentions_procs(self):
+        def prog(env):
+            yield env.compute(0.0)
+
+        assert "2 procs" in Machine(2, spec=SPEC).run(prog).summary()
+
+    def test_trace_recorded_when_enabled(self):
+        def prog(env):
+            if env.pid == 0:
+                yield env.compute(0.1)
+                yield env.send(1, "x")
+            else:
+                yield env.recv(0)
+
+        m = Machine(2, spec=SPEC, record_trace=True)
+        res = m.run(prog)
+        kinds = res.trace.kind_counts()
+        assert kinds["compute"] == 1
+        assert kinds["send"] == 1
+        assert kinds["recv"] == 1
+
+
+class TestErrorModes:
+    def test_deadlock_detected(self):
+        def prog(env):
+            yield env.recv((env.pid + 1) % env.nprocs)
+
+        with pytest.raises(DeadlockError, match="deadlock"):
+            Machine(2, spec=SPEC).run(prog)
+
+    def test_partial_deadlock_detected(self):
+        def prog(env):
+            if env.pid == 0:
+                yield env.compute(1.0)
+                return None
+            yield env.recv(0)  # never satisfied
+
+        with pytest.raises(DeadlockError):
+            Machine(2, spec=SPEC).run(prog)
+
+    def test_unconsumed_message_is_an_error(self):
+        def prog(env):
+            if env.pid == 0:
+                yield env.send(1, "orphan")
+            else:
+                yield env.compute(0.0)
+
+        with pytest.raises(MachineError, match="unconsumed"):
+            Machine(2, spec=SPEC).run(prog)
+
+    def test_message_to_finished_processor_is_an_error(self):
+        def prog(env):
+            if env.pid == 1:
+                yield env.compute(0.0)
+                return None
+            yield env.compute(1.0)
+            yield env.send(1, "too late")
+
+        with pytest.raises(MachineError, match="finished"):
+            Machine(2, spec=SPEC).run(prog)
+
+    def test_program_exceptions_propagate(self):
+        def prog(env):
+            yield env.compute(0.0)
+            raise ValueError("user bug")
+
+        with pytest.raises(ValueError, match="user bug"):
+            Machine(1, spec=SPEC).run(prog)
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_timings(self):
+        def prog(env):
+            comm_peer = env.pid ^ 1
+            yield env.compute(0.01 * (env.pid + 1))
+            yield env.send(comm_peer, env.pid, nbytes=64)
+            msg = yield env.recv(comm_peer)
+            yield env.compute(0.001)
+            return msg.payload
+
+        m = Machine(Hypercube(2), spec=SPEC)
+        r1 = m.run(prog)
+        r2 = m.run(prog)
+        assert r1.values == r2.values
+        assert [s.finish_time for s in r1.stats] == [s.finish_time for s in r2.stats]
+        assert r1.makespan == r2.makespan
+
+
+class TestProcEnv:
+    def test_env_properties(self):
+        captured = {}
+
+        def prog(env):
+            captured["nprocs"] = env.nprocs
+            captured["spec"] = env.spec
+            captured["repr"] = repr(env)
+            yield env.compute(0.25)
+            captured["now"] = env.now
+            return None
+
+        Machine(2, spec=SPEC).run(prog)
+        assert captured["nprocs"] == 2
+        assert captured["spec"] is SPEC
+        assert "ProcEnv" in captured["repr"]
+        assert captured["now"] == pytest.approx(0.25)

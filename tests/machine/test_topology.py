@@ -1,0 +1,201 @@
+"""Tests for repro.machine.topology."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.machine.topology import FullyConnected, Hypercube, Mesh2D, Ring
+
+
+ALL_SMALL = [
+    Hypercube(0), Hypercube(1), Hypercube(3),
+    Ring(1), Ring(2), Ring(5),
+    Mesh2D(2, 3), Mesh2D(3, 3, torus=False),
+    FullyConnected(1), FullyConnected(6),
+]
+
+
+class TestTopologyContract:
+    """Properties every topology must satisfy."""
+
+    @pytest.mark.parametrize("topo", ALL_SMALL, ids=repr)
+    def test_hops_zero_iff_same_node(self, topo):
+        for a in range(topo.size):
+            for b in range(topo.size):
+                assert (topo.hops(a, b) == 0) == (a == b)
+
+    @pytest.mark.parametrize("topo", ALL_SMALL, ids=repr)
+    def test_hops_symmetric(self, topo):
+        for a in range(topo.size):
+            for b in range(topo.size):
+                assert topo.hops(a, b) == topo.hops(b, a)
+
+    @pytest.mark.parametrize("topo", ALL_SMALL, ids=repr)
+    def test_neighbors_are_one_hop(self, topo):
+        for a in range(topo.size):
+            for b in topo.neighbors(a):
+                assert topo.hops(a, b) == 1
+
+    @pytest.mark.parametrize("topo", ALL_SMALL, ids=repr)
+    def test_neighbor_relation_symmetric(self, topo):
+        for a in range(topo.size):
+            for b in topo.neighbors(a):
+                assert a in topo.neighbors(b)
+
+    @pytest.mark.parametrize("topo", ALL_SMALL, ids=repr)
+    def test_triangle_inequality(self, topo):
+        n = topo.size
+        for a in range(n):
+            for b in range(n):
+                for c in range(n):
+                    assert topo.hops(a, c) <= topo.hops(a, b) + topo.hops(b, c)
+
+    @pytest.mark.parametrize("topo", ALL_SMALL, ids=repr)
+    def test_diameter_is_max_hops(self, topo):
+        n = topo.size
+        expected = max((topo.hops(a, b) for a in range(n) for b in range(n)),
+                       default=0)
+        assert topo.diameter() == expected
+
+    @pytest.mark.parametrize("topo", ALL_SMALL, ids=repr)
+    def test_edges_consistent_with_neighbors(self, topo):
+        edge_set = set(topo.edges())
+        for a, b in edge_set:
+            assert a < b
+            assert b in topo.neighbors(a)
+
+    @pytest.mark.parametrize("topo", ALL_SMALL, ids=repr)
+    def test_out_of_range_nodes_rejected(self, topo):
+        with pytest.raises(TopologyError):
+            topo.hops(0, topo.size)
+        with pytest.raises(TopologyError):
+            topo.neighbors(-1)
+
+
+class TestHypercube:
+    def test_size_is_power_of_dim(self):
+        assert Hypercube(5).size == 32
+        assert Hypercube(0).size == 1
+
+    def test_of_size_round_trip(self):
+        assert Hypercube.of_size(16).dim == 4
+
+    def test_of_size_rejects_non_power(self):
+        with pytest.raises(TopologyError):
+            Hypercube.of_size(12)
+
+    def test_hops_is_hamming_distance(self):
+        h = Hypercube(4)
+        assert h.hops(0b0000, 0b1111) == 4
+        assert h.hops(0b1010, 0b1001) == 2
+
+    def test_partner_flips_one_bit(self):
+        h = Hypercube(3)
+        assert h.partner(0b010, 2) == 0b110
+        assert h.partner(h.partner(5, 1), 1) == 5
+
+    def test_partner_dimension_validated(self):
+        with pytest.raises(TopologyError):
+            Hypercube(3).partner(0, 3)
+        with pytest.raises(TopologyError):
+            Hypercube(0).partner(0, 0)
+
+    def test_degree_equals_dim(self):
+        assert len(Hypercube(6).neighbors(17)) == 6
+
+    def test_diameter_is_dim(self):
+        assert Hypercube(7).diameter() == 7
+
+    def test_negative_dim_rejected(self):
+        with pytest.raises(TopologyError):
+            Hypercube(-1)
+
+    @given(st.integers(0, 7), st.integers(0, 127), st.integers(0, 127))
+    def test_hamming_property(self, d, a, b):
+        a %= 1 << d
+        b %= 1 << d
+        assert Hypercube(d).hops(a, b) == bin(a ^ b).count("1")
+
+
+class TestRing:
+    def test_wraps_around(self):
+        r = Ring(10)
+        assert r.hops(0, 9) == 1
+        assert r.hops(0, 5) == 5
+
+    def test_single_node_has_no_neighbors(self):
+        assert Ring(1).neighbors(0) == ()
+
+    def test_two_nodes_single_edge(self):
+        assert Ring(2).neighbors(0) == (1,)
+        assert list(Ring(2).edges()) == [(0, 1)]
+
+    def test_diameter(self):
+        assert Ring(8).diameter() == 4
+        assert Ring(7).diameter() == 3
+
+
+class TestMesh2D:
+    def test_coords_round_trip(self):
+        m = Mesh2D(3, 4)
+        for node in range(m.size):
+            r, c = m.coords(node)
+            assert m.node_at(r, c) == node
+
+    def test_torus_wraps(self):
+        m = Mesh2D(4, 4, torus=True)
+        assert m.hops(m.node_at(0, 0), m.node_at(3, 3)) == 2
+
+    def test_mesh_does_not_wrap(self):
+        m = Mesh2D(4, 4, torus=False)
+        assert m.hops(m.node_at(0, 0), m.node_at(3, 3)) == 6
+
+    def test_manhattan_distance(self):
+        m = Mesh2D(5, 5, torus=False)
+        assert m.hops(m.node_at(1, 1), m.node_at(3, 4)) == 5
+
+    def test_interior_degree_four(self):
+        m = Mesh2D(3, 3, torus=False)
+        assert len(m.neighbors(m.node_at(1, 1))) == 4
+        assert len(m.neighbors(m.node_at(0, 0))) == 2
+
+    def test_torus_degree_always_four(self):
+        m = Mesh2D(3, 3, torus=True)
+        assert all(len(m.neighbors(v)) == 4 for v in range(m.size))
+
+    def test_degenerate_1x1(self):
+        m = Mesh2D(1, 1)
+        assert m.neighbors(0) == ()
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(TopologyError):
+            Mesh2D(0, 3)
+        with pytest.raises(TopologyError):
+            Mesh2D(3, -1)
+
+    def test_node_at_validates(self):
+        with pytest.raises(TopologyError):
+            Mesh2D(2, 2).node_at(2, 0)
+
+
+class TestFullyConnected:
+    def test_everything_one_hop(self):
+        f = FullyConnected(5)
+        assert all(f.hops(a, b) == 1 for a in range(5) for b in range(5) if a != b)
+
+    def test_neighbors_is_everyone_else(self):
+        assert FullyConnected(4).neighbors(2) == (0, 1, 3)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(TopologyError):
+            FullyConnected(0)
+
+
+class TestNetworkx:
+    def test_to_networkx_matches_edges(self):
+        g = Mesh2D(3, 3, torus=False).to_networkx()
+        assert g.number_of_nodes() == 9
+        assert g.number_of_edges() == 12

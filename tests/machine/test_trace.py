@@ -1,0 +1,63 @@
+"""Tests for repro.machine.trace."""
+
+from __future__ import annotations
+
+from repro.machine.trace import Trace, TraceEvent
+
+
+def make_trace():
+    t = Trace()
+    t.record(0, "compute", 0.0, 1.0)
+    t.record(0, "send", 1.0, 1.1, dst=1, nbytes=100)
+    t.record(1, "recv", 0.0, 1.5, src=0, nbytes=100)
+    t.record(1, "compute", 1.5, 2.0)
+    return t
+
+
+class TestTrace:
+    def test_len_and_iter(self):
+        t = make_trace()
+        assert len(t) == 4
+        assert all(isinstance(e, TraceEvent) for e in t)
+
+    def test_filter_by_pid(self):
+        assert len(make_trace().events(pid=0)) == 2
+
+    def test_filter_by_kind(self):
+        assert len(make_trace().events(kind="compute")) == 2
+
+    def test_filter_combined(self):
+        events = make_trace().events(pid=1, kind="recv")
+        assert len(events) == 1 and events[0].detail["src"] == 0
+
+    def test_kind_counts(self):
+        counts = make_trace().kind_counts()
+        assert counts == {"compute": 2, "send": 1, "recv": 1}
+
+    def test_message_count_and_bytes(self):
+        t = make_trace()
+        assert t.message_count() == 1
+        assert t.bytes_sent() == 100
+
+    def test_event_duration(self):
+        e = TraceEvent(0, "compute", 1.0, 3.5)
+        assert e.duration == 2.5
+
+    def test_busy_intervals_sorted(self):
+        t = Trace()
+        t.record(0, "compute", 5.0, 6.0)
+        t.record(0, "compute", 1.0, 2.0)
+        assert t.busy_intervals(0) == [(1.0, 2.0), (5.0, 6.0)]
+
+    def test_zero_duration_events_not_busy(self):
+        t = Trace()
+        t.record(0, "send", 1.0, 1.0)
+        assert t.busy_intervals(0) == []
+
+    def test_gantt_renders_all_procs(self):
+        g = make_trace().gantt(width=30)
+        assert "p0" in g and "p1" in g
+        assert "#" in g  # compute glyph
+
+    def test_gantt_empty(self):
+        assert "empty" in Trace().gantt()

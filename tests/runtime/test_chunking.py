@@ -1,0 +1,58 @@
+"""Tests for repro.runtime.chunking."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SkeletonError
+from repro.runtime.chunking import chunk_evenly, chunk_indices
+
+
+class TestChunkIndices:
+    def test_even_division(self):
+        assert chunk_indices(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_uneven_division_front_loads_extras(self):
+        assert chunk_indices(10, 4) == [(0, 3), (3, 6), (6, 8), (8, 10)]
+
+    def test_more_parts_than_items_gives_empty_spans(self):
+        spans = chunk_indices(2, 5)
+        assert len(spans) == 5
+        assert spans[:2] == [(0, 1), (1, 2)]
+        assert all(lo == hi for lo, hi in spans[2:])
+
+    def test_zero_items(self):
+        assert chunk_indices(0, 3) == [(0, 0), (0, 0), (0, 0)]
+
+    def test_rejects_non_positive_parts(self):
+        with pytest.raises(SkeletonError):
+            chunk_indices(4, 0)
+
+    def test_rejects_negative_n(self):
+        with pytest.raises(SkeletonError):
+            chunk_indices(-1, 2)
+
+    @given(st.integers(0, 500), st.integers(1, 64))
+    def test_spans_partition_the_range(self, n, parts):
+        spans = chunk_indices(n, parts)
+        assert len(spans) == parts
+        assert spans[0][0] == 0 and spans[-1][1] == n
+        for (_, a_hi), (b_lo, _) in zip(spans, spans[1:]):
+            assert a_hi == b_lo
+
+    @given(st.integers(0, 500), st.integers(1, 64))
+    def test_sizes_differ_by_at_most_one(self, n, parts):
+        sizes = [hi - lo for lo, hi in chunk_indices(n, parts)]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestChunkEvenly:
+    def test_round_trip(self):
+        items = list(range(11))
+        chunks = chunk_evenly(items, 3)
+        assert [x for c in chunks for x in c] == items
+
+    def test_string_sequences(self):
+        assert chunk_evenly("abcdef", 2) == ["abc", "def"]

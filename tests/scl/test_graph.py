@@ -1,0 +1,99 @@
+"""Tests for repro.scl.graph — expression graph rendering."""
+
+from __future__ import annotations
+
+import operator
+
+from repro.core import Block
+from repro.scl import (
+    Fetch,
+    Fold,
+    Gather,
+    Map,
+    Partition,
+    Rotate,
+    Spmd,
+    Split,
+    Stage,
+    compose_nodes,
+)
+from repro.scl.graph import communication_count, node_count, to_dot, to_networkx
+
+
+def sample_prog():
+    return compose_nodes(Fold(operator.add), Map(lambda x: x * x), Rotate(2))
+
+
+class TestToDot:
+    def test_valid_digraph_syntax(self):
+        dot = to_dot(sample_prog())
+        assert dot.startswith("digraph scl {")
+        assert dot.rstrip().endswith("}")
+
+    def test_labels_in_scl_notation(self):
+        dot = to_dot(sample_prog())
+        assert "fold add" in dot
+        assert "rotate 2" in dot
+
+    def test_compose_edges_numbered_by_application_order(self):
+        dot = to_dot(sample_prog())
+        assert 'label="step 1"' in dot  # applied first (rightmost)
+        assert 'label="step 3"' in dot
+
+    def test_custom_name(self):
+        assert to_dot(Rotate(1), name="myprog").startswith("digraph myprog")
+
+    def test_long_labels_truncated(self):
+        prog = Split(Block(123456789))
+        dot = to_dot(compose_nodes(prog, prog))
+        for line in dot.splitlines():
+            if "label=" in line and "step" not in line:
+                assert len(line) < 120
+
+    def test_spmd_stages_are_vertices(self):
+        prog = Spmd((Stage(global_=Rotate(1), local=lambda x: x),))
+        dot = to_dot(prog)
+        assert 'label="SPMD"' in dot
+        assert 'label="stage 1"' in dot
+
+
+class TestToNetworkx:
+    def test_tree_shape(self):
+        g = to_networkx(sample_prog())
+        assert g.number_of_nodes() == 4  # compose + 3 steps
+        assert g.number_of_edges() == 3
+        roots = [v for v in g if g.in_degree(v) == 0]
+        assert len(roots) == 1
+
+    def test_node_attributes(self):
+        g = to_networkx(Rotate(5))
+        (v,) = g.nodes
+        assert g.nodes[v]["label"] == "rotate 5"
+        assert g.nodes[v]["kind"] == "Rotate"
+
+    def test_nested_map_recursed(self):
+        g = to_networkx(Map(compose_nodes(Rotate(1), Rotate(2))))
+        kinds = {data["kind"] for _v, data in g.nodes(data=True)}
+        assert kinds == {"Map", "Compose", "Rotate"}
+
+
+class TestCounts:
+    def test_node_count(self):
+        assert node_count(Rotate(1)) == 1
+        assert node_count(sample_prog()) == 4
+
+    def test_communication_count(self):
+        prog = compose_nodes(Gather(), Map(lambda x: x), Fetch(lambda i: i),
+                             Rotate(1), Partition(Block(2)))
+        assert communication_count(prog) == 4
+
+    def test_map_is_not_communication(self):
+        assert communication_count(Map(lambda x: x)) == 0
+
+    def test_rewriting_reduces_communication_count(self):
+        from repro.scl import default_engine
+
+        prog = compose_nodes(Rotate(1), Rotate(1), Rotate(1))
+        out, _ = default_engine().rewrite(prog)
+        assert communication_count(prog) == 3
+        assert communication_count(out) == 1

@@ -1,0 +1,130 @@
+"""Tests for repro.scl.nodes — construction and structural laws."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Block, ParArray
+from repro.errors import RewriteError
+from repro.scl import (
+    Compose,
+    Fetch,
+    Fold,
+    Id,
+    Map,
+    Rotate,
+    Spmd,
+    Split,
+    Stage,
+    compose_nodes,
+)
+
+
+def inc(x):
+    return x + 1
+
+
+class TestComposeNodes:
+    def test_empty_is_id(self):
+        assert compose_nodes() == Id()
+
+    def test_single_passes_through(self):
+        assert compose_nodes(Rotate(1)) == Rotate(1)
+
+    def test_flattens_nested(self):
+        inner = compose_nodes(Rotate(1), Rotate(2))
+        outer = compose_nodes(Map(inc), inner)
+        assert outer == Compose((Map(inc), Rotate(1), Rotate(2)))
+
+    def test_drops_identity(self):
+        assert compose_nodes(Id(), Rotate(1), Id()) == Rotate(1)
+
+    def test_structural_associativity(self):
+        a, b, c = Map(inc), Rotate(1), Fetch(inc)
+        assert compose_nodes(compose_nodes(a, b), c) == \
+            compose_nodes(a, compose_nodes(b, c))
+
+    def test_all_ids_collapse_to_id(self):
+        assert compose_nodes(Id(), Id()) == Id()
+
+    def test_non_node_rejected(self):
+        with pytest.raises(RewriteError):
+            compose_nodes(Rotate(1), "nope")  # type: ignore[arg-type]
+
+
+class TestNodeCallable:
+    def test_node_call_evaluates(self):
+        pa = ParArray([1, 2, 3])
+        assert Map(inc)(pa).to_list() == [2, 3, 4]
+
+    def test_compose_applies_right_to_left(self):
+        pa = ParArray([1, 2, 3])
+        prog = compose_nodes(Map(lambda x: x * 10), Rotate(1))
+        assert prog(pa).to_list() == [20, 30, 10]
+
+    def test_id_is_identity(self):
+        pa = ParArray([1])
+        assert Id()(pa) is pa
+
+
+class TestChildren:
+    def test_leaf_has_no_children(self):
+        assert Rotate(3).children() == ()
+
+    def test_compose_children_are_steps(self):
+        c = Compose((Map(inc), Rotate(1)))
+        assert c.children() == (Map(inc), Rotate(1))
+
+    def test_compose_replace_children_renormalises(self):
+        c = Compose((Map(inc), Rotate(1)))
+        replaced = c.replace_children((Id(), Rotate(2)))
+        assert replaced == Rotate(2)
+
+    def test_map_of_node_exposes_child(self):
+        m = Map(Rotate(1))
+        assert m.children() == (Rotate(1),)
+        assert m.replace_children((Rotate(5),)) == Map(Rotate(5))
+
+    def test_map_of_callable_has_no_children(self):
+        assert Map(inc).children() == ()
+
+    def test_leaf_replace_children_validates(self):
+        with pytest.raises(RewriteError):
+            Rotate(1).replace_children((Id(),))
+
+    def test_spmd_children_are_stages(self):
+        s = Spmd((Stage(global_=Rotate(1)), Stage(local=inc)))
+        assert len(s.children()) == 2
+
+    def test_spmd_replace_children_type_checked(self):
+        s = Spmd((Stage(local=inc),))
+        with pytest.raises(RewriteError):
+            s.replace_children((Rotate(1),))
+
+    def test_stage_child_is_global(self):
+        st = Stage(global_=Rotate(1), local=inc)
+        assert st.children() == (Rotate(1),)
+        new = st.replace_children((Rotate(2),))
+        assert new.global_ == Rotate(2) and new.local is inc
+
+    def test_spmd_rejects_non_stage(self):
+        with pytest.raises(RewriteError):
+            Spmd((Rotate(1),))  # type: ignore[arg-type]
+
+
+class TestEquality:
+    def test_structural_equality(self):
+        assert Rotate(2) == Rotate(2)
+        assert Rotate(2) != Rotate(3)
+        assert Map(inc) == Map(inc)
+
+    def test_opaque_functions_compare_by_identity(self):
+        assert Map(lambda x: x) != Map(lambda x: x)
+
+    def test_split_compares_patterns(self):
+        assert Split(Block(2)) == Split(Block(2))
+        assert Split(Block(2)) != Split(Block(3))
+
+    def test_nodes_are_frozen(self):
+        with pytest.raises(Exception):
+            Rotate(1).k = 2  # type: ignore[misc]

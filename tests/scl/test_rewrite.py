@@ -1,0 +1,88 @@
+"""Tests for repro.scl.rewrite — the engine mechanics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RewriteError
+from repro.scl import Id, Map, Rotate, Spmd, Stage, compose_nodes
+from repro.scl.rewrite import RewriteEngine, Rule, RewriteStep
+from repro.scl.rules import MAP_FUSION, ROTATE_FUSION
+
+
+class TestRule:
+    def test_window_size_mismatch_returns_none(self):
+        assert MAP_FUSION.try_apply((Rotate(1),)) is None
+
+    def test_non_matching_window_returns_none(self):
+        assert MAP_FUSION.try_apply((Rotate(1), Rotate(2))) is None
+
+    def test_repr(self):
+        assert "map-fusion" in repr(MAP_FUSION)
+
+    def test_law_is_documented(self):
+        assert "map" in MAP_FUSION.law
+
+
+class TestEngine:
+    def test_no_rules_is_identity(self):
+        prog = compose_nodes(Map(lambda x: x), Map(lambda x: x))
+        out, steps = RewriteEngine([]).rewrite(prog)
+        assert out == prog and steps == []
+
+    def test_fixpoint_reached(self):
+        prog = compose_nodes(*[Rotate(1) for _ in range(6)])
+        out, steps = RewriteEngine([ROTATE_FUSION]).rewrite(prog)
+        assert out == Rotate(6)
+        assert len(steps) == 5
+
+    def test_empty_replacement_collapses_to_id(self):
+        prog = compose_nodes(Rotate(4), Rotate(-4))
+        out, _ = RewriteEngine([ROTATE_FUSION]).rewrite(prog)
+        assert out == Id()
+
+    def test_rewrites_inside_map_of_node(self):
+        prog = Map(compose_nodes(Rotate(1), Rotate(2)))
+        out, steps = RewriteEngine([ROTATE_FUSION]).rewrite(prog)
+        assert out == Map(Rotate(3))
+        assert len(steps) == 1
+
+    def test_rewrites_inside_spmd_stage_globals(self):
+        prog = Spmd((Stage(global_=compose_nodes(Rotate(1), Rotate(1))),))
+        out, _ = RewriteEngine([ROTATE_FUSION]).rewrite(prog)
+        assert out == Spmd((Stage(global_=Rotate(2)),))
+
+    def test_steps_record_before_and_after(self):
+        prog = compose_nodes(Rotate(1), Rotate(2))
+        _out, steps = RewriteEngine([ROTATE_FUSION]).rewrite(prog)
+        (step,) = steps
+        assert isinstance(step, RewriteStep)
+        assert step.before == (Rotate(1), Rotate(2))
+        assert step.after == (Rotate(3),)
+        assert "rotate-fusion" in str(step)
+
+    def test_divergent_rule_detected(self):
+        ping = Rule("ping", 1, lambda w: (Rotate(w[0].k + 1),)
+                    if isinstance(w[0], Rotate) else None)
+        with pytest.raises(RewriteError, match="diverging"):
+            RewriteEngine([ping], max_passes=10).rewrite(Rotate(0))
+
+    def test_invalid_max_passes(self):
+        with pytest.raises(RewriteError):
+            RewriteEngine([], max_passes=0)
+
+    def test_rule_priority_is_list_order(self):
+        """The first rule in the list wins when several match."""
+        to_id = Rule("kill", 2, lambda w: ()
+                     if all(isinstance(n, Rotate) for n in w) else None)
+        out, steps = RewriteEngine([to_id, ROTATE_FUSION]).rewrite(
+            compose_nodes(Rotate(1), Rotate(2)))
+        assert out == Id()
+        assert steps[0].rule == "kill"
+
+    def test_window_slides_across_long_chain(self):
+        prog = compose_nodes(Map(lambda x: x), Rotate(1), Rotate(2),
+                             Map(lambda x: x))
+        out, steps = RewriteEngine([ROTATE_FUSION]).rewrite(prog)
+        assert len(steps) == 1
+        assert Rotate(3) in out.steps

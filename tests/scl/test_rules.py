@@ -1,0 +1,437 @@
+"""Soundness of every §4 transformation rule.
+
+The paper claims the rules are meaning-preserving.  We verify that claim
+behaviourally: for randomised programs and inputs, the rewritten expression
+must evaluate to exactly the same value as the original.
+"""
+
+from __future__ import annotations
+
+import operator
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import Block, Cyclic, ParArray
+from repro.scl import (
+    FETCH_FUSION,
+    MAP_DISTRIBUTION,
+    MAP_FUSION,
+    ROTATE_FUSION,
+    SEND_FUSION,
+    SPMD_FLATTENING,
+    SPMD_STAGE_MERGE,
+    Fetch,
+    Fold,
+    FoldrFused,
+    Id,
+    Map,
+    PermSend,
+    Rotate,
+    Spmd,
+    Split,
+    Stage,
+    compose_nodes,
+    default_engine,
+    evaluate,
+)
+from repro.scl.rewrite import RewriteEngine
+
+ints = st.lists(st.integers(-1000, 1000), min_size=1, max_size=24)
+
+
+def rewrite_with(rule, prog):
+    return RewriteEngine([rule]).rewrite(prog)
+
+
+class TestMapFusion:
+    def test_fires_on_adjacent_maps(self):
+        prog = compose_nodes(Map(lambda x: x), Map(lambda x: x))
+        out, steps = rewrite_with(MAP_FUSION, prog)
+        assert isinstance(out, Map)
+        assert [s.rule for s in steps] == ["map-fusion"]
+
+    def test_chain_of_maps_fuses_to_one(self):
+        prog = compose_nodes(*[Map(lambda x, k=k: x + k) for k in range(5)])
+        out, steps = rewrite_with(MAP_FUSION, prog)
+        assert isinstance(out, Map)
+        assert len(steps) == 4
+
+    def test_does_not_fire_across_other_nodes(self):
+        prog = compose_nodes(Map(lambda x: x), Rotate(1), Map(lambda x: x))
+        out, steps = rewrite_with(MAP_FUSION, prog)
+        assert steps == []
+
+    def test_mixed_node_and_callable_not_fused(self):
+        prog = compose_nodes(Map(Rotate(1)), Map(lambda x: x))
+        _out, steps = rewrite_with(MAP_FUSION, prog)
+        assert steps == []
+
+    def test_node_maps_fuse_structurally(self):
+        prog = compose_nodes(Map(Rotate(1)), Map(Rotate(2)))
+        out, _ = rewrite_with(MAP_FUSION, prog)
+        assert out == Map(compose_nodes(Rotate(1), Rotate(2)))
+
+    @given(ints, st.integers(-20, 20), st.integers(-20, 20))
+    def test_sound_property(self, xs, a, b):
+        f = lambda x: x * a
+        g = lambda x: x + b
+        prog = compose_nodes(Map(f), Map(g))
+        out, _ = rewrite_with(MAP_FUSION, prog)
+        pa = ParArray(xs)
+        assert evaluate(prog, pa) == evaluate(out, pa)
+
+
+class TestMapDistribution:
+    def test_fires_when_associativity_asserted(self):
+        prog = FoldrFused(operator.add, lambda x: x, op_associative=True)
+        out, steps = rewrite_with(MAP_DISTRIBUTION, prog)
+        assert out == compose_nodes(Fold(operator.add), Map(out.steps[1].f))
+        assert [s.rule for s in steps] == ["map-distribution"]
+
+    def test_blocked_without_assertion(self):
+        prog = FoldrFused(operator.sub, lambda x: x)
+        _out, steps = rewrite_with(MAP_DISTRIBUTION, prog)
+        assert steps == []
+
+    @given(ints, st.integers(-10, 10))
+    def test_sound_for_associative_ops_property(self, xs, b):
+        g = lambda x: x * 2 + b
+        prog = FoldrFused(operator.add, g, op_associative=True)
+        out, _ = rewrite_with(MAP_DISTRIBUTION, prog)
+        pa = ParArray(xs)
+        assert evaluate(prog, pa) == evaluate(out, pa)
+
+    @given(st.lists(st.text(max_size=3), min_size=1, max_size=15))
+    def test_sound_for_noncommutative_concat_property(self, xs):
+        prog = FoldrFused(operator.add, lambda s: s + "!", op_associative=True)
+        out, _ = rewrite_with(MAP_DISTRIBUTION, prog)
+        pa = ParArray(xs)
+        assert evaluate(prog, pa) == evaluate(out, pa)
+
+
+class TestFetchFusion:
+    def test_fires(self):
+        prog = compose_nodes(Fetch(lambda i: i), Fetch(lambda i: i))
+        out, steps = rewrite_with(FETCH_FUSION, prog)
+        assert isinstance(out, Fetch)
+        assert len(steps) == 1
+
+    @given(ints, st.integers(1, 97), st.integers(0, 97))
+    def test_sound_property(self, xs, mult, shift):
+        n = len(xs)
+        f = lambda i: (i * mult) % n
+        g = lambda i: (i + shift) % n
+        prog = compose_nodes(Fetch(f), Fetch(g))
+        out, _ = rewrite_with(FETCH_FUSION, prog)
+        pa = ParArray(xs)
+        assert evaluate(prog, pa) == evaluate(out, pa)
+
+    def test_direction_of_composition(self):
+        """fetch f . fetch g must compose as g∘f, not f∘g."""
+        xs = ParArray([10, 20, 30, 40])
+        f = lambda i: (i + 1) % 4
+        g = lambda i: (2 * i) % 4
+        prog = compose_nodes(Fetch(f), Fetch(g))
+        out, _ = rewrite_with(FETCH_FUSION, prog)
+        assert evaluate(out, xs) == evaluate(prog, xs)
+        wrong = Fetch(lambda i: f(g(i)))
+        assert evaluate(wrong, xs) != evaluate(prog, xs)
+
+
+class TestSendFusion:
+    def test_fires_on_perm_sends(self):
+        prog = compose_nodes(PermSend(lambda k: k), PermSend(lambda k: k))
+        out, steps = rewrite_with(SEND_FUSION, prog)
+        assert isinstance(out, PermSend) and len(steps) == 1
+
+    @given(ints, st.integers(0, 30), st.integers(0, 30))
+    def test_sound_for_rotation_permutations_property(self, xs, a, b):
+        n = len(xs)
+        f = lambda k: (k + a) % n
+        g = lambda k: (k + b) % n
+        prog = compose_nodes(PermSend(f), PermSend(g))
+        out, _ = rewrite_with(SEND_FUSION, prog)
+        pa = ParArray(xs)
+        assert evaluate(prog, pa) == evaluate(out, pa)
+
+    @given(st.permutations(list(range(8))), st.permutations(list(range(8))))
+    def test_sound_for_arbitrary_permutations_property(self, p1, p2):
+        prog = compose_nodes(PermSend(lambda k: p1[k]), PermSend(lambda k: p2[k]))
+        out, _ = rewrite_with(SEND_FUSION, prog)
+        pa = ParArray(list(range(8)))
+        assert evaluate(prog, pa) == evaluate(out, pa)
+
+
+class TestRotateFusion:
+    def test_sums_distances(self):
+        out, _ = rewrite_with(ROTATE_FUSION, compose_nodes(Rotate(2), Rotate(3)))
+        assert out == Rotate(5)
+
+    def test_annihilation_to_identity(self):
+        out, _ = rewrite_with(ROTATE_FUSION, compose_nodes(Rotate(2), Rotate(-2)))
+        assert out == Id()
+
+    @given(ints, st.integers(-30, 30), st.integers(-30, 30))
+    def test_sound_property(self, xs, j, k):
+        prog = compose_nodes(Rotate(j), Rotate(k))
+        out, _ = rewrite_with(ROTATE_FUSION, prog)
+        pa = ParArray(xs)
+        assert evaluate(prog, pa) == evaluate(out, pa)
+
+
+class TestSpmdStageMerge:
+    def test_stage_order_preserved(self):
+        s1 = Stage(local=lambda x: x + "a")
+        s2 = Stage(local=lambda x: x + "b")
+        # Compose((Spmd([s1]), Spmd([s2]))) applies s2 first
+        prog = compose_nodes(Spmd((s1,)), Spmd((s2,)))
+        out, _ = rewrite_with(SPMD_STAGE_MERGE, prog)
+        assert out == Spmd((s2, s1))
+
+    @given(ints)
+    def test_sound_property(self, xs):
+        s1 = Stage(local=lambda x: x * 3, global_=Rotate(1))
+        s2 = Stage(local=lambda x: x - 1)
+        prog = compose_nodes(Spmd((s1,)), Spmd((s2,)))
+        out, _ = rewrite_with(SPMD_STAGE_MERGE, prog)
+        pa = ParArray(xs)
+        assert evaluate(prog, pa) == evaluate(out, pa)
+
+
+class TestSpmdFlattening:
+    def _nested(self, lf, gf1=None, gf2=Rotate(1), pattern=Block(2),
+                indexed=False):
+        return compose_nodes(
+            Spmd((Stage(global_=gf1 or Map(lambda s: s)),)),
+            Map(Spmd((Stage(global_=gf2, local=lf, indexed=indexed),))),
+            Split(pattern),
+        )
+
+    def test_fires(self):
+        prog = self._nested(lambda x: x * 2)
+        out, steps = rewrite_with(SPMD_FLATTENING, prog)
+        assert [s.rule for s in steps] == ["spmd-flattening"]
+        assert isinstance(out, Spmd)
+        assert len(out.stages) == 1
+        assert out.stages[0].local is not None
+
+    def test_blocked_for_indexed_locals(self):
+        prog = self._nested(lambda i, x: x, indexed=True)
+        _out, steps = rewrite_with(SPMD_FLATTENING, prog)
+        assert steps == []
+
+    def test_blocked_when_outer_has_local(self):
+        prog = compose_nodes(
+            Spmd((Stage(global_=Map(lambda s: s), local=lambda x: x),)),
+            Map(Spmd((Stage(global_=Rotate(1), local=lambda x: x),))),
+            Split(Block(2)),
+        )
+        _out, steps = rewrite_with(SPMD_FLATTENING, prog)
+        assert steps == []
+
+    @given(st.lists(st.integers(-100, 100), min_size=4, max_size=24),
+           st.integers(1, 4))
+    def test_sound_property(self, xs, groups):
+        if groups > len(xs):
+            groups = len(xs)
+        lf = lambda x: x * 2 + 1
+        prog = self._nested(lf, pattern=Block(groups))
+        out, _ = rewrite_with(SPMD_FLATTENING, prog)
+        pa = ParArray(xs)
+        assert evaluate(prog, pa) == evaluate(out, pa)
+
+    @given(st.lists(st.integers(-100, 100), min_size=4, max_size=24))
+    def test_sound_with_cyclic_split_property(self, xs):
+        prog = self._nested(lambda x: x - 5, pattern=Cyclic(2))
+        out, _ = rewrite_with(SPMD_FLATTENING, prog)
+        pa = ParArray(xs)
+        assert evaluate(prog, pa) == evaluate(out, pa)
+
+    def test_sound_with_inner_global_none(self):
+        prog = compose_nodes(
+            Spmd((Stage(global_=Map(lambda s: s)),)),
+            Map(Spmd((Stage(global_=None, local=lambda x: x + 1),))),
+            Split(Block(2)),
+        )
+        out, steps = rewrite_with(SPMD_FLATTENING, prog)
+        assert len(steps) == 1
+        pa = ParArray([1, 2, 3, 4])
+        assert evaluate(prog, pa) == evaluate(out, pa)
+
+
+class TestFullEngine:
+    def test_all_rules_together_on_mixed_program(self):
+        prog = compose_nodes(
+            Map(lambda x: x * 2),
+            Map(lambda x: x + 1),
+            Rotate(3),
+            Rotate(-1),
+            Fetch(lambda i: (i + 1) % 6),
+            Fetch(lambda i: (5 * i) % 6),
+        )
+        engine = default_engine()
+        out, steps = engine.rewrite(prog)
+        names = {s.rule for s in steps}
+        assert names == {"map-fusion", "rotate-fusion", "fetch-fusion"}
+        pa = ParArray([1, 2, 3, 4, 5, 6])
+        assert evaluate(prog, pa) == evaluate(out, pa)
+        # 6 steps collapsed to 3
+        assert len(out.steps) == 3
+
+    @given(st.data())
+    def test_random_pipelines_preserved_property(self, data):
+        """Random compositions of maps/rotates/fetches rewrite soundly."""
+        n = data.draw(st.integers(2, 12), label="n")
+        depth = data.draw(st.integers(1, 6), label="depth")
+        steps = []
+        for _ in range(depth):
+            kind = data.draw(st.sampled_from(["map", "rotate", "fetch"]))
+            if kind == "map":
+                a = data.draw(st.integers(-5, 5))
+                steps.append(Map(lambda x, a=a: x + a))
+            elif kind == "rotate":
+                steps.append(Rotate(data.draw(st.integers(-10, 10))))
+            else:
+                m = data.draw(st.integers(1, 20))
+                steps.append(Fetch(lambda i, m=m, n=n: (i * m + 1) % n))
+        prog = compose_nodes(*steps)
+        out, _ = default_engine().rewrite(prog)
+        xs = data.draw(st.lists(st.integers(-100, 100), min_size=n, max_size=n))
+        pa = ParArray(xs)
+        assert evaluate(prog, pa) == evaluate(out, pa)
+
+
+class TestRotateRowColFusion:
+    def grid(self, m=4, n=5):
+        from repro.core import ParArray
+
+        return ParArray([[i * n + j for j in range(n)] for i in range(m)],
+                        shape=(m, n))
+
+    def test_row_fusion_fires(self):
+        from repro.scl import ROTATE_ROW_FUSION, RotateRow
+
+        prog = compose_nodes(RotateRow(lambda i: i), RotateRow(lambda i: 1))
+        out, steps = rewrite_with(ROTATE_ROW_FUSION, prog)
+        assert isinstance(out, RotateRow)
+        assert [s.rule for s in steps] == ["rotate-row-fusion"]
+        g = self.grid()
+        assert evaluate(prog, g) == evaluate(out, g)
+
+    def test_col_fusion_fires(self):
+        from repro.scl import ROTATE_COL_FUSION, RotateCol
+
+        prog = compose_nodes(RotateCol(lambda j: 2), RotateCol(lambda j: j))
+        out, steps = rewrite_with(ROTATE_COL_FUSION, prog)
+        assert isinstance(out, RotateCol)
+        g = self.grid()
+        assert evaluate(prog, g) == evaluate(out, g)
+
+    def test_row_and_col_do_not_cross_fuse(self):
+        from repro.scl import RotateCol, RotateRow, default_engine
+
+        prog = compose_nodes(RotateRow(lambda i: 1), RotateCol(lambda j: 1))
+        out, steps = default_engine().rewrite(prog)
+        assert steps == []
+        g = self.grid()
+        assert evaluate(prog, g) == evaluate(out, g)
+
+    @given(st.integers(1, 5), st.integers(1, 5),
+           st.integers(-5, 5), st.integers(-5, 5))
+    def test_row_fusion_sound_property(self, m, n, a, b):
+        from repro.core import ParArray
+        from repro.scl import ROTATE_ROW_FUSION, RotateRow
+
+        g = ParArray([[i * n + j for j in range(n)] for i in range(m)],
+                     shape=(m, n))
+        prog = compose_nodes(RotateRow(lambda i: a * i), RotateRow(lambda i: b))
+        out, _ = rewrite_with(ROTATE_ROW_FUSION, prog)
+        assert evaluate(prog, g) == evaluate(out, g)
+
+    def test_cannon_rotation_chain_collapses(self):
+        """Cannon's per-step rotations fuse into one skewed rotation."""
+        from repro.scl import ROTATE_ROW_FUSION, RotateRow, RewriteEngine
+
+        chain = compose_nodes(*[RotateRow(lambda i: 1) for _ in range(4)])
+        out, steps = RewriteEngine([ROTATE_ROW_FUSION]).rewrite(chain)
+        assert isinstance(out, RotateRow)
+        assert len(steps) == 3
+        g = self.grid()
+        assert evaluate(chain, g) == evaluate(out, g)
+
+
+class TestGatherPartitionElimination:
+    def test_fires_on_matching_patterns(self):
+        from repro.scl import GATHER_PARTITION_ELIM, Gather, Partition
+
+        prog = compose_nodes(Gather(), Partition(Block(4)))
+        out, steps = rewrite_with(GATHER_PARTITION_ELIM, prog)
+        assert out == Id()
+        assert [s.rule for s in steps] == ["gather-partition-elimination"]
+
+    def test_fires_on_explicit_matching_pattern(self):
+        from repro.scl import GATHER_PARTITION_ELIM, Gather, Partition
+
+        prog = compose_nodes(Gather(Block(4)), Partition(Block(4)))
+        out, _ = rewrite_with(GATHER_PARTITION_ELIM, prog)
+        assert out == Id()
+
+    def test_blocked_on_mismatched_patterns(self):
+        from repro.scl import GATHER_PARTITION_ELIM, Gather, Partition
+
+        prog = compose_nodes(Gather(Cyclic(4)), Partition(Block(4)))
+        _out, steps = rewrite_with(GATHER_PARTITION_ELIM, prog)
+        assert steps == []
+
+    def test_wrong_order_not_matched(self):
+        from repro.scl import GATHER_PARTITION_ELIM, Gather, Partition
+
+        prog = compose_nodes(Partition(Block(4)), Gather())
+        _out, steps = rewrite_with(GATHER_PARTITION_ELIM, prog)
+        assert steps == []
+
+    @given(st.lists(st.integers(), min_size=1, max_size=40), st.integers(1, 6))
+    def test_sound_property(self, xs, parts):
+        from repro.scl import GATHER_PARTITION_ELIM, Gather, Partition
+
+        for pattern in (Block(parts), Cyclic(parts)):
+            prog = compose_nodes(Gather(), Partition(pattern))
+            out, _ = rewrite_with(GATHER_PARTITION_ELIM, prog)
+            assert evaluate(prog, xs) == evaluate(out, xs)
+
+    def test_redundant_round_trip_removed(self):
+        """A distribute-then-immediately-collect round trip between two
+        phases is eliminated, saving a full redistribution."""
+        from repro.scl import Gather, Map, Partition, default_engine
+
+        prog = compose_nodes(
+            Gather(),
+            Map(lambda b: [x * 2 for x in b]),
+            Partition(Block(3)),
+            Gather(),             # <- redundant collect...
+            Partition(Block(3)),  # <- ...of an immediately prior distribute
+            Gather(),
+            Map(lambda b: [x + 1 for x in b]),
+            Partition(Block(3)),
+        )
+        out, steps = default_engine().rewrite(prog)
+        assert any(s.rule == "gather-partition-elimination" for s in steps)
+        assert len(out.steps) == len(prog.steps) - 2
+        xs = list(range(9))
+        assert evaluate(prog, xs) == evaluate(out, xs)
+
+    def test_partition_gather_direction_not_eliminated(self):
+        """`partition P . gather` (library-boundary order) is NOT eliminated:
+        its soundness depends on intermediate stages preserving block
+        lengths, which is not statically checkable."""
+        from repro.scl import Gather, Map, Partition, default_engine
+
+        lib1 = compose_nodes(Gather(), Map(lambda b: list(b) + [0]),  # grows!
+                             Partition(Block(3)))
+        lib2 = compose_nodes(Gather(), Map(lambda b: list(b)),
+                             Partition(Block(3)))
+        prog = compose_nodes(lib2, lib1)
+        _out, steps = default_engine().rewrite(prog)
+        assert not any(s.rule == "gather-partition-elimination" for s in steps)

@@ -1,0 +1,165 @@
+"""Tests for repro.stream.skeletons."""
+
+from __future__ import annotations
+
+import itertools
+import operator
+import threading
+import time
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SkeletonError
+from repro.runtime import ThreadExecutor
+from repro.stream import stream_farm, stream_filter, stream_map, stream_reduce, stream_scan
+
+
+def square(x):
+    return x * x
+
+
+class TestStreamMap:
+    def test_sequential_matches_builtin_map(self):
+        assert list(stream_map(square, range(10))) == [x * x for x in range(10)]
+
+    def test_threaded_preserves_order(self):
+        with ThreadExecutor(max_workers=4) as ex:
+            out = list(stream_map(square, range(100), executor=ex, window=8))
+        assert out == [x * x for x in range(100)]
+
+    def test_order_preserved_under_variable_latency(self):
+        def slow_when_even(x):
+            if x % 2 == 0:
+                time.sleep(0.005)
+            return x
+
+        with ThreadExecutor(max_workers=4) as ex:
+            out = list(stream_map(slow_when_even, range(20), executor=ex))
+        assert out == list(range(20))
+
+    def test_lazy_consumption(self):
+        consumed = []
+
+        def source():
+            for i in range(1000):
+                consumed.append(i)
+                yield i
+
+        gen = stream_map(square, source(), window=4)
+        assert next(gen) == 0
+        # only ~window items were pulled, not the whole stream
+        assert len(consumed) <= 10
+
+    def test_empty_stream(self):
+        assert list(stream_map(square, [])) == []
+
+    def test_window_validation(self):
+        with pytest.raises(SkeletonError):
+            list(stream_map(square, [1], window=0))
+
+    def test_exceptions_propagate(self):
+        with ThreadExecutor(max_workers=2) as ex:
+            gen = stream_map(lambda x: 1 // x, [1, 0, 2], executor=ex)
+            with pytest.raises(ZeroDivisionError):
+                list(gen)
+
+    def test_runs_concurrently(self):
+        barrier = threading.Barrier(3, timeout=10)
+
+        def rendezvous(x):
+            barrier.wait()
+            return x
+
+        with ThreadExecutor(max_workers=3) as ex:
+            out = list(stream_map(rendezvous, range(3), executor=ex, window=3))
+        assert out == [0, 1, 2]
+
+    @given(st.lists(st.integers(), max_size=60), st.integers(1, 10))
+    def test_deterministic_property(self, xs, window):
+        with ThreadExecutor(max_workers=3) as ex:
+            out = list(stream_map(square, xs, executor=ex, window=window))
+        assert out == [x * x for x in xs]
+
+
+class TestStreamFarm:
+    def test_ordered_mode_is_stream_map(self):
+        with ThreadExecutor(max_workers=3) as ex:
+            out = list(stream_farm(square, range(20), executor=ex))
+        assert out == [x * x for x in range(20)]
+
+    def test_unordered_mode_yields_all_results(self):
+        with ThreadExecutor(max_workers=4) as ex:
+            out = list(stream_farm(square, range(30), executor=ex,
+                                   ordered=False, window=5))
+        assert sorted(out) == [x * x for x in range(30)]
+
+    def test_unordered_sequential_fallback(self):
+        out = list(stream_farm(square, range(5), ordered=False))
+        assert out == [x * x for x in range(5)]
+
+    def test_unordered_window_validation(self):
+        with pytest.raises(SkeletonError):
+            list(stream_farm(square, [1], ordered=False, window=0))
+
+    def test_unordered_bounded_inflight(self):
+        """Never more than `window` jobs in flight."""
+        active = []
+        lock = threading.Lock()
+        peak = [0]
+
+        def job(x):
+            with lock:
+                active.append(x)
+                peak[0] = max(peak[0], len(active))
+            time.sleep(0.002)
+            with lock:
+                active.remove(x)
+            return x
+
+        with ThreadExecutor(max_workers=8) as ex:
+            list(stream_farm(job, range(40), executor=ex, ordered=False,
+                             window=3))
+        assert peak[0] <= 3
+
+
+class TestStreamFilter:
+    def test_keeps_matching_in_order(self):
+        out = list(stream_filter(lambda x: x % 3 == 0, range(20)))
+        assert out == [0, 3, 6, 9, 12, 15, 18]
+
+    def test_threaded(self):
+        with ThreadExecutor(max_workers=3) as ex:
+            out = list(stream_filter(lambda x: x % 2 == 0, range(50),
+                                     executor=ex))
+        assert out == list(range(0, 50, 2))
+
+    def test_empty(self):
+        assert list(stream_filter(bool, [])) == []
+
+
+class TestStreamReduceScan:
+    def test_reduce(self):
+        assert stream_reduce(operator.add, range(10), 0) == 45
+
+    def test_reduce_empty_gives_initial(self):
+        assert stream_reduce(operator.add, [], 99) == 99
+
+    def test_reduce_non_commutative(self):
+        assert stream_reduce(operator.add, "abc", "") == "abc"
+
+    def test_scan(self):
+        assert list(stream_scan(operator.add, [1, 2, 3], 0)) == [1, 3, 6]
+
+    def test_scan_lazy(self):
+        gen = stream_scan(operator.add, itertools.count(1), 0)
+        assert [next(gen) for _ in range(4)] == [1, 3, 6, 10]
+
+    @given(st.lists(st.integers(), max_size=50))
+    def test_scan_consistent_with_reduce_property(self, xs):
+        scans = list(stream_scan(operator.add, xs, 0))
+        if xs:
+            assert scans[-1] == stream_reduce(operator.add, xs, 0)
+        else:
+            assert scans == []

@@ -1,0 +1,106 @@
+"""Tests for repro.util.functional."""
+
+from __future__ import annotations
+
+import operator
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.functional import Composed, check_associative, compose, foldr, identity
+
+
+def inc(x):
+    return x + 1
+
+
+def dbl(x):
+    return x * 2
+
+
+class TestIdentity:
+    def test_returns_argument(self):
+        obj = object()
+        assert identity(obj) is obj
+
+
+class TestCompose:
+    def test_empty_compose_is_identity(self):
+        assert compose() is identity
+
+    def test_single_function_passes_through(self):
+        assert compose(inc) is inc
+
+    def test_applies_right_to_left(self):
+        assert compose(dbl, inc)(3) == 8  # dbl(inc(3))
+        assert compose(inc, dbl)(3) == 7  # inc(dbl(3))
+
+    def test_three_functions(self):
+        assert compose(inc, dbl, inc)(1) == 5  # inc(dbl(inc(1)))
+
+    def test_identity_is_dropped(self):
+        c = compose(inc, identity, dbl)
+        assert isinstance(c, Composed)
+        assert c.parts == (inc, dbl)
+
+    def test_nested_composition_flattens(self):
+        c = compose(inc, compose(dbl, inc))
+        assert isinstance(c, Composed)
+        assert c.parts == (inc, dbl, inc)
+
+    def test_composition_is_structurally_associative(self):
+        left = compose(compose(inc, dbl), inc)
+        right = compose(inc, compose(dbl, inc))
+        assert left == right
+
+    def test_equality_and_hash(self):
+        assert compose(inc, dbl) == compose(inc, dbl)
+        assert compose(inc, dbl) != compose(dbl, inc)
+        assert hash(Composed(inc, dbl)) == hash(Composed(inc, dbl))
+
+    def test_repr_mentions_parts(self):
+        assert "inc" in repr(Composed(inc, dbl))
+
+    @given(st.integers(min_value=-1000, max_value=1000))
+    def test_composed_call_matches_manual_nesting(self, x):
+        assert Composed(dbl, inc)(x) == dbl(inc(x))
+
+
+class TestCheckAssociative:
+    def test_addition_is_associative(self):
+        assert check_associative(operator.add, [1, 2, 3, -5])
+
+    def test_subtraction_is_not(self):
+        assert not check_associative(operator.sub, [1, 2, 3])
+
+    def test_string_concat_is_associative_but_not_commutative(self):
+        assert check_associative(operator.add, ["a", "b", "c"])
+
+    def test_float_average_is_not_associative(self):
+        avg = lambda a, b: (a + b) / 2
+        assert not check_associative(avg, [0.0, 1.0, 2.0])
+
+    def test_custom_equality(self):
+        close = lambda a, b: abs(a - b) < 1e-9
+        assert check_associative(operator.add, [0.1, 0.2, 0.3], eq=close)
+
+    def test_empty_samples_vacuously_true(self):
+        assert check_associative(operator.sub, [])
+
+
+class TestFoldr:
+    def test_right_associates(self):
+        # foldr (-) 0 [1,2,3] = 1 - (2 - (3 - 0)) = 2
+        assert foldr(operator.sub, 0, [1, 2, 3]) == 2
+
+    def test_empty_returns_init(self):
+        assert foldr(operator.add, 42, []) == 42
+
+    def test_cons_reconstructs_list(self):
+        cons = lambda x, acc: [x] + acc
+        assert foldr(cons, [], [1, 2, 3]) == [1, 2, 3]
+
+    @given(st.lists(st.integers()))
+    def test_foldr_add_matches_sum(self, xs):
+        assert foldr(operator.add, 0, xs) == sum(xs)

@@ -1,0 +1,34 @@
+"""Tests for repro.util.tables."""
+
+from __future__ import annotations
+
+from repro.util.tables import render_table
+
+
+class TestRenderTable:
+    def test_header_and_rows_aligned(self):
+        text = render_table("T", ["a", "long"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1] == "="
+        header, rule, r1, r2 = lines[3:7]
+        assert len(header) == len(rule) == len(r1) == len(r2)
+
+    def test_columns_right_justified(self):
+        text = render_table("T", ["col"], [[7]])
+        assert "  7" in text or text.splitlines()[-1].endswith("7")
+
+    def test_notes_appended(self):
+        text = render_table("T", ["a"], [[1]], notes="a footnote")
+        assert text.rstrip().endswith("a footnote")
+
+    def test_empty_rows(self):
+        text = render_table("T", ["a", "b"], [])
+        assert "a" in text and "b" in text
+
+    def test_wide_cells_stretch_column(self):
+        text = render_table("T", ["x"], [["wide-value"]])
+        assert "wide-value" in text
+
+    def test_trailing_newline(self):
+        assert render_table("T", ["a"], [[1]]).endswith("\n")

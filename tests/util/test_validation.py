@@ -1,0 +1,71 @@
+"""Tests for repro.util.validation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, SclError
+from repro.util.validation import (
+    ilog2,
+    is_power_of_two,
+    require,
+    require_positive,
+    require_power_of_two,
+    require_type,
+)
+
+
+class TestRequire:
+    def test_passes_silently(self):
+        require(True, "never raised")
+
+    def test_raises_with_message(self):
+        with pytest.raises(SclError, match="boom"):
+            require(False, "boom")
+
+    def test_custom_exception_type(self):
+        with pytest.raises(ConfigurationError):
+            require(False, "nope", ConfigurationError)
+
+
+class TestRequireType:
+    def test_accepts_instance(self):
+        require_type(3, int, "n")
+        require_type("x", (int, str), "mixed")
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(SclError, match="n must be int"):
+            require_type("3", int, "n")
+
+
+class TestRequirePositive:
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, "2", None, True])
+    def test_rejects_non_positive_ints(self, bad):
+        with pytest.raises(SclError):
+            require_positive(bad, "n")
+
+    def test_accepts_positive(self):
+        require_positive(7, "n")
+
+
+class TestPowerOfTwo:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 1 << 20])
+    def test_powers_accepted(self, n):
+        assert is_power_of_two(n)
+        require_power_of_two(n, "n")
+
+    @pytest.mark.parametrize("bad", [0, -2, 3, 6, 12, 1.0, True])
+    def test_non_powers_rejected(self, bad):
+        assert not is_power_of_two(bad)
+        with pytest.raises(SclError):
+            require_power_of_two(bad, "n")
+
+    @given(st.integers(min_value=0, max_value=30))
+    def test_ilog2_inverts_shift(self, k):
+        assert ilog2(1 << k) == k
+
+    def test_ilog2_rejects_non_power(self):
+        with pytest.raises(SclError):
+            ilog2(12)
