@@ -1,0 +1,38 @@
+"""Simulator-core performance harness (tracked, not pytest-benchmark).
+
+The actual implementation lives in :mod:`repro.perf` so library users can
+import it without the benchmark tree on ``sys.path``; this package is the
+conventional front door next to the artefact benchmarks::
+
+    python -m benchmarks.perf            # full suite -> BENCH_simulator.json
+    python -m benchmarks.perf --quick    # CI smoke variant
+
+Unlike the ``benchmarks/test_*`` pytest-benchmark files (which time
+regeneration of the paper's tables and figures), this harness tracks the
+throughput of the discrete-event simulator itself against the frozen
+pre-rewrite seed numbers in :data:`repro.perf.SEED_BASELINE`.
+"""
+
+from repro.perf import (
+    SEED_BASELINE,
+    bench_allreduce,
+    bench_hyperquicksort,
+    bench_ring_sweep,
+    bench_wildcard_funnel,
+    main,
+    render_report,
+    run_suite,
+    write_bench_json,
+)
+
+__all__ = [
+    "SEED_BASELINE",
+    "bench_allreduce",
+    "bench_hyperquicksort",
+    "bench_ring_sweep",
+    "bench_wildcard_funnel",
+    "main",
+    "render_report",
+    "run_suite",
+    "write_bench_json",
+]

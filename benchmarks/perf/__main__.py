@@ -1,0 +1,8 @@
+"""``python -m benchmarks.perf`` — run the simulator performance suite."""
+
+import sys
+
+from repro.perf import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,10 +8,15 @@
     python -m repro ablations            # the four §4 transformation studies
     python -m repro baselines            # hyperquicksort vs bitonic sort
     python -m repro all                  # everything above
+    python -m repro perf                 # simulator-core performance suite
     python -m repro table1 -n 20000 --seed 7   # smaller/quicker variants
 
 Each command prints the reproduced table to stdout; ``--spec`` switches the
 machine model (``ap1000`` / ``modern`` / ``perfect``).
+
+``perf`` is different from the rest: it measures *host* performance of the
+simulator itself (see :mod:`repro.perf`) and takes its own flags —
+``python -m repro perf --help``.
 """
 
 from __future__ import annotations
@@ -160,8 +165,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro",
         description="Regenerate the evaluation of 'Parallel Skeletons for "
                     "Structured Composition' (PPoPP 1995).")
-    parser.add_argument("command", choices=[*_COMMANDS, "all"],
-                        help="which artefact to regenerate")
+    parser.add_argument("command", choices=[*_COMMANDS, "all", "perf"],
+                        help="which artefact to regenerate ('perf' runs the "
+                             "simulator performance suite; see "
+                             "'python -m repro perf --help')")
     parser.add_argument("-n", type=int, default=100_000,
                         help="workload size (default: the paper's 100,000)")
     parser.add_argument("--seed", type=int, default=19950701,
@@ -175,6 +182,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv[:1] == ["perf"]:
+        # The perf suite has its own flag set (--quick/--output/...);
+        # delegate everything after the subcommand to repro.perf.
+        from repro import perf
+
+        return perf.main(argv[1:])
     args = build_parser().parse_args(argv)
     args.spec = _SPECS[args.spec]
     if args.max_dim < 1 or args.max_dim > 10:

@@ -11,6 +11,13 @@ rank.  Because every member computes the same deterministic colouring, no
 communication is needed (unlike ``MPI_Comm_split``, which must exchange
 colours; the simulator's communicators are a modelling convenience, not a
 wire protocol).
+
+Communicator construction sits on the simulator's hot path (nested
+skeletons build one per recursion level per processor), so the class keeps
+two internal fast paths: groups whose members form a contiguous ascending
+pid range (the world communicator and every ``subgroup(range(...))`` of
+one) do all rank arithmetic in O(1) without any lookup table, and member
+lists derived from an already-validated communicator skip re-validation.
 """
 
 from __future__ import annotations
@@ -25,38 +32,57 @@ __all__ = ["Comm"]
 
 
 class Comm:
-    """An ordered processor group with rank-relative messaging."""
+    """An ordered processor group with rank-relative messaging.
 
-    def __init__(self, env: ProcEnv, members: Sequence[int] | None = None):
+    Attributes ``rank`` (this processor's position in the group) and
+    ``size`` (member count) are plain attributes, set at construction.
+    """
+
+    __slots__ = ("env", "members", "size", "rank", "_contig_base",
+                 "_rank_table")
+
+    def __init__(self, env: ProcEnv, members: Sequence[int] | None = None, *,
+                 _trusted: bool = False, _contig_base: int | None = None):
         self.env = env
         if members is None:
-            members = range(env.nprocs)
-        self.members: tuple[int, ...] = tuple(members)
-        if len(set(self.members)) != len(self.members):
-            raise MachineError(f"duplicate members in communicator: {self.members}")
-        for pid in self.members:
-            env.topology.check_node(pid)
-        try:
-            self._rank = self.members.index(env.pid)
-        except ValueError:
-            raise MachineError(
-                f"processor {env.pid} is not a member of communicator "
-                f"{self.members}") from None
+            # World group: members are 0..nprocs-1 by construction.
+            n = env.nprocs
+            self.members: tuple[int, ...] = tuple(range(n))
+            self.size = n
+            self.rank = env.pid
+            self._contig_base: int | None = 0
+            self._rank_table: dict[int, int] | None = None
+            return
+        mm = self.members = tuple(members)
+        self.size = len(mm)
+        self._contig_base = _contig_base
+        self._rank_table = None
+        if not _trusted:
+            if len(set(mm)) != len(mm):
+                raise MachineError(f"duplicate members in communicator: {mm}")
+            n = env.nprocs
+            if not all(type(pid) is int and 0 <= pid < n for pid in mm):
+                # Re-validate one by one for the precise error message.
+                for pid in mm:
+                    env.topology.check_node(pid)
+        if _contig_base is not None:
+            rank = env.pid - _contig_base
+            if not 0 <= rank < self.size:
+                raise MachineError(
+                    f"processor {env.pid} is not a member of communicator {mm}")
+        else:
+            try:
+                rank = mm.index(env.pid)
+            except ValueError:
+                raise MachineError(
+                    f"processor {env.pid} is not a member of communicator "
+                    f"{mm}") from None
+        self.rank = rank
 
     @classmethod
     def world(cls, env: ProcEnv) -> "Comm":
         """The communicator containing every processor of the machine."""
         return cls(env)
-
-    @property
-    def rank(self) -> int:
-        """This processor's rank within the group."""
-        return self._rank
-
-    @property
-    def size(self) -> int:
-        """Number of group members."""
-        return len(self.members)
 
     def pid_of(self, rank: int) -> int:
         """Global processor id of a group rank."""
@@ -67,19 +93,34 @@ class Comm:
     def send(self, dst_rank: int, payload: Any, *, tag: int = 0,
              nbytes: int | None = None) -> Send:
         """Request: send ``payload`` to the member with rank ``dst_rank``."""
-        return self.env.send(self.pid_of(dst_rank), payload, tag=tag, nbytes=nbytes)
+        # Inlined ``pid_of`` + ``env.send`` (identical checks and result).
+        if not (0 <= dst_rank < self.size):
+            raise MachineError(f"rank {dst_rank} out of range for size-{self.size} comm")
+        return Send(self.members[dst_rank], payload, tag, nbytes)
 
     def recv(self, src_rank: int | Any = ANY, *, tag: int | Any = ANY) -> Recv:
         """Request: receive from rank ``src_rank`` (or any member)."""
-        src = ANY if src_rank is ANY else self.pid_of(src_rank)
-        return self.env.recv(src, tag=tag)
+        if src_rank is ANY:
+            return Recv(ANY, tag)
+        if not (0 <= src_rank < self.size):
+            raise MachineError(f"rank {src_rank} out of range for size-{self.size} comm")
+        return Recv(self.members[src_rank], tag)
 
     def rank_of_pid(self, pid: int) -> int:
         """Group rank of a global processor id (must be a member)."""
-        try:
-            return self.members.index(pid)
-        except ValueError:
-            raise MachineError(f"pid {pid} not in communicator {self.members}") from None
+        base = self._contig_base
+        if base is not None:
+            rank = pid - base
+            if 0 <= rank < self.size and type(pid) is int:
+                return rank
+            raise MachineError(f"pid {pid} not in communicator {self.members}")
+        table = self._rank_table
+        if table is None:
+            table = self._rank_table = {p: i for i, p in enumerate(self.members)}
+        rank = table.get(pid)
+        if rank is None:
+            raise MachineError(f"pid {pid} not in communicator {self.members}")
+        return rank
 
     def split(self, color_fn: Callable[[int], int],
               key_fn: Callable[[int], int] | None = None) -> "Comm":
@@ -90,15 +131,25 @@ class Comm:
         (default: rank order).  Deterministic — every member must use the
         same functions.
         """
-        my_color = color_fn(self._rank)
+        my_color = color_fn(self.rank)
         ranks = [r for r in range(self.size) if color_fn(r) == my_color]
         if key_fn is not None:
             ranks.sort(key=key_fn)
-        return Comm(self.env, [self.members[r] for r in ranks])
+        # Members come from this (validated) group and ranks are unique.
+        return Comm(self.env, [self.members[r] for r in ranks], _trusted=True)
 
     def subgroup(self, ranks: Sequence[int]) -> "Comm":
         """Sub-communicator of the given ranks (this rank must be included)."""
-        return Comm(self.env, [self.pid_of(r) for r in ranks])
+        if type(ranks) is range and ranks.step == 1:
+            lo, hi = ranks.start, ranks.stop
+            if lo < 0 or hi > self.size:
+                bad = lo if lo < 0 else hi - 1
+                raise MachineError(
+                    f"rank {bad} out of range for size-{self.size} comm")
+            base = self._contig_base
+            return Comm(self.env, self.members[lo:hi], _trusted=True,
+                        _contig_base=None if base is None else base + lo)
+        return Comm(self.env, [self.pid_of(r) for r in ranks], _trusted=True)
 
     def __repr__(self) -> str:
-        return f"Comm(rank={self._rank}/{self.size}, members={self.members})"
+        return f"Comm(rank={self.rank}/{self.size}, members={self.members})"

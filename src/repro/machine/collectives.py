@@ -82,7 +82,25 @@ def bcast(comm: Comm, value: Any = None, *, root: int = 0,
     Non-root members may pass ``value=None``; the broadcast value replaces it.
     """
     size = comm.size
+    if root == 0:
+        # Dominant case: vrank == rank and no modular renaming.
+        v = comm.rank
+        if size == 1:
+            return value
+        mask = 1
+        while mask < size:
+            if v < mask:
+                dst = v + mask
+                if dst < size:
+                    yield comm.send(dst, value, tag=_TAG_BCAST, nbytes=nbytes)
+            elif v < 2 * mask:
+                msg = yield comm.recv(v - mask, tag=_TAG_BCAST)
+                value = msg.payload
+            mask <<= 1
+        return value
     v = _vrank(comm, root)
+    if size == 1:  # singleton group: nothing moves
+        return value
     mask = 1
     while mask < size:
         if v < mask:
@@ -109,6 +127,8 @@ def reduce(comm: Comm, value: Any, op: Callable[[Any, Any], Any], *,
     size = comm.size
     if not (0 <= root < size):
         raise MachineError(f"root {root} out of range for size-{size} comm")
+    if size == 1:  # singleton group: the value is already reduced
+        return value
     rank = comm.rank
     acc = value
     mask = 1
@@ -221,7 +241,9 @@ def scatter(comm: Comm, values: Sequence[Any] | None = None, *, root: int = 0,
     for bit in (1 << i for i in reversed(range(k + 1))):
         child = v + bit
         if bit < limit and child < size:
-            sub = {u: block[u] for u in block if child <= u < child + bit}
+            # the child's block is the contiguous vrank range [child, child+bit)
+            sub = {u: block[u] for u in range(child, min(child + bit, size))
+                   if u in block}
             if sub:
                 yield comm.send(_from_vrank(comm, child, root), sub,
                                 tag=_TAG_SCATTER, nbytes=nbytes)

@@ -138,13 +138,25 @@ PERFECT = MachineSpec(
 )
 
 
+#: Scalar types known to cost exactly one word each.  Seeded with the
+#: built-ins; NumPy scalar types (and any other ``numbers.Number``
+#: registrant) are added on first sight so homogeneous lists of them take
+#: the flat fast path too.
+_NUMERIC_SCALAR_TYPES: set[type] = {int, float, bool, complex}
+
+
 def estimate_nbytes(payload: Any, word_bytes: int = 8) -> int:
     """Estimate the wire size of a message payload.
 
-    NumPy arrays report their exact buffer size; scalars cost one word;
-    sequences cost one word per element (recursively for nesting); ``None``
-    and other opaque objects cost one word.  This is deliberately simple —
-    programs that care pass an explicit ``nbytes`` to ``send``.
+    NumPy arrays, ``bytes``/``bytearray`` and ``memoryview`` objects report
+    their exact buffer size; scalars cost one word; sequences cost one word
+    per element (recursively for nesting); ``None`` and other opaque
+    objects cost one word.  This is deliberately simple — programs that
+    care pass an explicit ``nbytes`` to ``send``.
+
+    A flat list or tuple whose elements are all the same numeric type is
+    costed as ``len * word_bytes`` directly (identical to the recursive
+    definition) without the per-element recursion.
     """
     if isinstance(payload, np.ndarray):
         return int(payload.nbytes)
@@ -152,9 +164,17 @@ def estimate_nbytes(payload: Any, word_bytes: int = 8) -> int:
         return word_bytes
     if payload is None:
         return word_bytes
-    if isinstance(payload, (str, bytes)):
+    if isinstance(payload, (str, bytes, bytearray)):
         return max(len(payload), 1)
+    if isinstance(payload, memoryview):
+        return max(payload.nbytes, 1)
     if isinstance(payload, (list, tuple, set, frozenset)):
+        if payload and isinstance(payload, (list, tuple)):
+            t0 = type(payload[0])
+            if t0 not in _NUMERIC_SCALAR_TYPES and isinstance(payload[0], numbers.Number):
+                _NUMERIC_SCALAR_TYPES.add(t0)
+            if t0 in _NUMERIC_SCALAR_TYPES and all(type(x) is t0 for x in payload):
+                return len(payload) * word_bytes
         return max(word_bytes,
                    sum(estimate_nbytes(item, word_bytes) for item in payload))
     if isinstance(payload, dict):

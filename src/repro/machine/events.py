@@ -15,6 +15,13 @@ concrete ``(src, tag)`` pair is FIFO in send order and fully deterministic;
 ANY-source matching picks the earliest delivered candidate, which mirrors
 the paper's remark that many-to-one communication is non-deterministic
 ("no ordering of the elements may be assumed").
+
+All four classes are ``slots=True`` dataclasses: the simulator allocates
+one request or message object per event, so the per-instance ``__dict__``
+would be pure overhead on the hot path.  Only :class:`Compute` is frozen
+(it validates its field); the others are immutable by convention — a
+frozen dataclass builds every instance through ``object.__setattr__``,
+which costs several times a plain ``__init__`` at this allocation rate.
 """
 
 from __future__ import annotations
@@ -43,7 +50,7 @@ class _Any:
 ANY = _Any()
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Compute:
     """Charge ``seconds`` of CPU time to the yielding processor."""
 
@@ -54,7 +61,7 @@ class Compute:
             raise ValueError(f"Compute.seconds must be non-negative, got {self.seconds!r}")
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(slots=True)
 class Send:
     """Asynchronous send of ``payload`` to processor ``dst``.
 
@@ -70,7 +77,7 @@ class Send:
     nbytes: int | None = None
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(slots=True)
 class Recv:
     """Blocking receive matching ``src`` and ``tag`` (either may be ANY).
 
@@ -88,7 +95,7 @@ class Recv:
         )
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(slots=True)
 class Message:
     """A delivered message: payload plus provenance and timing metadata."""
 

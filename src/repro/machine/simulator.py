@@ -25,11 +25,44 @@ Accounting: per processor the simulator tracks compute seconds, messaging
 overhead seconds, idle (blocked-waiting) seconds, message and byte counters;
 :class:`RunResult` aggregates them and exposes the makespan used by all the
 benchmarks in this repository.
+
+Engine internals (host performance)
+-----------------------------------
+
+The hot path is O(log p) per event, not O(p):
+
+* **Run queue** — a ``heapq`` of ``(clock, pid)`` entries.  An entry exists
+  exactly for each *ready* processor (blocked and finished processors have
+  none), so popping the heap yields the same ``min (clock, pid)`` order the
+  original ready-list scan produced, at O(log p) per step.  A status/clock
+  guard on pop lazily discards entries that a future code path might
+  invalidate; with the current transitions every popped entry is valid.
+* **Mailboxes** — per-processor :class:`_Mailbox` indexes: a
+  ``dict[(src, tag)] -> deque`` FIFO for the concrete fast path (the
+  documented send-order matching), plus arrival-ordered heaps, built lazily
+  per wildcard pattern, that reproduce the documented "earliest delivered
+  candidate" rule for ``ANY``-source/``ANY``-tag receives bit-for-bit.
+  Messages consumed through one index are lazily invalidated in the others
+  via a live-sequence set.
+* **Direct hand-off** — a message arriving for a processor that is already
+  blocked on a matching receive is handed to it without touching the
+  mailbox (while blocked, the mailbox can contain no matching message, so
+  the newcomer is always the unique earliest candidate).
+* **Routing** — hop counts come from per-source rows cached on the
+  topology (:meth:`Topology.hop_row`), so a send costs one list index
+  instead of a validated shortest-path recomputation.
+
+The retained pre-optimisation engine
+(:class:`repro.machine._reference.ReferenceMachine`) is the oracle:
+``tests/machine/test_equivalence.py`` asserts both engines produce
+identical values, stats, makespans and traces.
 """
 
 from __future__ import annotations
 
 import dataclasses
+from collections import deque
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Sequence
 
 from repro.errors import DeadlockError, MachineError
@@ -47,7 +80,7 @@ _BLOCKED = "blocked"
 _DONE = "done"
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class ProcStats:
     """Per-processor accounting accumulated during a run."""
 
@@ -74,6 +107,9 @@ class RunResult:
     values: list[Any]
     stats: list[ProcStats]
     trace: Trace | None = None
+    #: Number of simulation requests (computes + sends + receives) the
+    #: engine processed — the event count behind host-throughput metrics.
+    events: int = 0
 
     @property
     def nprocs(self) -> int:
@@ -126,6 +162,7 @@ class ProcEnv:
     def __init__(self, machine: "Machine", pid: int):
         self._machine = machine
         self.pid = pid
+        self._flop_time = machine.spec.flop_time
 
     @property
     def nprocs(self) -> int:
@@ -153,26 +190,141 @@ class ProcEnv:
 
     def work(self, ops: float) -> Compute:
         """Request: charge CPU time for ``ops`` elementary operations."""
-        return Compute(self.spec.compute_time(ops))
+        # Inlined ``spec.compute_time`` (identical arithmetic and error).
+        # ``float()`` demotes NumPy scalars to the identical IEEE double;
+        # otherwise one np.float64 turns every downstream clock comparison
+        # and heap operation into slow NumPy scalar arithmetic.
+        ops = float(ops)
+        if ops < 0:
+            raise MachineError(f"ops must be non-negative, got {ops}")
+        return Compute(ops * self._flop_time)
 
     def send(self, dst: int, payload: Any, *, tag: int = 0,
              nbytes: int | None = None) -> Send:
         """Request: asynchronously send ``payload`` to processor ``dst``."""
-        return Send(dst=dst, payload=payload, tag=tag, nbytes=nbytes)
+        return Send(dst, payload, tag, nbytes)
 
     def recv(self, src: int | Any = ANY, *, tag: int | Any = ANY) -> Recv:
         """Request: block until a message matching ``(src, tag)`` arrives."""
-        return Recv(src=src, tag=tag)
+        return Recv(src, tag)
 
     def __repr__(self) -> str:
         return f"ProcEnv(pid={self.pid}, nprocs={self.nprocs})"
+
+
+class _Mailbox:
+    """Indexed pending-message store for one processor.
+
+    Messages live in per-``(src, tag)`` FIFO deques — the concrete-receive
+    fast path, matching in send order exactly as documented.  Wildcard
+    receives need the *earliest delivered* candidate (min ``(arrival,
+    seq)``), which send order does not give (a small message can overtake a
+    big one), so arrival-ordered heaps are kept per wildcard pattern: one
+    for ``(ANY, ANY)``, one per concrete source for ``(src, ANY)``, one per
+    concrete tag for ``(ANY, tag)``.  Each heap is built on the first
+    receive that needs it and maintained incrementally afterwards.
+
+    A message consumed through one index stays in the others; ``live``
+    (the set of pending sequence numbers) lazily invalidates those stale
+    entries when they surface.
+    """
+
+    __slots__ = ("fifo", "live", "count", "heaped", "any_heap", "src_heaps",
+                 "tag_heaps")
+
+    def __init__(self) -> None:
+        self.fifo: dict[tuple[Any, Any], deque[Message]] = {}
+        self.live: set[int] = set()
+        self.count = 0
+        #: True once any wildcard heap exists; lets ``add`` skip the
+        #: heap-maintenance checks entirely for concrete-only mailboxes.
+        self.heaped = False
+        self.any_heap: list[tuple[float, int, Message]] | None = None
+        self.src_heaps: dict[Any, list[tuple[float, int, Message]]] = {}
+        self.tag_heaps: dict[Any, list[tuple[float, int, Message]]] = {}
+
+    def add(self, msg: Message) -> None:
+        key = (msg.src, msg.tag)
+        d = self.fifo.get(key)
+        if d is None:
+            d = self.fifo[key] = deque()
+        d.append(msg)
+        self.live.add(msg.seq)
+        self.count += 1
+        if self.heaped:
+            entry = (msg.arrival, msg.seq, msg)
+            if self.any_heap is not None:
+                heappush(self.any_heap, entry)
+            if self.src_heaps:
+                h = self.src_heaps.get(msg.src)
+                if h is not None:
+                    heappush(h, entry)
+            if self.tag_heaps:
+                h = self.tag_heaps.get(msg.tag)
+                if h is not None:
+                    heappush(h, entry)
+
+    def _build_heap(self, pred: Callable[[Message], bool]
+                    ) -> list[tuple[float, int, Message]]:
+        live = self.live
+        heap = [(m.arrival, m.seq, m)
+                for d in self.fifo.values() for m in d
+                if m.seq in live and pred(m)]
+        heapify(heap)
+        return heap
+
+    def _pop_heap(self, heap: list[tuple[float, int, Message]]) -> Message | None:
+        live = self.live
+        while heap:
+            _, seq, msg = heappop(heap)
+            if seq in live:
+                live.remove(seq)
+                self.count -= 1
+                return msg
+        return None
+
+    def pop_match(self, recv: Recv) -> Message | None:
+        """Remove and return the message ``recv`` matches, if any.
+
+        Concrete ``(src, tag)``: FIFO in send order.  Any wildcard: the
+        earliest-delivered candidate, i.e. min ``(arrival, seq)`` — the
+        exact selection rule of the reference engine.
+        """
+        src, tag = recv.src, recv.tag
+        if src is not ANY and tag is not ANY:
+            d = self.fifo.get((src, tag))
+            if not d:
+                return None
+            live = self.live
+            while d:
+                msg = d.popleft()
+                if msg.seq in live:
+                    live.remove(msg.seq)
+                    self.count -= 1
+                    return msg
+            return None
+        self.heaped = True
+        if src is not ANY:
+            h = self.src_heaps.get(src)
+            if h is None:
+                h = self.src_heaps[src] = self._build_heap(lambda m: m.src == src)
+            return self._pop_heap(h)
+        if tag is not ANY:
+            h = self.tag_heaps.get(tag)
+            if h is None:
+                h = self.tag_heaps[tag] = self._build_heap(lambda m: m.tag == tag)
+            return self._pop_heap(h)
+        h = self.any_heap
+        if h is None:
+            h = self.any_heap = self._build_heap(lambda m: True)
+        return self._pop_heap(h)
 
 
 class _Proc:
     """Internal per-processor simulator state."""
 
     __slots__ = ("pid", "gen", "status", "pending_recv", "resume_value",
-                 "recv_posted_at", "mailbox", "value")
+                 "recv_posted_at", "box", "value")
 
     def __init__(self, pid: int, gen: Generator[Any, Any, Any]):
         self.pid = pid
@@ -181,7 +333,7 @@ class _Proc:
         self.pending_recv: Recv | None = None
         self.resume_value: Any = None
         self.recv_posted_at = 0.0
-        self.mailbox: list[Message] = []
+        self.box = _Mailbox()
         self.value: Any = None
 
 
@@ -239,6 +391,7 @@ class Machine:
         self._tx_free = [0.0] * n
         self._rx_free = [0.0] * n
         trace = Trace() if self.record_trace else None
+        trace_record = None if trace is None else trace.record
         stats = [ProcStats(pid=p) for p in range(n)]
         procs = []
         for pid in range(n):
@@ -250,120 +403,214 @@ class Machine:
                     f"(did you forget to yield?); got {type(gen).__name__}")
             procs.append(_Proc(pid, gen))
 
+        # Hot-loop locals: attribute lookups cost more than the arithmetic
+        # they feed at this event rate.
+        clock = self._clock
+        tx_free = self._tx_free
+        rx_free = self._rx_free
+        topology = self.topology
+        spec = self.spec
+        send_ovh = spec.send_overhead
+        recv_ovh = spec.recv_overhead
+        latency = spec.latency
+        per_hop = spec.per_hop_latency
+        bandwidth = spec.bandwidth
+        word_bytes = spec.word_bytes
+        single_port = self.single_port
+        hop_rows: list[list[int] | None] = [None] * n
+
         send_seq = 0
         alive = n
+        events = 0
+        # One (clock, pid) entry per ready processor; blocked/done have none.
+        heap: list[tuple[float, int]] = [(0.0, pid) for pid in range(n)]
 
-        def deliver(msg: Message) -> None:
-            dst = procs[msg.dst]
-            if dst.status == _DONE:
-                raise MachineError(
-                    f"message {msg!r} sent to already-finished processor {msg.dst}")
-            dst.mailbox.append(msg)
-            if dst.status == _BLOCKED and dst.pending_recv is not None:
-                self._try_unblock(dst, stats[dst.pid], trace)
+        def complete_recv(proc: _Proc, st: ProcStats, msg: Message) -> None:
+            """Finish ``proc``'s pending receive with ``msg`` and requeue it."""
+            pid = proc.pid
+            wait_start = proc.recv_posted_at
+            arrival = msg.arrival
+            ready_at = arrival if arrival > wait_start else wait_start
+            st.idle_seconds += ready_at - wait_start
+            t = ready_at + recv_ovh
+            clock[pid] = t
+            st.overhead_seconds += recv_ovh
+            st.msgs_received += 1
+            st.bytes_received += msg.nbytes
+            if trace_record is not None:
+                trace_record(pid, "recv", wait_start, t,
+                             src=msg.src, tag=msg.tag, nbytes=msg.nbytes)
+            proc.status = _READY
+            proc.pending_recv = None
+            proc.resume_value = msg
+            heappush(heap, (t, pid))
 
         while alive > 0:
-            runnable = [p for p in procs if p.status == _READY]
-            if not runnable:
-                blocked = [p.pid for p in procs if p.status == _BLOCKED]
-                raise DeadlockError(
-                    f"deadlock: processors {blocked} blocked on receives "
-                    f"that can never be satisfied")
-            proc = min(runnable, key=lambda p: (self._clock[p.pid], p.pid))
-            pid = proc.pid
-            st = stats[pid]
-            try:
-                request = proc.gen.send(proc.resume_value)
-            except StopIteration as stop:
-                proc.status = _DONE
-                proc.value = stop.value
-                st.finish_time = self._clock[pid]
-                alive -= 1
-                if proc.mailbox:
-                    raise MachineError(
-                        f"processor {pid} finished with {len(proc.mailbox)} "
-                        f"unconsumed messages in its mailbox")
-                continue
-            proc.resume_value = None
-
-            if isinstance(request, Compute):
-                start = self._clock[pid]
-                self._clock[pid] = start + request.seconds
-                st.compute_seconds += request.seconds
-                if trace is not None:
-                    trace.record(pid, "compute", start, self._clock[pid])
-            elif isinstance(request, Send):
-                self.topology.check_node(request.dst)
-                if request.dst == pid:
-                    raise MachineError(f"processor {pid} sent a message to itself")
-                nbytes = (estimate_nbytes(request.payload, self.spec.word_bytes)
-                          if request.nbytes is None else int(request.nbytes))
-                start = self._clock[pid]
-                self._clock[pid] = start + self.spec.send_overhead
-                st.overhead_seconds += self.spec.send_overhead
-                hops = max(1, self.topology.hops(pid, request.dst))
-                if self.single_port:
-                    wire = nbytes / self.spec.bandwidth
-                    startup = (self.spec.latency
-                               + self.spec.per_hop_latency * (hops - 1))
-                    tx_start = max(self._clock[pid], self._tx_free[pid])
-                    self._tx_free[pid] = tx_start + wire
-                    arrival = max(tx_start + startup,
-                                  self._rx_free[request.dst]) + wire
-                    self._rx_free[request.dst] = arrival
-                else:
-                    arrival = self._clock[pid] + self.spec.transfer_time(nbytes, hops)
-                send_seq += 1
-                msg = Message(src=pid, dst=request.dst, tag=request.tag,
-                              payload=request.payload, nbytes=nbytes,
-                              sent_at=start, arrival=arrival, seq=send_seq)
-                st.msgs_sent += 1
-                st.bytes_sent += nbytes
-                if trace is not None:
-                    trace.record(pid, "send", start, self._clock[pid],
-                                 dst=request.dst, tag=request.tag, nbytes=nbytes)
-                deliver(msg)
-            elif isinstance(request, Recv):
-                proc.status = _BLOCKED
-                proc.pending_recv = request
-                proc.recv_posted_at = self._clock[pid]
-                self._try_unblock(proc, st, trace)
-            else:
-                raise MachineError(
-                    f"processor {pid} yielded {request!r}; expected "
-                    f"Compute, Send or Recv (use `yield from` for collectives)")
-
-        return RunResult(values=[p.value for p in procs], stats=stats, trace=trace)
-
-    def _try_unblock(self, proc: _Proc, st: ProcStats, trace: Trace | None) -> None:
-        """Complete ``proc``'s pending receive if a matching message exists."""
-        recv = proc.pending_recv
-        assert recv is not None
-        best_idx = -1
-        for i, msg in enumerate(proc.mailbox):
-            if recv.matches(msg):
-                if best_idx < 0 or (
-                    (msg.arrival, msg.seq)
-                    < (proc.mailbox[best_idx].arrival, proc.mailbox[best_idx].seq)
-                ):
-                    best_idx = i
-                # concrete-(src,tag) receives are FIFO in send order
-                if recv.src is not ANY and recv.tag is not ANY:
+            while True:
+                if not heap:
+                    blocked = [p.pid for p in procs if p.status == _BLOCKED]
+                    raise DeadlockError(
+                        f"deadlock: processors {blocked} blocked on receives "
+                        f"that can never be satisfied")
+                t, pid = heappop(heap)
+                proc = procs[pid]
+                # Lazy invalidation guard; every entry is valid under the
+                # current transition rules (see module docstring).
+                if proc.status == _READY and clock[pid] == t:
                     break
-        if best_idx < 0:
-            return
-        msg = proc.mailbox.pop(best_idx)
-        pid = proc.pid
-        wait_start = proc.recv_posted_at
-        ready_at = max(wait_start, msg.arrival)
-        st.idle_seconds += ready_at - wait_start
-        self._clock[pid] = ready_at + self.spec.recv_overhead
-        st.overhead_seconds += self.spec.recv_overhead
-        st.msgs_received += 1
-        st.bytes_received += msg.nbytes
-        if trace is not None:
-            trace.record(pid, "recv", wait_start, self._clock[pid],
-                         src=msg.src, tag=msg.tag, nbytes=msg.nbytes)
-        proc.status = _READY
-        proc.pending_recv = None
-        proc.resume_value = msg
+            st = stats[pid]
+            gen_send = proc.gen.send
+            while True:
+                try:
+                    request = gen_send(proc.resume_value)
+                except StopIteration as stop:
+                    proc.status = _DONE
+                    proc.value = stop.value
+                    st.finish_time = clock[pid]
+                    alive -= 1
+                    if proc.box.count:
+                        raise MachineError(
+                            f"processor {pid} finished with {proc.box.count} "
+                            f"unconsumed messages in its mailbox")
+                    break
+                proc.resume_value = None
+                events += 1
+
+                cls = request.__class__
+                if cls is not Compute and cls is not Send and cls is not Recv:
+                    # Normalise subclasses onto the exact-type dispatch below.
+                    if isinstance(request, Compute):
+                        cls = Compute
+                    elif isinstance(request, Send):
+                        cls = Send
+                    elif isinstance(request, Recv):
+                        cls = Recv
+                    else:
+                        raise MachineError(
+                            f"processor {pid} yielded {request!r}; expected "
+                            f"Compute, Send or Recv (use `yield from` for collectives)")
+
+                if cls is Compute:
+                    seconds = request.seconds
+                    if seconds.__class__ is not float:
+                        # Same IEEE double; keeps clocks/heap keys C floats.
+                        seconds = float(seconds)
+                    start = clock[pid]
+                    t = start + seconds
+                    clock[pid] = t
+                    st.compute_seconds += seconds
+                    if trace_record is not None:
+                        trace_record(pid, "compute", start, t)
+                elif cls is Send:
+                    dst = request.dst
+                    if dst.__class__ is not int or not 0 <= dst < n:
+                        topology.check_node(dst)
+                    if dst == pid:
+                        raise MachineError(f"processor {pid} sent a message to itself")
+                    nb = request.nbytes
+                    nbytes = (estimate_nbytes(request.payload, word_bytes)
+                              if nb is None else int(nb))
+                    start = clock[pid]
+                    t = start + send_ovh
+                    clock[pid] = t
+                    st.overhead_seconds += send_ovh
+                    row = hop_rows[pid]
+                    if row is None:
+                        row = hop_rows[pid] = topology.hop_row(pid)
+                    hops = row[dst]
+                    if hops < 1:
+                        hops = 1
+                    if single_port:
+                        wire = nbytes / bandwidth
+                        startup = latency + per_hop * (hops - 1)
+                        txf = tx_free[pid]
+                        tx_start = t if t > txf else txf
+                        tx_free[pid] = tx_start + wire
+                        a0 = tx_start + startup
+                        rxf = rx_free[dst]
+                        arrival = (a0 if a0 > rxf else rxf) + wire
+                        rx_free[dst] = arrival
+                    else:
+                        if nbytes < 0:
+                            raise MachineError(
+                                f"nbytes must be non-negative, got {nbytes}")
+                        arrival = t + (latency + per_hop * (hops - 1)
+                                       + nbytes / bandwidth)
+                    send_seq += 1
+                    tag = request.tag
+                    msg = Message(pid, dst, tag, request.payload, nbytes,
+                                  start, arrival, send_seq)
+                    st.msgs_sent += 1
+                    st.bytes_sent += nbytes
+                    if trace_record is not None:
+                        trace_record(pid, "send", start, t,
+                                     dst=dst, tag=tag, nbytes=nbytes)
+                    dproc = procs[dst]
+                    dstatus = dproc.status
+                    if dstatus == _DONE:
+                        raise MachineError(
+                            f"message {msg!r} sent to already-finished processor {dst}")
+                    recv = dproc.pending_recv
+                    if (dstatus == _BLOCKED and recv is not None
+                            and (recv.src is ANY or recv.src == pid)
+                            and (recv.tag is ANY or recv.tag == tag)):
+                        # Direct hand-off: a blocked processor's mailbox holds no
+                        # matching message (it would have unblocked already), so
+                        # the newcomer is the unique earliest candidate.
+                        complete_recv(dproc, stats[dst], msg)
+                    else:
+                        dproc.box.add(msg)
+                else:  # Recv
+                    box = proc.box
+                    msg = None
+                    if box.count:
+                        src = request.src
+                        rtag = request.tag
+                        if src is not ANY and rtag is not ANY:
+                            # Concrete receive: FIFO deque, inlined from
+                            # _Mailbox.pop_match (the dominant match kind).
+                            d = box.fifo.get((src, rtag))
+                            if d:
+                                live = box.live
+                                while d:
+                                    m = d.popleft()
+                                    if m.seq in live:
+                                        live.remove(m.seq)
+                                        box.count -= 1
+                                        msg = m
+                                        break
+                        else:
+                            msg = box.pop_match(request)
+                    if msg is None:
+                        proc.status = _BLOCKED
+                        proc.pending_recv = request
+                        proc.recv_posted_at = clock[pid]
+                        break
+                    # Matching message already delivered: complete the
+                    # receive in place (same accounting as complete_recv,
+                    # without the transient blocked state or heap traffic).
+                    wait_start = clock[pid]
+                    arrival = msg.arrival
+                    ready_at = arrival if arrival > wait_start else wait_start
+                    st.idle_seconds += ready_at - wait_start
+                    t = ready_at + recv_ovh
+                    clock[pid] = t
+                    st.overhead_seconds += recv_ovh
+                    st.msgs_received += 1
+                    st.bytes_received += msg.nbytes
+                    if trace_record is not None:
+                        trace_record(pid, "recv", wait_start, t,
+                                     src=msg.src, tag=msg.tag, nbytes=msg.nbytes)
+                    proc.resume_value = msg
+                # The processor stays READY at time ``t`` after a Compute or
+                # Send.  If ``(t, pid)`` is still no later than every queued
+                # entry, this processor is provably the next to be scheduled
+                # (queued keys lower-bound every ready processor's key), so
+                # keep driving it and skip the heap round-trip.  Otherwise
+                # requeue and reselect.
+                if heap and (t, pid) > heap[0]:
+                    heappush(heap, (t, pid))
+                    break
+
+        return RunResult(values=[p.value for p in procs], stats=stats,
+                         trace=trace, events=events)

@@ -36,6 +36,8 @@ class Topology(abc.ABC):
         if not isinstance(size, int) or isinstance(size, bool) or size <= 0:
             raise TopologyError(f"topology size must be a positive int, got {size!r}")
         self._size = size
+        self._hop_rows: dict[int, list[int]] = {}
+        self._diameter: int | None = None
 
     @property
     def size(self) -> int:
@@ -51,15 +53,46 @@ class Topology(abc.ABC):
     def hops(self, src: int, dst: int) -> int:
         """Shortest-path length between ``src`` and ``dst`` (0 if equal)."""
 
+    def _hops_nocheck(self, src: int, dst: int) -> int:
+        """``hops`` for already-validated addresses; subclasses override."""
+        return self.hops(src, dst)
+
+    def hop_row(self, src: int) -> list[int]:
+        """Hop counts from ``src`` to every node, cached per source.
+
+        The simulator's send path indexes these rows instead of calling
+        the validated :meth:`hops` per message; rows are built once per
+        source actually used, so memory stays O(p · active senders).
+        """
+        row = self._hop_rows.get(src)
+        if row is None:
+            self.check_node(src)
+            row = self._hop_rows[src] = self._hop_row_build(src)
+        return row
+
+    def _hop_row_build(self, src: int) -> list[int]:
+        """Build one hop row; subclasses override with a direct listcomp
+        (one Python-level call per row instead of one per entry)."""
+        nocheck = self._hops_nocheck
+        return [nocheck(src, dst) for dst in range(self._size)]
+
     @abc.abstractmethod
     def neighbors(self, node: int) -> tuple[int, ...]:
         """Directly connected processors of ``node``."""
 
     def diameter(self) -> int:
-        """Maximum hop count over all pairs (computed by definition)."""
-        return max(
-            self.hops(a, b) for a in range(self._size) for b in range(self._size)
-        ) if self._size > 1 else 0
+        """Maximum hop count over all pairs (computed once, then cached).
+
+        Subclasses with a closed form override this entirely; the generic
+        all-pairs scan runs at most once per topology instance.
+        """
+        if self._diameter is None:
+            size = self._size
+            self._diameter = max(
+                self._hops_nocheck(a, b)
+                for a in range(size) for b in range(size)
+            ) if size > 1 else 0
+        return self._diameter
 
     def edges(self) -> Iterator[tuple[int, int]]:
         """Undirected edge list (each edge once, ``a < b``)."""
@@ -91,11 +124,16 @@ class Hypercube(Topology):
     partner function of the paper's hyperquicksort.
     """
 
+    _SHARED_ROWS: dict[int, dict[int, list[int]]] = {}
+
     def __init__(self, dim: int):
         if not isinstance(dim, int) or isinstance(dim, bool) or dim < 0:
             raise TopologyError(f"hypercube dimension must be a non-negative int, got {dim!r}")
         super().__init__(1 << dim)
         self._dim = dim
+        # Routing depends only on ``dim``: share the lazily built hop rows
+        # across instances so repeated simulations don't rebuild them.
+        self._hop_rows = Hypercube._SHARED_ROWS.setdefault(dim, {})
 
     @classmethod
     def of_size(cls, size: int) -> "Hypercube":
@@ -120,6 +158,12 @@ class Hypercube(Topology):
         self.check_node(dst)
         return (src ^ dst).bit_count()
 
+    def _hops_nocheck(self, src: int, dst: int) -> int:
+        return (src ^ dst).bit_count()
+
+    def _hop_row_build(self, src: int) -> list[int]:
+        return [(src ^ dst).bit_count() for dst in range(self._size)]
+
     def neighbors(self, node: int) -> tuple[int, ...]:
         self.check_node(node)
         return tuple(node ^ (1 << d) for d in range(self._dim))
@@ -134,11 +178,26 @@ class Hypercube(Topology):
 class Ring(Topology):
     """1-D torus: node ``i`` connects to ``(i±1) mod size``."""
 
+    _SHARED_ROWS: dict[int, dict[int, list[int]]] = {}
+
+    def __init__(self, size: int):
+        super().__init__(size)
+        # Routing depends only on ``size``; share rows across instances.
+        self._hop_rows = Ring._SHARED_ROWS.setdefault(size, {})
+
     def hops(self, src: int, dst: int) -> int:
         self.check_node(src)
         self.check_node(dst)
         d = abs(src - dst)
         return min(d, self._size - d)
+
+    def _hops_nocheck(self, src: int, dst: int) -> int:
+        d = abs(src - dst)
+        return min(d, self._size - d)
+
+    def _hop_row_build(self, src: int) -> list[int]:
+        size = self._size
+        return [min(d, size - d) for d in (abs(src - dst) for dst in range(size))]
 
     def neighbors(self, node: int) -> tuple[int, ...]:
         self.check_node(node)
@@ -169,6 +228,10 @@ class Mesh2D(Topology):
         self._rows = rows
         self._cols = cols
         self._torus = torus
+        # Routing depends only on the mesh parameters; share rows.
+        self._hop_rows = Mesh2D._SHARED_ROWS.setdefault((rows, cols, torus), {})
+
+    _SHARED_ROWS: dict[tuple[int, int, bool], dict[int, list[int]]] = {}
 
     @property
     def rows(self) -> int:
@@ -201,6 +264,20 @@ class Mesh2D(Topology):
         (r1, c1), (r2, c2) = self.coords(src), self.coords(dst)
         return self._axis_dist(r1, r2, self._rows) + self._axis_dist(c1, c2, self._cols)
 
+    def _hops_nocheck(self, src: int, dst: int) -> int:
+        cols = self._cols
+        r1, c1 = divmod(src, cols)
+        r2, c2 = divmod(dst, cols)
+        return self._axis_dist(r1, r2, self._rows) + self._axis_dist(c1, c2, cols)
+
+    def diameter(self) -> int:
+        # Closed form: the farthest pair is extremal on both axes
+        # independently — half the extent per axis with wrap-around,
+        # the full extent minus one without.
+        if self._torus:
+            return self._rows // 2 + self._cols // 2
+        return (self._rows - 1) + (self._cols - 1)
+
     def neighbors(self, node: int) -> tuple[int, ...]:
         r, c = self.coords(node)
         out: list[int] = []
@@ -224,10 +301,25 @@ class Mesh2D(Topology):
 class FullyConnected(Topology):
     """Complete graph: every distinct pair is one hop apart."""
 
+    _SHARED_ROWS: dict[int, dict[int, list[int]]] = {}
+
+    def __init__(self, size: int):
+        super().__init__(size)
+        # Routing depends only on ``size``; share rows across instances.
+        self._hop_rows = FullyConnected._SHARED_ROWS.setdefault(size, {})
+
     def hops(self, src: int, dst: int) -> int:
         self.check_node(src)
         self.check_node(dst)
         return 0 if src == dst else 1
+
+    def _hops_nocheck(self, src: int, dst: int) -> int:
+        return 0 if src == dst else 1
+
+    def _hop_row_build(self, src: int) -> list[int]:
+        row = [1] * self._size
+        row[src] = 0
+        return row
 
     def neighbors(self, node: int) -> tuple[int, ...]:
         self.check_node(node)

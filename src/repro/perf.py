@@ -1,0 +1,323 @@
+"""Simulator performance harness: throughput, collectives, Table-1 wall-clock.
+
+This module measures *host* performance of the discrete-event simulator —
+how fast the simulator itself runs on the machine executing it — as opposed
+to the *virtual* AP1000 timings every other artefact in this repository
+reports.  Three workload families are measured at several machine sizes:
+
+``ring_sweep``
+    A pure point-to-point microbenchmark: every processor repeatedly
+    computes, sends to its right ring neighbour and receives from its left
+    one.  Throughput is reported in message events per host second (one
+    send plus one receive per message), the simulator-core metric.
+
+``wildcard_funnel``
+    A many-to-one stress: processor 0 drains ``(p-1) * per_src`` messages
+    with ``recv(ANY, ANY)`` while every other processor fires computes and
+    tagged sends at it.  Exercises the wildcard (arrival-ordered) matching
+    path rather than the concrete FIFO fast path.
+
+``allreduce``
+    Collective latency: repeated world-communicator ``allreduce`` rounds.
+    Reports host seconds per collective alongside throughput.
+
+``hyperquicksort``
+    The end-to-end Table 1 run (100,000 integers, scatter + sort + gather)
+    at p processors — the headline workload the ROADMAP's perf trajectory
+    is tracked against.
+
+``run_suite`` executes all of them and ``write_bench_json`` persists the
+results to ``BENCH_simulator.json`` at the repository root, next to the
+frozen pre-rewrite ``SEED_BASELINE`` numbers, so every future PR can be
+compared against both the seed and the previous PR.
+
+Run it with ``python -m repro perf`` or ``python -m benchmarks.perf``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.machine import AP1000, Comm, Machine, collectives
+from repro.machine.events import ANY
+from repro.machine.simulator import RunResult
+from repro.machine.topology import FullyConnected, Hypercube, Ring
+
+__all__ = [
+    "SEED_BASELINE",
+    "bench_allreduce",
+    "bench_hyperquicksort",
+    "bench_ring_sweep",
+    "bench_wildcard_funnel",
+    "main",
+    "render_report",
+    "run_suite",
+    "write_bench_json",
+]
+
+#: Default machine sizes measured by the full suite.
+DEFAULT_PROCS = (32, 64, 128, 256)
+#: Machine sizes measured in ``--quick`` (CI smoke) mode.
+QUICK_PROCS = (32, 64)
+
+#: Host-time results of this exact suite measured on the seed (pre-rewrite)
+#: simulator: O(p) ready-list scan, linear mailbox, uncached hop routing.
+#: Frozen at PR 1 so the events/sec trajectory keeps an absolute anchor;
+#: ``speedup_vs_seed`` in BENCH_simulator.json is computed against these.
+#: (Regenerated with ``python -m repro.perf --emit-baseline`` on the seed
+#: tree; see docs/calibration.md "Simulator performance".)
+SEED_BASELINE: dict[str, dict[str, float]] = {
+    "ring_sweep/p32": {"host_seconds": 0.127322, "events": 9600, "events_per_sec": 75399},
+    "wildcard_funnel/p32": {"host_seconds": 0.201387, "events": 2480, "events_per_sec": 12315},
+    "allreduce/p32": {"host_seconds": 0.031919, "events": 3100, "events_per_sec": 97120},
+    "hyperquicksort/p32": {"host_seconds": 0.022266, "events": 702, "events_per_sec": 31527},
+    "ring_sweep/p64": {"host_seconds": 0.395384, "events": 19200, "events_per_sec": 48560},
+    "wildcard_funnel/p64": {"host_seconds": 0.773616, "events": 5040, "events_per_sec": 6515},
+    "allreduce/p64": {"host_seconds": 0.09004, "events": 6300, "events_per_sec": 69969},
+    "hyperquicksort/p64": {"host_seconds": 0.072377, "events": 1662, "events_per_sec": 22963},
+    "ring_sweep/p128": {"host_seconds": 1.306282, "events": 38400, "events_per_sec": 29396},
+    "wildcard_funnel/p128": {"host_seconds": 3.10086, "events": 10160, "events_per_sec": 3277},
+    "allreduce/p128": {"host_seconds": 0.208364, "events": 12700, "events_per_sec": 60951},
+    "hyperquicksort/p128": {"host_seconds": 0.151576, "events": 3838, "events_per_sec": 25321},
+    "ring_sweep/p256": {"host_seconds": 4.385962, "events": 76800, "events_per_sec": 17510},
+    "wildcard_funnel/p256": {"host_seconds": 12.868559, "events": 20400, "events_per_sec": 1585},
+    "allreduce/p256": {"host_seconds": 0.494632, "events": 25500, "events_per_sec": 51553},
+    "hyperquicksort/p256": {"host_seconds": 0.46508, "events": 8702, "events_per_sec": 18711},
+}
+
+
+def _events(result: RunResult) -> int:
+    """Message events in a run: one per send plus one per receive.
+
+    Derived from per-processor counters only, so the figure is identical
+    for any engine that simulates the same program — making events/sec
+    ratios between engines equal to host-time ratios.
+    """
+    return result.total_messages + sum(s.msgs_received for s in result.stats)
+
+
+def _timed(run: Callable[[], RunResult], *, repeats: int = 1) -> tuple[float, RunResult]:
+    """Best-of-``repeats`` host time for ``run`` plus its (last) result."""
+    best = float("inf")
+    result: RunResult | None = None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        result = run()
+        best = min(best, time.perf_counter() - t0)
+    assert result is not None
+    return best, result
+
+
+def _record(name: str, p: int, host_seconds: float, result: RunResult,
+            **extra: Any) -> dict[str, Any]:
+    events = _events(result)
+    rec: dict[str, Any] = {
+        "workload": name,
+        "p": p,
+        "host_seconds": round(host_seconds, 6),
+        "events": events,
+        "events_per_sec": round(events / host_seconds) if host_seconds > 0 else 0,
+        "makespan": result.makespan,
+        "messages": result.total_messages,
+    }
+    rec.update(extra)
+    return rec
+
+
+def bench_ring_sweep(p: int, *, rounds: int = 150,
+                     repeats: int = 2) -> dict[str, Any]:
+    """Point-to-point sweep: compute + send-right + recv-left, ``rounds`` times."""
+    machine = Machine(Ring(p), spec=AP1000)
+
+    def program(env):
+        right = (env.pid + 1) % env.nprocs
+        left = (env.pid - 1) % env.nprocs
+        for r in range(rounds):
+            yield env.work(ops=50)
+            yield env.send(right, r, tag=1, nbytes=64)
+            yield env.recv(left, tag=1)
+        return None
+
+    host, result = _timed(lambda: machine.run(program), repeats=repeats)
+    return _record("ring_sweep", p, host, result, rounds=rounds)
+
+
+def bench_wildcard_funnel(p: int, *, per_src: int = 40,
+                          repeats: int = 2) -> dict[str, Any]:
+    """Many-to-one funnel drained entirely with ``recv(ANY, ANY)``."""
+    machine = Machine(FullyConnected(p), spec=AP1000)
+
+    def program(env):
+        if env.pid == 0:
+            total = 0
+            for _ in range((env.nprocs - 1) * per_src):
+                msg = yield env.recv(ANY, tag=ANY)
+                total += msg.payload
+            return total
+        for i in range(per_src):
+            yield env.work(ops=20 * env.pid)
+            yield env.send(0, 1, tag=env.pid % 5, nbytes=16)
+        return None
+
+    host, result = _timed(lambda: machine.run(program), repeats=repeats)
+    return _record("wildcard_funnel", p, host, result, per_src=per_src)
+
+
+def bench_allreduce(p: int, *, reps: int = 25,
+                    repeats: int = 2) -> dict[str, Any]:
+    """Collective latency: ``reps`` world-communicator allreduce rounds."""
+    machine = Machine(Hypercube.of_size(p), spec=AP1000)
+
+    def program(env):
+        comm = Comm.world(env)
+        acc = float(env.pid)
+        for _ in range(reps):
+            acc = yield from collectives.allreduce(comm, acc, lambda a, b: a + b,
+                                                   nbytes=8)
+        return acc
+
+    host, result = _timed(lambda: machine.run(program), repeats=repeats)
+    return _record("allreduce", p, host, result, reps=reps,
+                   host_seconds_per_collective=round(host / reps, 6))
+
+
+def bench_hyperquicksort(p: int, *, n: int = 100_000, seed: int = 19950701,
+                         repeats: int = 3) -> dict[str, Any]:
+    """End-to-end Table 1 workload: sort ``n`` random integers on p procs."""
+    from repro.apps.sort import hyperquicksort_machine
+
+    d = int(p).bit_length() - 1
+    if 1 << d != p:
+        raise ValueError(f"hyperquicksort needs a power-of-two p, got {p}")
+    values = np.random.default_rng(seed).integers(0, 2**31, size=n).astype(np.int32)
+    expected = np.sort(values)
+
+    def run() -> RunResult:
+        out, result = hyperquicksort_machine(values, d)
+        if not np.array_equal(out, expected):
+            raise AssertionError(f"hyperquicksort produced a wrong sort at p={p}")
+        return result
+
+    host, result = _timed(run, repeats=repeats)
+    return _record("hyperquicksort", p, host, result, n=n)
+
+
+def run_suite(*, procs: tuple[int, ...] = DEFAULT_PROCS,
+              quick: bool = False) -> dict[str, dict[str, Any]]:
+    """Run every workload at every machine size; returns ``{key: record}``.
+
+    Keys look like ``"hyperquicksort/p128"``.  ``quick=True`` shrinks both
+    the size list and the per-workload iteration counts for CI smoke runs.
+    """
+    if quick:
+        procs = QUICK_PROCS
+    out: dict[str, dict[str, Any]] = {}
+    for p in procs:
+        out[f"ring_sweep/p{p}"] = bench_ring_sweep(
+            p, rounds=30 if quick else 150)
+        out[f"wildcard_funnel/p{p}"] = bench_wildcard_funnel(
+            p, per_src=10 if quick else 40)
+        out[f"allreduce/p{p}"] = bench_allreduce(p, reps=5 if quick else 25)
+        out[f"hyperquicksort/p{p}"] = bench_hyperquicksort(
+            p, n=20_000 if quick else 100_000)
+    return out
+
+
+def _speedups(current: dict[str, dict[str, Any]]) -> dict[str, float]:
+    ratios: dict[str, float] = {}
+    for key, rec in current.items():
+        base = SEED_BASELINE.get(key)
+        if base and rec.get("host_seconds"):
+            ratios[key] = round(base["host_seconds"] / rec["host_seconds"], 2)
+    return ratios
+
+
+def write_bench_json(path: str, current: dict[str, dict[str, Any]],
+                     *, quick: bool = False) -> dict[str, Any]:
+    """Assemble and write the machine-readable ``BENCH_simulator.json``."""
+    doc = {
+        "schema": 1,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "quick": quick,
+        "events_metric": "sends + receives per host second",
+        "baseline": {
+            "label": "seed simulator (pre PR 1: O(p) scan scheduler, linear mailbox)",
+            "workloads": SEED_BASELINE,
+        },
+        "current": current,
+        # Quick mode shrinks the per-workload iteration counts, so its host
+        # times are not comparable with the full-size seed baseline.
+        "speedup_vs_seed": {} if quick else _speedups(current),
+    }
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return doc
+
+
+def render_report(doc: dict[str, Any]) -> str:
+    """Human-readable throughput table for a bench document."""
+    from repro.util.tables import render_table
+
+    rows = []
+    for key, rec in doc["current"].items():
+        base = doc["baseline"]["workloads"].get(key, {})
+        speedup = doc["speedup_vs_seed"].get(key)
+        rows.append([
+            key,
+            f"{rec['host_seconds']:.3f}",
+            f"{rec['events_per_sec']:,}",
+            f"{base['host_seconds']:.3f}" if base else "-",
+            f"{speedup:.2f}x" if speedup else "-",
+        ])
+    return render_table(
+        "Simulator performance (host time; baseline = seed implementation)",
+        ["workload", "host (s)", "events/sec", "seed host (s)", "speedup"],
+        rows,
+        notes="Virtual-time results are engine-invariant; see tests/machine/"
+              "test_equivalence.py.")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point of the perf harness; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.perf",
+        description="Measure simulator host-time performance and write "
+                    "BENCH_simulator.json.")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced sizes for CI smoke runs")
+    parser.add_argument("--output", default="BENCH_simulator.json",
+                        help="where to write the JSON report")
+    parser.add_argument("--emit-baseline", action="store_true",
+                        help="print the suite results as a SEED_BASELINE "
+                             "python literal (maintenance tool)")
+    args = parser.parse_args(argv)
+    current = run_suite(quick=args.quick)
+    if args.emit_baseline:
+        slim = {k: {"host_seconds": v["host_seconds"],
+                    "events": v["events"],
+                    "events_per_sec": v["events_per_sec"]}
+                for k, v in current.items()}
+        print(json.dumps(slim, indent=4))
+        return 0
+    try:
+        doc = write_bench_json(args.output, current, quick=args.quick)
+    except OSError as exc:
+        print(f"error: cannot write {args.output}: {exc}", file=sys.stderr)
+        return 2
+    print(render_report(doc))
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -106,3 +106,59 @@ class TestEstimateNbytes:
 
     def test_empty_list_costs_one_word(self):
         assert estimate_nbytes([], word_bytes=8) == 8
+
+
+class TestEstimateNbytesBuffers:
+    """The buffer-protocol payloads report their exact byte size."""
+
+    def test_bytearray_by_length(self):
+        assert estimate_nbytes(bytearray(b"\x00" * 37)) == 37
+        assert estimate_nbytes(bytearray()) == 1  # floor of one byte
+
+    def test_memoryview_by_buffer_size(self):
+        assert estimate_nbytes(memoryview(b"abcdef")) == 6
+        assert estimate_nbytes(memoryview(bytearray(100))) == 100
+        assert estimate_nbytes(memoryview(b"")) == 1
+
+    def test_memoryview_of_typed_array(self):
+        arr = np.arange(10, dtype=np.float64)
+        assert estimate_nbytes(memoryview(arr)) == 80
+
+    def test_ndarray_exact_nbytes(self):
+        assert estimate_nbytes(np.zeros((4, 4), dtype=np.int32)) == 64
+
+
+class TestEstimateNbytesFlatFastPath:
+    """Homogeneous flat lists/tuples are costed without per-element recursion,
+    with a result identical to the recursive definition."""
+
+    def test_flat_int_list(self):
+        assert estimate_nbytes([1, 2, 3], word_bytes=8) == 24
+
+    def test_flat_float_tuple(self):
+        assert estimate_nbytes((0.5, 1.5), word_bytes=4) == 8
+
+    def test_flat_numpy_scalar_list(self):
+        xs = [np.float64(x) for x in range(5)]
+        assert estimate_nbytes(xs, word_bytes=8) == 40
+
+    def test_mixed_types_still_one_word_each(self):
+        # int + float mix misses the fast path but the recursive cost agrees
+        assert estimate_nbytes([1, 2.0, 3], word_bytes=8) == 24
+
+    def test_nested_lists_recurse(self):
+        assert estimate_nbytes([[1, 2], [3]], word_bytes=8) == 24
+
+    def test_list_of_arrays_sums_buffers(self):
+        payload = [np.zeros(3, dtype=np.int64), np.zeros(2, dtype=np.int64)]
+        assert estimate_nbytes(payload) == 40
+
+    def test_sets_cost_one_word_per_element(self):
+        assert estimate_nbytes({1, 2, 3}, word_bytes=8) == 24
+        assert estimate_nbytes(frozenset(), word_bytes=8) == 8
+
+    @given(st.lists(st.integers(-10**6, 10**6), max_size=50),
+           st.sampled_from([4, 8]))
+    def test_fast_path_matches_recursive_definition(self, xs, wb):
+        expected = max(wb, sum(estimate_nbytes(x, wb) for x in xs)) if xs else wb
+        assert estimate_nbytes(xs, word_bytes=wb) == expected

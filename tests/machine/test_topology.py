@@ -199,3 +199,65 @@ class TestNetworkx:
         g = Mesh2D(3, 3, torus=False).to_networkx()
         assert g.number_of_nodes() == 9
         assert g.number_of_edges() == 12
+
+
+class TestHopRows:
+    """The simulator's routing fast path: cached per-source hop rows."""
+
+    @pytest.mark.parametrize("topo", ALL_SMALL, ids=repr)
+    def test_hop_row_matches_hops(self, topo):
+        for src in range(topo.size):
+            assert topo.hop_row(src) == [topo.hops(src, d) for d in range(topo.size)]
+
+    @pytest.mark.parametrize("topo", ALL_SMALL, ids=repr)
+    def test_hop_row_is_cached(self, topo):
+        assert topo.hop_row(0) is topo.hop_row(0)
+
+    def test_hop_row_validates_source(self):
+        with pytest.raises(TopologyError):
+            Ring(4).hop_row(4)
+        with pytest.raises(TopologyError):
+            Hypercube(2).hop_row(-1)
+
+    @pytest.mark.parametrize("make", [
+        lambda: Hypercube(3),
+        lambda: Ring(6),
+        lambda: FullyConnected(5),
+        lambda: Mesh2D(3, 4, torus=True),
+        lambda: Mesh2D(3, 4, torus=False),
+    ])
+    def test_rows_shared_across_equal_instances(self, make):
+        a, b = make(), make()
+        assert a.hop_row(1) is b.hop_row(1)
+
+    def test_rows_not_shared_across_different_parameters(self):
+        assert Ring(4).hop_row(0) != Ring(5).hop_row(0)
+        # the torus flag is part of the cache key: same size, different rows
+        t = Mesh2D(4, 4, torus=True)
+        m = Mesh2D(4, 4, torus=False)
+        assert t.hop_row(0) is not m.hop_row(0)
+        assert t.hop_row(0)[15] == 2 and m.hop_row(0)[15] == 6
+
+
+class TestDiameterClosedForms:
+    """diameter() has a closed form per topology; verify against brute force."""
+
+    @pytest.mark.parametrize("dims", [(1, 1), (1, 7), (4, 4), (3, 5), (5, 3), (2, 6)])
+    @pytest.mark.parametrize("torus", [True, False])
+    def test_mesh2d_closed_form(self, dims, torus):
+        m = Mesh2D(*dims, torus=torus)
+        brute = max((m.hops(a, b) for a in range(m.size) for b in range(m.size)),
+                    default=0)
+        assert m.diameter() == brute
+
+    def test_known_values(self):
+        assert Mesh2D(4, 6, torus=True).diameter() == 5
+        assert Mesh2D(4, 6, torus=False).diameter() == 8
+        assert Ring(9).diameter() == 4
+        assert Hypercube(10).diameter() == 10
+        assert FullyConnected(2).diameter() == 1
+        assert FullyConnected(1).diameter() == 0
+
+    def test_diameter_repeat_calls_consistent(self):
+        m = Mesh2D(3, 3, torus=True)
+        assert m.diameter() == m.diameter() == 2

@@ -1,0 +1,94 @@
+"""Smoke tests for the simulator performance harness (quick mode only).
+
+These don't assert on host timings — those are environment-dependent — only
+that the harness runs, the JSON schema is stable, the virtual-time results
+embedded in the records are exact, and both CLI entry points reach it.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import perf
+
+
+@pytest.fixture(scope="module")
+def quick_suite():
+    return perf.run_suite(quick=True)
+
+
+class TestRunSuite:
+    def test_covers_all_workloads_and_sizes(self, quick_suite):
+        expected = {f"{w}/p{p}"
+                    for w in ("ring_sweep", "wildcard_funnel", "allreduce",
+                              "hyperquicksort")
+                    for p in perf.QUICK_PROCS}
+        assert set(quick_suite) == expected
+
+    def test_records_have_the_tracked_fields(self, quick_suite):
+        for key, rec in quick_suite.items():
+            assert rec["host_seconds"] > 0, key
+            assert rec["events"] > 0, key
+            assert rec["events_per_sec"] > 0, key
+            assert rec["makespan"] > 0, key
+
+    def test_virtual_time_is_deterministic(self, quick_suite):
+        # host_seconds may wobble; the simulated makespan must not
+        again = perf.bench_ring_sweep(32, rounds=30)
+        assert again["makespan"] == quick_suite["ring_sweep/p32"]["makespan"]
+
+    def test_events_counted_from_stats(self, quick_suite):
+        # ring sweep: every proc sends and receives `rounds` messages
+        rec = quick_suite["ring_sweep/p32"]
+        assert rec["events"] == 2 * 32 * 30
+
+
+class TestBenchJson:
+    def test_write_and_reload(self, quick_suite, tmp_path):
+        out = tmp_path / "BENCH_simulator.json"
+        doc = perf.write_bench_json(str(out), quick_suite, quick=True)
+        loaded = json.loads(out.read_text())
+        assert loaded == doc
+        assert loaded["schema"] == 1
+        assert loaded["quick"] is True
+        assert set(loaded["current"]) == set(quick_suite)
+        assert loaded["baseline"]  # frozen seed numbers travel with the file
+
+    def test_quick_mode_omits_seed_speedups(self, quick_suite, tmp_path):
+        # quick runs use different workload sizes than the frozen baseline,
+        # so a ratio against it would be meaningless
+        out = tmp_path / "bench.json"
+        doc = perf.write_bench_json(str(out), quick_suite, quick=True)
+        assert doc["speedup_vs_seed"] == {}
+
+    def test_render_report_mentions_workloads(self, quick_suite, tmp_path):
+        doc = perf.write_bench_json(str(tmp_path / "b.json"), quick_suite,
+                                    quick=True)
+        text = perf.render_report(doc)
+        assert "hyperquicksort" in text and "events/s" in text
+
+
+class TestEntryPoints:
+    def test_perf_main_quick(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert perf.main(["--quick", "--output", str(out)]) == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_repro_cli_delegates(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        out = tmp_path / "bench.json"
+        assert cli_main(["perf", "--quick", "--output", str(out)]) == 0
+        assert out.exists()
+
+    def test_benchmarks_package_layout(self):
+        # benchmarks.perf is only importable with the repo root on sys.path
+        # (as in CI), so check the module layout rather than importing it
+        import pathlib
+
+        pkg = pathlib.Path(__file__).resolve().parents[1] / "benchmarks" / "perf"
+        assert (pkg / "__init__.py").exists()
+        assert (pkg / "__main__.py").exists()
