@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Fault-tolerant sorting on a lossy simulated machine.
+
+The paper's machine never drops a message and never loses a cell.  This
+example injects both kinds of failure and shows the resilience layers
+keeping the answer correct:
+
+1. hyperquicksort over the reliable (ack/retransmit) channel while the
+   network drops, duplicates, and delays messages — same sorted output,
+   measurable makespan penalty, nonzero retransmit counters;
+2. a fault-tolerant farm (map) surviving *worker crashes* through work
+   reassignment, and a *master crash* through checkpoint/restart.
+
+Everything is deterministic: rerun with the same seed and you get the
+same drops, the same retransmissions, and the same makespans.
+
+Run:  python examples/fault_tolerant_sort.py [n]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.faults import (
+    CheckpointStore,
+    FaultSpec,
+    ft_hyperquicksort_machine,
+    ft_map_machine,
+)
+from repro.machine import AP1000
+from repro.machine.metrics import fault_counters
+
+
+def main():
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
+    rng = np.random.default_rng(1995)
+    values = rng.integers(0, 2**31, size=n).astype(np.int64)
+    expected = np.sort(values)
+    d = 3  # 8 simulated processors
+
+    print(f"Sorting {n} random integers on a lossy simulated "
+          f"{AP1000.name} (p = {1 << d})\n")
+
+    print("1. hyperquicksort over the reliable channel:")
+    baseline = None
+    for drop in (0.0, 0.01, 0.05):
+        spec = FaultSpec(seed=7, drop_rate=drop, dup_rate=drop / 2,
+                         delay_rate=drop, delay_seconds=0.001)
+        out, res = ft_hyperquicksort_machine(values, d, faults=spec)
+        ok = bool(np.array_equal(out, expected))
+        counters = fault_counters(res)
+        if baseline is None:
+            baseline = res.makespan
+        print(f"   drop={drop:4.0%}  sorted={ok}  "
+              f"makespan={res.makespan:.4f}s "
+              f"({res.makespan / baseline:4.2f}x)  "
+              f"retransmits={counters['retransmits']:3d}  "
+              f"dropped={counters['dropped']:3d}")
+
+    print("\n2. fault-tolerant farm: squaring 32 blocks on 8 processors")
+    jobs = [values[i::32] for i in range(32)]
+    expected_sums = [int(np.sum(j.astype(np.int64) ** 2)) for j in jobs]
+
+    print("   a) two workers crash mid-run (jobs reassigned):")
+    spec = FaultSpec(seed=7, crash_at={3: 0.004, 5: 0.002})
+    results, runs = ft_map_machine(
+        jobs, lambda b: int(np.sum(b.astype(np.int64) ** 2)),
+        nprocs=8, faults=spec, cost_fn=lambda b: 3.0 * len(b))
+    print(f"      correct={results == expected_sums}  "
+          f"crashed={runs[-1].crashed}  restarts={len(runs) - 1}")
+
+    print("   b) the *master* crashes (checkpoint/restart):")
+    store = CheckpointStore()
+    spec = FaultSpec(seed=7, crash_at={0: 0.01})
+    results, runs = ft_map_machine(
+        jobs, lambda b: int(np.sum(b.astype(np.int64) ** 2)),
+        nprocs=8, faults=spec, cost_fn=lambda b: 3.0 * len(b),
+        checkpoint=store)
+    print(f"      correct={results == expected_sums}  "
+          f"attempts={len(runs)}  "
+          f"jobs committed before restart were skipped: "
+          f"{len(store)} total commits")
+
+    print("\nSee `python -m repro chaos --help` for the sweeping harness.")
+
+
+if __name__ == "__main__":
+    main()

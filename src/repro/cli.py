@@ -9,14 +9,17 @@
     python -m repro baselines            # hyperquicksort vs bitonic sort
     python -m repro all                  # everything above
     python -m repro perf                 # simulator-core performance suite
+    python -m repro chaos                # fault-injection survival sweep
     python -m repro table1 -n 20000 --seed 7   # smaller/quicker variants
 
 Each command prints the reproduced table to stdout; ``--spec`` switches the
 machine model (``ap1000`` / ``modern`` / ``perfect``).
 
-``perf`` is different from the rest: it measures *host* performance of the
-simulator itself (see :mod:`repro.perf`) and takes its own flags —
-``python -m repro perf --help``.
+``perf`` and ``chaos`` are different from the rest: ``perf`` measures *host*
+performance of the simulator itself (see :mod:`repro.perf`), ``chaos``
+sweeps fault rates over the fault-tolerant apps (see
+:mod:`repro.faults.chaos`); each takes its own flags —
+``python -m repro perf --help`` / ``python -m repro chaos --help``.
 """
 
 from __future__ import annotations
@@ -165,10 +168,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro",
         description="Regenerate the evaluation of 'Parallel Skeletons for "
                     "Structured Composition' (PPoPP 1995).")
-    parser.add_argument("command", choices=[*_COMMANDS, "all", "perf"],
+    parser.add_argument("command", choices=[*_COMMANDS, "all", "perf", "chaos"],
                         help="which artefact to regenerate ('perf' runs the "
-                             "simulator performance suite; see "
-                             "'python -m repro perf --help')")
+                             "simulator performance suite, 'chaos' the "
+                             "fault-injection sweep; see "
+                             "'python -m repro perf --help' / "
+                             "'python -m repro chaos --help')")
     parser.add_argument("-n", type=int, default=100_000,
                         help="workload size (default: the paper's 100,000)")
     parser.add_argument("--seed", type=int, default=19950701,
@@ -190,6 +195,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro import perf
 
         return perf.main(argv[1:])
+    if argv[:1] == ["chaos"]:
+        # Likewise the chaos harness (--app/--drop-rate/--crash/...).
+        from repro.faults import chaos
+
+        return chaos.main(argv[1:])
     args = build_parser().parse_args(argv)
     args.spec = _SPECS[args.spec]
     if args.max_dim < 1 or args.max_dim > 10:

@@ -24,13 +24,32 @@ __all__ = ["farm", "spmd", "SpmdStage", "iter_until", "iter_for"]
 
 
 def farm(f: Callable[[Any, Any], Any], env: Any, pa: ParArray, *,
-         executor: Executor | str | None = None) -> ParArray:
+         executor: Executor | str | None = None,
+         retries: int = 0) -> ParArray:
     """Farm jobs out to processors: ``farm f env = map (f env)``.
 
     ``env`` is data common to all jobs (broadcast once); each component of
     ``pa`` is an independent job evaluated as ``f(env, job)``.
+
+    ``retries`` adds host-level transient-fault tolerance: a job whose
+    evaluation raises is retried up to ``retries`` more times before the
+    exception propagates (jobs are independent, so re-evaluation is safe).
+    This covers flaky *host* execution only; for simulated machine faults
+    (crashed processors, lost messages) use the machine-level farm in
+    :mod:`repro.faults.runtime`, which reassigns work and checkpoints.
     """
-    return parmap(lambda x: f(env, x), pa, executor=executor)
+    if retries < 0:
+        raise SkeletonError(f"retries must be non-negative, got {retries}")
+
+    def attempt(x: Any) -> Any:
+        for remaining in range(retries, -1, -1):
+            try:
+                return f(env, x)
+            except Exception:
+                if remaining == 0:
+                    raise
+
+    return parmap(attempt, pa, executor=executor)
 
 
 @dataclasses.dataclass(frozen=True)

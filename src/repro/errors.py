@@ -15,6 +15,10 @@ bugs.  The hierarchy mirrors the layering of the system:
     runnable event (every process blocked on a receive that can never be
     satisfied).
   * :class:`TopologyError` — invalid topology construction or addressing.
+  * :class:`FaultError` — a *modelled* failure surfaced to the program:
+    a receive timed out, a peer is presumed crashed, a retransmit budget
+    was exhausted.  Structured (``kind``/``pid``/``rank`` attributes) so
+    fault-tolerant runtimes can dispatch on the failure mode.
 * :class:`RewriteError` — the transformation engine was asked to apply a
   rule whose side-conditions do not hold, or hit a malformed expression.
 """
@@ -28,6 +32,7 @@ __all__ = [
     "MachineError",
     "DeadlockError",
     "TopologyError",
+    "FaultError",
     "RewriteError",
     "ParseError",
 ]
@@ -55,6 +60,23 @@ class DeadlockError(MachineError):
 
 class TopologyError(MachineError):
     """Invalid topology construction or neighbour addressing."""
+
+
+class FaultError(MachineError):
+    """A modelled machine fault surfaced to the program.
+
+    ``kind`` classifies the failure (``"timeout"``, ``"peer-dead"``,
+    ``"no-survivors"``, …); ``pid``/``rank`` identify the peer involved
+    when known.  Raised by the resilience layer (``repro.machine.reliable``,
+    ``repro.machine.collectives_ft``) — never by the fault-free simulator.
+    """
+
+    def __init__(self, message: str, *, kind: str = "fault",
+                 pid: int | None = None, rank: int | None = None):
+        super().__init__(message)
+        self.kind = kind
+        self.pid = pid
+        self.rank = rank
 
 
 class RewriteError(SclError):

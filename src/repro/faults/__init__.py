@@ -1,0 +1,39 @@
+"""Deterministic fault injection and fault-tolerant execution.
+
+The paper's machine model assumes a perfectly reliable AP1000-class
+network.  This package relaxes that assumption without contradicting it:
+
+* :mod:`repro.faults.models` — :class:`FaultSpec` / :class:`FaultInjector`,
+  the seeded, purely hash-driven fault models the simulator consumes via
+  ``Machine(..., faults=...)`` (drop, duplicate, delay, corrupt, slow
+  links/nodes, crash-at-time),
+* :mod:`repro.faults.runtime` — the crash-surviving farm
+  (:func:`ft_farm` / :func:`ft_map_machine`) with work reassignment and
+  host-side checkpoint/restart,
+* :mod:`repro.faults.apps` — example apps on the resilience layer
+  (:func:`ft_hyperquicksort_machine`),
+* :mod:`repro.faults.chaos` — the ``python -m repro chaos`` sweep harness.
+
+With faults disabled everything below degenerates exactly to the
+fault-free machine: an all-zero :class:`FaultSpec` is bit-for-bit the
+identity (tested against ``repro.machine._reference``).
+"""
+
+from repro.faults.models import Corrupted, FaultInjector, FaultSpec
+from repro.faults.runtime import CheckpointStore, ft_farm, ft_map_machine
+from repro.faults.apps import ft_hyperquicksort_machine
+from repro.faults import apps, chaos, models, runtime
+
+__all__ = [
+    "Corrupted",
+    "FaultInjector",
+    "FaultSpec",
+    "CheckpointStore",
+    "ft_farm",
+    "ft_map_machine",
+    "ft_hyperquicksort_machine",
+    "apps",
+    "chaos",
+    "models",
+    "runtime",
+]

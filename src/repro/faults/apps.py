@@ -1,0 +1,146 @@
+"""Example applications rebuilt on the resilience layer.
+
+:func:`ft_hyperquicksort_machine` is the hand-compiled hyperquicksort of
+:mod:`repro.apps.sort` with every message moved onto the reliable
+(ack/retransmit) channel, so the run completes — with a measurable
+makespan penalty — while the fault injector drops, duplicates, delays or
+corrupts messages.  The communication pattern changes with it:
+
+* scatter/gather and the pivot broadcast become *linear* reliable
+  transfers (root/leader serves each peer in turn) instead of binomial
+  trees — a dropped tree edge would strand a whole subtree, while a
+  linear pattern confines every loss to one acked edge;
+* the partner exchange uses :meth:`ReliableChannel.exchange`, which
+  services the partner's data while awaiting its own ack (a plain
+  reliable send/recv pair deadlocks when both sides lose their acks).
+
+Node *crashes* are out of scope here: a crashed sorter loses its data
+block, which no messaging protocol can recover.  Crash tolerance belongs
+to the job-level farm (:mod:`repro.faults.runtime`), where work — not
+state — is what must survive.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import FaultError
+from repro.apps.sort import (SortCostParams, merge_sorted, midvalue,
+                             seq_quicksort, split_by_pivot)
+from repro.machine import AP1000, Hypercube, Machine, MachineSpec
+from repro.machine.reliable import ReliableChannel
+from repro.machine.simulator import RunResult
+from repro.runtime.chunking import chunk_indices
+from repro.faults.models import FaultInjector, FaultSpec
+
+__all__ = ["ft_hyperquicksort_machine"]
+
+_TAG_SCATTER = 11
+_TAG_GATHER = 12
+_TAG_PIVOT = 13
+_TAG_EXCHANGE = 7
+
+
+def ft_hyperquicksort_machine(
+    values: Sequence[int] | np.ndarray,
+    d: int,
+    *,
+    spec: MachineSpec = AP1000,
+    params: SortCostParams = SortCostParams(),
+    faults: FaultSpec | None = None,
+    record_trace: bool = False,
+    channel_timeout: float | None = None,
+    max_retries: int = 8,
+) -> tuple[np.ndarray, RunResult]:
+    """Hyperquicksort on a lossy simulated hypercube; returns (sorted, run).
+
+    Identical algorithmic structure to
+    :func:`repro.apps.sort.hyperquicksort_machine` (scatter, local sort,
+    ``d`` pivot/split/exchange/merge rounds, gather), with all traffic on
+    a :class:`ReliableChannel`.  With ``faults=None`` (or an all-zero
+    spec) the result matches the plain version element-for-element; under
+    message faults it still sorts correctly, and the :class:`RunResult`
+    carries the retransmit/timeout/drop counters that quantify the cost.
+    """
+    values = np.asarray(values)
+    p = 1 << d
+    # Always install an injector (zero-rate if no faults requested): the
+    # reliable protocol can leave benign duplicate frames in mailboxes even
+    # on a healthy network (a retransmit raced a slow ack), which only the
+    # faults-enabled engine tolerates.  A zero-rate injector's arithmetic
+    # is bit-identical to the fault-free path.
+    injector = FaultInjector(faults if faults is not None else FaultSpec())
+    machine = Machine(Hypercube(d), spec=spec, record_trace=record_trace,
+                      faults=injector)
+    spans = chunk_indices(len(values), p)
+
+    def program(env):
+        pid = env.pid
+        chan = ReliableChannel(env, timeout=channel_timeout,
+                               max_retries=max_retries)
+        # -- distribute: linear reliable scatter from p0
+        if p > 1:
+            if pid == 0:
+                local = np.asarray(values[spans[0][0]:spans[0][1]])
+                for dst in range(1, p):
+                    lo, hi = spans[dst]
+                    yield from chan.send(dst, values[lo:hi],
+                                         tag=_TAG_SCATTER)
+            else:
+                local = np.asarray((yield from chan.recv(
+                    0, tag=_TAG_SCATTER)))
+        else:
+            local = values
+        # -- local sort
+        yield env.work(params.sort_ops(local.size))
+        local = seq_quicksort(local)
+        # -- d iterations over shrinking sub-cubes
+        for it in range(d):
+            dim = d - it
+            sub = 1 << dim
+            half = sub >> 1
+            leader = (pid // sub) * sub
+            # pivot: median on the sub-cube leader, relayed linearly
+            if pid == leader:
+                yield env.work(params.median_ops)
+                pivot = midvalue(local)
+                for member in range(leader + 1, leader + sub):
+                    yield from chan.send(member, pivot, tag=_TAG_PIVOT)
+            else:
+                pivot = yield from chan.recv(leader, tag=_TAG_PIVOT)
+            # split
+            yield env.work(params.split_ops(local.size))
+            low, high = split_by_pivot(pivot, local)
+            keep, send_part = (low, high) if pid & half == 0 else (high, low)
+            # partner exchange: symmetric, so it must service both
+            # directions while awaiting its ack (see module docstring)
+            partner = pid ^ half
+            recv_part = np.asarray((yield from chan.exchange(
+                partner, send_part, tag=_TAG_EXCHANGE)))
+            # merge
+            yield env.work(params.merge_ops(keep.size + recv_part.size))
+            local = merge_sorted(keep, recv_part)
+        # -- linear reliable gather to p0
+        if p > 1:
+            if pid == 0:
+                parts = [local]
+                for src in range(1, p):
+                    parts.append(np.asarray((yield from chan.recv(
+                        src, tag=_TAG_GATHER))))
+                yield env.work(len(values))  # copy-out cost
+                return np.concatenate(parts)
+            try:
+                yield from chan.send(0, local, tag=_TAG_GATHER)
+            except FaultError:
+                # Two-generals tail: an eternally unacked final send means
+                # the root already has our block and exited (its ack to us
+                # was lost).  If the data itself were lost, the root would
+                # still be blocked re-acking our retransmissions.
+                pass
+            return None
+        return local
+
+    result = machine.run(program)
+    return np.asarray(result.values[0]), result

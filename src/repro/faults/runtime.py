@@ -1,0 +1,283 @@
+"""Fault-tolerant skeleton runtime: a crash-surviving ``farm``/``map``.
+
+The paper's ``farm``/``parmap`` skeletons assume every processor finishes.
+This module provides the machine-level counterpart that doesn't:
+:func:`ft_farm` is a master/worker *pull* farm over the reliable messaging
+layer in which
+
+* workers request jobs and stream back results (idempotently keyed by job
+  index, so a job computed twice commits once),
+* the master *suspects* silent workers after a timeout and requeues their
+  outstanding jobs to other live workers — reassignment from dead to live
+  processors,
+* if no workers respond at all, the master computes remaining jobs
+  locally, so the farm completes even when every worker has crashed,
+* every committed result is recorded in an optional host-side
+  :class:`CheckpointStore` ("stable storage"), so a run that loses its
+  *master* can be restarted and will skip completed jobs.
+
+:func:`ft_map_machine` wraps the whole story: build the machine with a
+fault injector, run the farm, and — if the master crashed — restart from
+the checkpoint on a repaired machine (crash schedule cleared, message
+faults kept), up to ``max_restarts`` times.
+
+Timeout-based suspicion is deliberate: a worker busy inside ``env.work``
+cannot answer pings (the simulated processor is single-threaded, exactly
+like an AP1000 cell), so liveness can only be inferred from silence.
+A slow-but-alive worker may therefore get its job requeued; idempotent
+commits make that safe.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Generator, Sequence
+
+from repro.errors import FaultError, MachineError
+from repro.machine import Machine, MachineSpec, AP1000
+from repro.machine.events import ANY
+from repro.machine.reliable import ReliableChannel
+from repro.machine.simulator import ProcEnv, RunResult
+from repro.machine.topology import Topology
+from repro.faults.models import FaultInjector, FaultSpec
+
+__all__ = ["CheckpointStore", "ft_farm", "ft_map_machine"]
+
+_TAG_CTRL = 800_001   # worker -> master: ("ready", pid) / ("done", pid, idx, value)
+_TAG_JOB = 800_002    # master -> worker: ("job", idx, item) / ("stop",)
+
+Gen = Generator[Any, Any, Any]
+
+
+class CheckpointStore:
+    """Host-side stable storage of committed ``(job index, result)`` pairs.
+
+    Lives *outside* the simulated machine (a checkpoint that died with the
+    machine would be useless), so it survives across :meth:`Machine.run`
+    invocations: a restarted farm passes the same store and skips the jobs
+    it already holds.  Commits are idempotent — the first result for an
+    index wins, so a reassigned job that completes twice is recorded once.
+    """
+
+    def __init__(self) -> None:
+        self._results: dict[int, Any] = {}
+
+    def record(self, idx: int, value: Any) -> None:
+        """Commit ``value`` for job ``idx`` (no-op if already committed)."""
+        self._results.setdefault(idx, value)
+
+    def completed(self) -> set[int]:
+        """Indices with committed results."""
+        return set(self._results)
+
+    def result(self, idx: int) -> Any:
+        return self._results[idx]
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __repr__(self) -> str:
+        return f"CheckpointStore({len(self._results)} committed)"
+
+
+def ft_farm(env: ProcEnv, items: Sequence[Any],
+            fn: Callable[[Any], Any], *,
+            cost_fn: Callable[[Any], float] | None = None,
+            master: int = 0,
+            checkpoint: CheckpointStore | None = None,
+            chan: ReliableChannel | None = None,
+            suspicion_timeout: float | None = None,
+            worker_patience: float | None = None) -> Gen:
+    """SPMD fault-tolerant farm program (run it on every processor).
+
+    The ``master`` pid coordinates: it hands out one job at a time to
+    pulling workers, requeues jobs of workers that fall silent, and
+    computes leftovers itself if the whole workforce dies.  Master returns
+    the full result list (index-aligned with ``items``); workers return
+    the number of jobs they completed; a worker that loses its master
+    returns early with its count.
+
+    ``cost_fn(item)`` gives the virtual ops charged per job (default: a
+    nominal 1000 ops).  ``suspicion_timeout`` is how long the master waits
+    in silence before requeueing outstanding jobs; ``worker_patience`` how
+    long a worker waits for a job before presuming the master dead.
+    """
+    if not (0 <= master < env.nprocs):
+        raise MachineError(
+            f"master pid {master} out of range for {env.nprocs} processors")
+    if chan is None:
+        chan = ReliableChannel(env)
+    ops = cost_fn if cost_fn is not None else (lambda item: 1000.0)
+    n_jobs = len(items)
+    pid = env.pid
+
+    if suspicion_timeout is None:
+        suspicion_timeout = chan.worst_case_send_seconds() * 2.0
+    if worker_patience is None:
+        # Long enough for the master to serve every peer, requeue once,
+        # and still come back to us.
+        worker_patience = (suspicion_timeout * (env.nprocs + 2)
+                           + chan.worst_case_send_seconds() * env.nprocs)
+
+    # ---------------- worker ----------------
+    if pid != master:
+        done_count = 0
+        try:
+            yield from chan.send(master, ("ready", pid), tag=_TAG_CTRL)
+            while True:
+                cmd = yield from chan.recv(master, tag=_TAG_JOB,
+                                           timeout=worker_patience)
+                if cmd[0] == "stop":
+                    break
+                _, idx, item = cmd
+                yield env.work(ops(item))
+                value = fn(item)
+                done_count += 1
+                yield from chan.send(master, ("done", pid, idx, value),
+                                     tag=_TAG_CTRL)
+        except FaultError:
+            # Master presumed dead (or unreachable): stop working.  The
+            # checkpoint on the host keeps whatever we already committed.
+            pass
+        return done_count
+
+    # ---------------- master ----------------
+    results: dict[int, Any] = {}
+    if checkpoint is not None:
+        for idx in checkpoint.completed():
+            if 0 <= idx < n_jobs:
+                results[idx] = checkpoint.result(idx)
+    pending: deque[int] = deque(i for i in range(n_jobs)
+                                if i not in results)
+    outstanding: dict[int, int] = {}     # job idx -> worker pid
+    live: set[int] = set()
+    parked: deque[int] = deque()         # idle live workers awaiting jobs
+
+    def commit(idx: int, value: Any) -> None:
+        if idx not in results:
+            results[idx] = value
+            if checkpoint is not None:
+                checkpoint.record(idx, value)
+
+    def dispatch(worker: int) -> Gen:
+        """Send the next uncompleted job to ``worker`` (or park it)."""
+        while pending:
+            idx = pending.popleft()
+            if idx in results:
+                continue
+            try:
+                yield from chan.send(worker, ("job", idx, items[idx]),
+                                     tag=_TAG_JOB)
+            except FaultError:
+                live.discard(worker)
+                pending.appendleft(idx)
+                return
+            outstanding[idx] = worker
+            return
+        if worker not in parked:
+            parked.append(worker)
+
+    while len(results) < n_jobs:
+        try:
+            msg = yield from chan.recv(ANY, tag=_TAG_CTRL,
+                                       timeout=suspicion_timeout)
+        except FaultError:
+            # Silence: every outstanding job's worker is now suspect.
+            # Requeue, then hand the jobs to parked workers — that is the
+            # dead-to-live reassignment — or, with nobody left, make
+            # progress locally so the farm terminates regardless.
+            if outstanding:
+                for idx in sorted(outstanding):
+                    if idx not in results:
+                        pending.appendleft(idx)
+                outstanding.clear()
+            while parked and pending:
+                yield from dispatch(parked.popleft())
+            if not outstanding and pending:
+                idx = pending.popleft()
+                if idx not in results:
+                    item = items[idx]
+                    yield env.work(ops(item))
+                    commit(idx, fn(item))
+            continue
+        kind = msg[0]
+        if kind == "ready":
+            worker = msg[1]
+            live.add(worker)
+            yield from dispatch(worker)
+        elif kind == "done":
+            _, worker, idx, value = msg
+            live.add(worker)
+            if outstanding.get(idx) == worker:
+                del outstanding[idx]
+            commit(idx, value)
+            yield from dispatch(worker)
+        # unknown kinds (corrupt survivors) are ignored
+
+    for worker in list(parked) + sorted(live - set(parked)):
+        try:
+            yield from chan.send(worker, ("stop",), tag=_TAG_JOB)
+        except FaultError:
+            continue
+    return [results[i] for i in range(n_jobs)]
+
+
+def ft_map_machine(
+    items: Sequence[Any],
+    fn: Callable[[Any], Any],
+    *,
+    nprocs: int = 8,
+    topology: Topology | int | None = None,
+    spec: MachineSpec = AP1000,
+    faults: FaultSpec | None = None,
+    cost_fn: Callable[[Any], float] | None = None,
+    master: int = 0,
+    checkpoint: CheckpointStore | None = None,
+    max_restarts: int = 2,
+    record_trace: bool = False,
+) -> tuple[list[Any], list[RunResult]]:
+    """Run a fault-tolerant ``map`` on a simulated machine, to completion.
+
+    Executes :func:`ft_farm` under the given :class:`FaultSpec`.  If the
+    run ends without a full result set (the master crashed), the farm is
+    **restarted from the checkpoint** on a repaired machine — the crash
+    schedule is cleared (the operator replaced the dead nodes) while
+    message-level faults stay active — up to ``max_restarts`` times.
+
+    Returns ``(results, runs)``: the index-aligned results and one
+    :class:`RunResult` per attempt (so callers can report the makespan
+    penalty the faults cost).
+    """
+    if checkpoint is None:
+        checkpoint = CheckpointStore()
+    n_jobs = len(items)
+    fault_spec = faults
+    runs: list[RunResult] = []
+    attempts = max_restarts + 1
+    for attempt in range(attempts):
+        # Always install an injector (zero-rate when no faults requested):
+        # the reliable protocol can leave benign duplicate frames behind,
+        # which only the faults-enabled engine tolerates.
+        injector = FaultInjector(fault_spec if fault_spec is not None
+                                 else FaultSpec())
+        machine = Machine(topology if topology is not None else nprocs,
+                          spec=spec, record_trace=record_trace,
+                          faults=injector)
+
+        def program(env: ProcEnv) -> Gen:
+            return (yield from ft_farm(env, items, fn, cost_fn=cost_fn,
+                                       master=master,
+                                       checkpoint=checkpoint))
+
+        runs.append(machine.run(program))
+        if len(checkpoint) >= n_jobs:
+            break
+        if fault_spec is not None and fault_spec.crash_at:
+            # Repaired machine for the next attempt: crashes cleared.
+            fault_spec = fault_spec.replace(crash_at={})
+    if len(checkpoint) < n_jobs:
+        raise FaultError(
+            f"fault-tolerant map incomplete after {attempts} attempts: "
+            f"{len(checkpoint)}/{n_jobs} jobs committed",
+            kind="incomplete")
+    return [checkpoint.result(i) for i in range(n_jobs)], runs

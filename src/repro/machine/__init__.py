@@ -14,7 +14,11 @@ a **discrete-event simulator** of a distributed-memory machine:
   ``split``) on top of simulator point-to-point messages,
 * :mod:`repro.machine.collectives` — broadcast / reduce / scan / gather /
   scatter / allgather / alltoall / barrier implemented with the same
-  tree and recursive-doubling message patterns an MPI library would use.
+  tree and recursive-doubling message patterns an MPI library would use,
+* :mod:`repro.machine.reliable` — ack/retransmit messaging with capped
+  exponential backoff for runs with fault injection (``repro.faults``),
+* :mod:`repro.machine.collectives_ft` — crash-aware collectives that
+  degrade to the surviving group or raise a structured ``FaultError``.
 
 Programs carry *real data* (so results are checkable) while the simulator
 charges *virtual time* from the cost model (so the paper's performance shape
@@ -31,7 +35,9 @@ from repro.machine.topology import (
 )
 from repro.machine.simulator import Machine, ProcEnv, RunResult, ProcStats
 from repro.machine.api import Comm
-from repro.machine import collectives, collectives_ext, metrics
+from repro.machine.reliable import ReliableChannel
+from repro.machine import (collectives, collectives_ext, collectives_ft,
+                           metrics, reliable)
 
 __all__ = [
     "MachineSpec",
@@ -49,7 +55,10 @@ __all__ = [
     "RunResult",
     "ProcStats",
     "Comm",
+    "ReliableChannel",
     "collectives",
     "collectives_ext",
+    "collectives_ft",
     "metrics",
+    "reliable",
 ]

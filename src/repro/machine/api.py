@@ -92,19 +92,38 @@ class Comm:
 
     def send(self, dst_rank: int, payload: Any, *, tag: int = 0,
              nbytes: int | None = None) -> Send:
-        """Request: send ``payload`` to the member with rank ``dst_rank``."""
+        """Request: send ``payload`` to the member with rank ``dst_rank``.
+
+        Raises :class:`MachineError` naming this group when ``dst_rank``
+        is out of range or the member's processor has crashed — rather
+        than letting the raw simulator error (or a silent under-faults
+        drop) surface from a rank-level program.
+        """
         # Inlined ``pid_of`` + ``env.send`` (identical checks and result).
         if not (0 <= dst_rank < self.size):
-            raise MachineError(f"rank {dst_rank} out of range for size-{self.size} comm")
-        return Send(self.members[dst_rank], payload, tag, nbytes)
+            raise MachineError(
+                f"rank {dst_rank} out of range for size-{self.size} comm "
+                f"(members {self.members})")
+        dst = self.members[dst_rank]
+        dead = self.env._machine._crashed
+        if dead and dst in dead:
+            raise MachineError(
+                f"rank {dst_rank} (pid {dst}) of size-{self.size} comm "
+                f"(members {self.members}) has crashed; use "
+                f"repro.machine.reliable / collectives_ft for "
+                f"fault-tolerant messaging")
+        return Send(dst, payload, tag, nbytes)
 
-    def recv(self, src_rank: int | Any = ANY, *, tag: int | Any = ANY) -> Recv:
+    def recv(self, src_rank: int | Any = ANY, *, tag: int | Any = ANY,
+             timeout: float | None = None) -> Recv:
         """Request: receive from rank ``src_rank`` (or any member)."""
         if src_rank is ANY:
-            return Recv(ANY, tag)
+            return Recv(ANY, tag, timeout)
         if not (0 <= src_rank < self.size):
-            raise MachineError(f"rank {src_rank} out of range for size-{self.size} comm")
-        return Recv(self.members[src_rank], tag)
+            raise MachineError(
+                f"rank {src_rank} out of range for size-{self.size} comm "
+                f"(members {self.members})")
+        return Recv(self.members[src_rank], tag, timeout)
 
     def rank_of_pid(self, pid: int) -> int:
         """Group rank of a global processor id (must be a member)."""

@@ -49,7 +49,9 @@ __all__ = [
     "barrier",
 ]
 
-# Reserved tag block; user programs should keep tags below this.
+# Reserved tag block; user programs should keep tags below this.  The
+# reliable messaging layer reserves two further blocks at 2_000_000 (data)
+# and 3_000_000 (acks) — see ``repro.machine.reliable``.
 _TAG_BCAST = 1_000_001
 _TAG_REDUCE = 1_000_002
 _TAG_SCAN = 1_000_003

@@ -75,6 +75,10 @@ class Send:
     payload: Any
     tag: int = 0
     nbytes: int | None = None
+    #: Marks a retransmission by the reliable-messaging layer: counted in
+    #: ``ProcStats.retransmits`` and traced as ``"retransmit"`` instead of
+    #: ``"send"``.  Cost model and delivery are identical to a plain send.
+    is_retransmit: bool = False
 
 
 @dataclasses.dataclass(slots=True)
@@ -83,10 +87,17 @@ class Recv:
 
     Yielding a ``Recv`` suspends the processor until a matching message has
     been delivered; the generator is resumed with the :class:`Message`.
+
+    ``timeout`` (virtual seconds, measured from the moment the receive is
+    posted) bounds the wait: if no matching message has been delivered by
+    the deadline the generator is resumed with ``None`` instead of a
+    message and the processor's ``timeouts`` counter is incremented.  A
+    ``None`` timeout (the default) waits forever, exactly as before.
     """
 
     src: int | _Any = ANY
     tag: int | _Any = ANY
+    timeout: float | None = None
 
     def matches(self, msg: "Message") -> bool:
         """True iff ``msg`` satisfies this receive's source/tag pattern."""

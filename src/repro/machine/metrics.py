@@ -19,6 +19,7 @@ __all__ = [
     "load_imbalance",
     "comm_fraction",
     "per_proc_table",
+    "fault_counters",
     "ScalingPoint",
     "scaling_series",
 ]
@@ -62,6 +63,22 @@ def per_proc_table(result: RunResult) -> str:
             f"{s.idle_seconds:>10.6f}  {s.msgs_sent:>8}  {s.bytes_sent:>10}  "
             f"{s.finish_time:>10.6f}")
     return "\n".join(lines)
+
+
+def fault_counters(result: RunResult) -> dict[str, int]:
+    """Aggregate fault-layer counters for a run.
+
+    Keys: ``retransmits``, ``timeouts``, ``dropped`` (messages the network
+    ate), ``crashed`` (processors that died).  All four are zero for any
+    fault-free run — existing metric assertions stay valid — and nonzero
+    counts quantify the overhead a fault-tolerant run paid to survive.
+    """
+    return {
+        "retransmits": sum(s.retransmits for s in result.stats),
+        "timeouts": sum(s.timeouts for s in result.stats),
+        "dropped": sum(s.msgs_dropped for s in result.stats),
+        "crashed": len(result.crashed),
+    }
 
 
 @dataclasses.dataclass(frozen=True)

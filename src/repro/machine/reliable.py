@@ -1,0 +1,328 @@
+"""Reliable (ack/retransmit) messaging over the lossy simulated network.
+
+The base simulator delivers every message exactly once — until a fault
+injector (``Machine(..., faults=...)``) starts dropping, duplicating,
+delaying or corrupting them.  This module provides the classic
+end-to-end remedy on top of the raw ``Send``/``Recv`` primitives:
+
+* every payload travels in a *frame* ``(msg_id, payload)`` on a data tag,
+* the receiver acknowledges each frame's ``msg_id`` on a paired ack tag,
+* the sender retransmits with capped exponential backoff until acked,
+  and raises a structured :class:`~repro.errors.FaultError`
+  (``kind="peer-dead"``) when the retry budget is exhausted,
+* the receiver de-duplicates frames by ``(src, tag, msg_id)`` and always
+  re-acks duplicates (the first ack may have been the lost message),
+* corrupted frames (any payload that is not a well-formed frame) are
+  *not* acked, so the sender retransmits the original.
+
+All operations are generators, used with ``yield from`` inside a
+virtual-processor program::
+
+    chan = ReliableChannel(env)
+    yield from chan.send(dst, payload, tag=3)
+    value = yield from chan.recv(src, tag=3, timeout=1.0)
+    theirs = yield from chan.exchange(peer, mine, tag=7)
+
+**Every blocking wait in this layer services incoming traffic.**  A
+dropped ack leaves the sender retransmitting to a peer that has long
+moved on to a different operation; if that peer only listened on its own
+tag, the retransmissions would never be re-acked and the sender would
+stall (livelock).  So ``send``'s ack-wait, ``recv``'s data-wait and the
+whole of ``exchange`` all receive ``(ANY, ANY)`` and *pump*: any
+well-formed data frame from anyone is acked and stashed for the
+``recv``/``exchange`` call it belongs to; stray acks are discarded.  One
+consequence: while a channel operation is blocked, **raw** (non-reliable)
+messages to this processor may be consumed and lost — a program mixing
+raw and reliable traffic must not have both in flight at once.
+
+The pump also makes symmetric traffic safe: two processors that
+``chan.send`` to each other simultaneously ack each other's data from
+inside their own ack-waits, then collect the payloads from the stash
+with ``chan.recv``.  :meth:`ReliableChannel.exchange` packages exactly
+that pattern (send + await ack + await peer payload in one loop) for
+pairwise swaps like hyperquicksort's partner exchange.
+
+Tag layout: user tags ``0 <= tag < 1_000_000`` map to data tag
+``DATA_TAG_BASE + tag`` and ack tag ``ACK_TAG_BASE + tag``, disjoint from
+each other, from raw user tags, and from the collectives' reserved block.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Generator
+
+from repro.errors import FaultError, MachineError
+from repro.machine.cost import MachineSpec
+from repro.machine.events import ANY, Recv, Send
+from repro.machine.simulator import ProcEnv
+
+__all__ = ["ReliableChannel", "default_timeout", "DATA_TAG_BASE",
+           "ACK_TAG_BASE", "MAX_USER_TAG"]
+
+#: Reliable-layer frames live in these tag blocks (user tag added to each).
+DATA_TAG_BASE = 2_000_000
+ACK_TAG_BASE = 3_000_000
+#: Exclusive upper bound on user tags accepted by the reliable layer.
+MAX_USER_TAG = 1_000_000
+
+Gen = Generator[Any, Any, Any]
+
+
+def default_timeout(spec: MachineSpec, *, nbytes_hint: int = 4096,
+                    hops_hint: int = 8) -> float:
+    """A per-attempt ack timeout comfortably above one round trip.
+
+    Eight times the modelled round-trip of an ``nbytes_hint`` message over
+    ``hops_hint`` hops (plus software overheads), floored at one
+    microsecond so zero-cost specs like ``PERFECT`` still time out rather
+    than spin at a zero deadline.
+    """
+    rtt = 2.0 * (spec.latency + spec.per_hop_latency * hops_hint
+                 + nbytes_hint / spec.bandwidth
+                 + spec.send_overhead + spec.recv_overhead)
+    return max(8.0 * rtt, 1e-6)
+
+
+def _check_tag(tag: int) -> None:
+    if not (0 <= tag < MAX_USER_TAG):
+        raise MachineError(
+            f"reliable-layer tag must be in [0, {MAX_USER_TAG}), got {tag}")
+
+
+def _well_formed(frame: Any) -> bool:
+    """True iff ``frame`` is an uncorrupted ``(msg_id, payload)`` pair.
+
+    Fault injectors corrupt a message by *replacing* its payload with a
+    wrapper object, so structural validation doubles as corruption
+    detection without this layer depending on any injector type.
+    """
+    return type(frame) is tuple and len(frame) == 2 and type(frame[0]) is int
+
+
+class ReliableChannel:
+    """Per-processor reliable messaging endpoint (see module docstring).
+
+    One channel per virtual processor; it carries the sender's message-id
+    counter, the receiver's de-duplication set, and the stash of frames
+    consumed early by :meth:`exchange`.
+    """
+
+    def __init__(self, env: ProcEnv, *, timeout: float | None = None,
+                 max_retries: int = 6, backoff: float = 2.0,
+                 max_timeout: float | None = None):
+        self.env = env
+        self.timeout = (default_timeout(env.spec) if timeout is None
+                        else float(timeout))
+        if self.timeout <= 0:
+            raise MachineError(f"timeout must be positive, got {self.timeout}")
+        self.max_retries = int(max_retries)
+        self.backoff = float(backoff)
+        self.max_timeout = (self.timeout * 16.0 if max_timeout is None
+                            else float(max_timeout))
+        self._next_id = 1
+        self._seen: set[tuple[int, int, int]] = set()
+        self._stash: dict[tuple[int, int], deque[Any]] = {}
+
+    def worst_case_send_seconds(self) -> float:
+        """Upper bound on the virtual time one :meth:`send` can take."""
+        total, wait = 0.0, self.timeout
+        for _ in range(self.max_retries + 1):
+            total += wait
+            wait = min(wait * self.backoff, self.max_timeout)
+        return total
+
+    # -- internal helpers -------------------------------------------------
+
+    def _accept_data(self, src: int, tag: int, frame: Any) -> Gen:
+        """Ack ``frame`` and stash its payload if fresh; never consumes it."""
+        msg_id = frame[0]
+        yield Send(src, msg_id, ACK_TAG_BASE + tag)
+        key = (src, tag, msg_id)
+        if key not in self._seen:
+            self._seen.add(key)
+            q = self._stash.get((src, tag))
+            if q is None:
+                q = self._stash[(src, tag)] = deque()
+            q.append(frame[1])
+
+    def _unstash(self, src: int, tag: int) -> tuple[bool, Any]:
+        q = self._stash.get((src, tag))
+        if q:
+            return True, q.popleft()
+        return False, None
+
+    def _unstash_any(self, tag: int) -> tuple[bool, Any]:
+        for key in sorted(k for k, q in self._stash.items()
+                          if k[1] == tag and q):
+            return True, self._stash[key].popleft()
+        return False, None
+
+    def _service(self, msg: Any) -> Gen:
+        """Pump one raw message: ack-and-stash a data frame, drop the rest.
+
+        Called from every blocking wait in this layer so that duplicate
+        retransmissions aimed at us are always re-acked, no matter which
+        channel operation we happen to be blocked in (see module
+        docstring).  Stray acks and corrupted frames are discarded.
+        """
+        mtag = msg.tag
+        if DATA_TAG_BASE <= mtag < DATA_TAG_BASE + MAX_USER_TAG:
+            frame = msg.payload
+            if _well_formed(frame):
+                yield from self._accept_data(msg.src, mtag - DATA_TAG_BASE,
+                                             frame)
+
+    # -- public operations ------------------------------------------------
+
+    def send(self, dst: int, payload: Any, *, tag: int = 0) -> Gen:
+        """Reliably deliver ``payload`` to ``dst`` (blocks until acked).
+
+        Raises :class:`FaultError` (``kind="peer-dead"``) after
+        ``max_retries`` unacknowledged retransmissions.
+        """
+        _check_tag(tag)
+        env = self.env
+        msg_id = self._next_id
+        self._next_id += 1
+        data_tag = DATA_TAG_BASE + tag
+        ack_tag = ACK_TAG_BASE + tag
+        frame = (msg_id, payload)
+        yield Send(dst, frame, data_tag)
+        wait = self.timeout
+        attempts = 0
+        while True:
+            # One attempt = one ack-wait window.  Serviced traffic does not
+            # extend the window — the deadline is fixed per attempt, so a
+            # chatty network cannot starve the retransmission schedule.
+            deadline = env.now + wait
+            while True:
+                remaining = deadline - env.now
+                if remaining <= 0.0:
+                    break
+                msg = yield Recv(ANY, ANY, remaining)
+                if msg is None:
+                    break
+                if (msg.src == dst and msg.tag == ack_tag
+                        and type(msg.payload) is int
+                        and msg.payload == msg_id):
+                    return None
+                # Stale acks are dropped; data frames are re-acked and
+                # stashed for the recv/exchange they belong to.
+                yield from self._service(msg)
+            attempts += 1
+            if attempts > self.max_retries:
+                raise FaultError(
+                    f"pid {env.pid}: send to pid {dst} (tag {tag}) "
+                    f"got no ack after {attempts} attempts; peer presumed "
+                    f"dead", kind="peer-dead", pid=dst)
+            wait = min(wait * self.backoff, self.max_timeout)
+            yield Send(dst, frame, data_tag, None, True)
+
+    def recv(self, src: int, *, tag: int = 0,
+             timeout: float | None = None) -> Gen:
+        """Reliably receive one payload (``src=ANY`` accepts any sender).
+
+        Duplicates are absorbed and re-acked; corrupted frames are ignored
+        (no ack, so the sender retransmits).  With ``timeout`` (virtual
+        seconds total), raises :class:`FaultError` (``kind="timeout"``)
+        if no fresh payload arrives in time.
+        """
+        _check_tag(tag)
+        env = self.env
+        deadline = None if timeout is None else env.now + timeout
+        while True:
+            if src is ANY:
+                hit, payload = self._unstash_any(tag)
+            else:
+                hit, payload = self._unstash(src, tag)
+            if hit:
+                return payload
+            if deadline is None:
+                msg = yield Recv(ANY, ANY)
+            else:
+                remaining = deadline - env.now
+                if remaining <= 0.0:
+                    msg = None
+                else:
+                    msg = yield Recv(ANY, ANY, remaining)
+            if msg is None:
+                raise FaultError(
+                    f"pid {env.pid}: reliable recv (src {src}, tag {tag}) "
+                    f"timed out after {timeout} virtual seconds",
+                    kind="timeout",
+                    pid=src if type(src) is int else None)
+            # Everything lands in the stash via the pump (corrupted frames
+            # are silently dropped — no ack, so the sender retransmits);
+            # the loop head then picks out the payload we were asked for.
+            yield from self._service(msg)
+
+    def exchange(self, peer: int, payload: Any, *, tag: int = 0) -> Gen:
+        """Symmetric reliable swap: send ``payload`` to ``peer``, return theirs.
+
+        Both partners must call ``exchange`` with the same ``tag``.  One
+        loop waits for the ack of our frame *and* the peer's payload,
+        servicing all other traffic through the pump, and retransmits our
+        frame whenever a full backoff window passes without completing.
+        """
+        _check_tag(tag)
+        env = self.env
+        msg_id = self._next_id
+        self._next_id += 1
+        data_tag = DATA_TAG_BASE + tag
+        ack_tag = ACK_TAG_BASE + tag
+        frame = (msg_id, payload)
+        yield Send(peer, frame, data_tag)
+        _nothing = object()
+        got_ack = False
+        result = _nothing
+        wait = self.timeout
+        attempts = 0
+        while True:
+            if result is _nothing:
+                hit, got = self._unstash(peer, tag)
+                if hit:
+                    result = got
+            if got_ack and result is not _nothing:
+                return result
+            deadline = env.now + wait
+            while not (got_ack and result is not _nothing):
+                remaining = deadline - env.now
+                if remaining <= 0.0:
+                    break
+                msg = yield Recv(ANY, ANY, remaining)
+                if msg is None:
+                    break
+                if (msg.src == peer and msg.tag == ack_tag
+                        and type(msg.payload) is int
+                        and msg.payload == msg_id):
+                    got_ack = True
+                    continue
+                yield from self._service(msg)
+                if result is _nothing:
+                    hit, got = self._unstash(peer, tag)
+                    if hit:
+                        result = got
+            if got_ack and result is not _nothing:
+                return result
+            attempts += 1
+            if attempts > self.max_retries:
+                if result is not _nothing:
+                    # Two-generals tail: we hold the peer's payload, so the
+                    # peer reached this exchange; an eternally missing ack
+                    # means the peer already completed it (our frame got
+                    # through, the ack was lost) and may have exited —
+                    # there is no one left obliged to re-ack.  Accept.
+                    return result
+                raise FaultError(
+                    f"pid {env.pid}: exchange with pid {peer} (tag {tag}) "
+                    f"stalled after {attempts} attempts; peer presumed "
+                    f"dead", kind="peer-dead", pid=peer)
+            # Retransmit even if only the ack is missing: a duplicate
+            # forces the peer to re-ack, which is exactly the repair.
+            wait = min(wait * self.backoff, self.max_timeout)
+            yield Send(peer, frame, data_tag, None, True)
+
+    def __repr__(self) -> str:
+        return (f"ReliableChannel(pid={self.env.pid}, "
+                f"timeout={self.timeout:.3g}, retries={self.max_retries})")

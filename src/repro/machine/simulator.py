@@ -56,6 +56,32 @@ The retained pre-optimisation engine
 (:class:`repro.machine._reference.ReferenceMachine`) is the oracle:
 ``tests/machine/test_equivalence.py`` asserts both engines produce
 identical values, stats, makespans and traces.
+
+Fault injection (the ``faults`` hook)
+-------------------------------------
+
+``Machine(..., faults=injector)`` plugs a deterministic fault model into
+the engine through a narrow structural protocol (implemented by
+:class:`repro.faults.FaultInjector`; any object with the same methods
+works)::
+
+    injector.begin_run(nprocs)                  # reset per-run state
+    injector.crash_time(pid) -> float | None    # virtual time pid dies
+    injector.compute_factor(pid) -> float       # node slowdown multiplier
+    injector.link_factor(src, dst) -> float     # wire-time multiplier
+    injector.deliveries(src, dst, tag, nbytes, seq)
+        -> tuple[(extra_delay, corrupt), ...]   # () = dropped,
+                                                # 2 entries = duplicated
+    injector.corrupt_payload(payload) -> Any    # corruption transform
+
+With ``faults=None`` (the default) the engine takes the exact pre-fault
+code paths — the equivalence suite proves the fault-free run stays
+bit-for-bit identical to the reference engine.  With faults enabled the
+run additionally records ``drop``/``timeout``/``crash`` trace events,
+counts drops/timeouts/retransmits in :class:`ProcStats`, drops messages
+addressed to crashed processors instead of raising, skips the
+unconsumed-mailbox check (stray retransmit duplicates are expected under
+chaos), and reports crashed pids in :attr:`RunResult.crashed`.
 """
 
 from __future__ import annotations
@@ -78,6 +104,7 @@ Program = Callable[["ProcEnv"], Generator[Any, Any, Any]]
 _READY = "ready"
 _BLOCKED = "blocked"
 _DONE = "done"
+_CRASHED = "crashed"
 
 
 @dataclasses.dataclass(slots=True)
@@ -93,6 +120,12 @@ class ProcStats:
     bytes_sent: int = 0
     bytes_received: int = 0
     finish_time: float = 0.0
+    #: Fault-layer counters — all provably zero in fault-free runs
+    #: (retransmits/timeouts need Send.is_retransmit / Recv.timeout, which
+    #: only the resilience layer issues; drops need an injector).
+    retransmits: int = 0
+    timeouts: int = 0
+    msgs_dropped: int = 0
 
     @property
     def busy_seconds(self) -> float:
@@ -110,10 +143,32 @@ class RunResult:
     #: Number of simulation requests (computes + sends + receives) the
     #: engine processed — the event count behind host-throughput metrics.
     events: int = 0
+    #: Pids that crashed during the run (sorted).  Crashed processors have
+    #: ``None`` in :attr:`values` and a ``finish_time`` equal to the time
+    #: of death.  Always empty without a fault injector.
+    crashed: list[int] = dataclasses.field(default_factory=list)
 
     @property
     def nprocs(self) -> int:
         return len(self.stats)
+
+    @property
+    def survivors(self) -> list[int]:
+        """Pids that did *not* crash during the run."""
+        dead = set(self.crashed)
+        return [s.pid for s in self.stats if s.pid not in dead]
+
+    @property
+    def total_retransmits(self) -> int:
+        return sum(s.retransmits for s in self.stats)
+
+    @property
+    def total_timeouts(self) -> int:
+        return sum(s.timeouts for s in self.stats)
+
+    @property
+    def total_dropped(self) -> int:
+        return sum(s.msgs_dropped for s in self.stats)
 
     @property
     def makespan(self) -> float:
@@ -200,13 +255,24 @@ class ProcEnv:
         return Compute(ops * self._flop_time)
 
     def send(self, dst: int, payload: Any, *, tag: int = 0,
-             nbytes: int | None = None) -> Send:
+             nbytes: int | None = None, is_retransmit: bool = False) -> Send:
         """Request: asynchronously send ``payload`` to processor ``dst``."""
-        return Send(dst, payload, tag, nbytes)
+        return Send(dst, payload, tag, nbytes, is_retransmit)
 
-    def recv(self, src: int | Any = ANY, *, tag: int | Any = ANY) -> Recv:
-        """Request: block until a message matching ``(src, tag)`` arrives."""
-        return Recv(src, tag)
+    def recv(self, src: int | Any = ANY, *, tag: int | Any = ANY,
+             timeout: float | None = None) -> Recv:
+        """Request: block until a message matching ``(src, tag)`` arrives.
+
+        With ``timeout`` (virtual seconds) the receive resumes with ``None``
+        if nothing matching arrives by the deadline.
+        """
+        return Recv(src, tag, timeout)
+
+    @property
+    def crashed_pids(self) -> frozenset[int]:
+        """Pids known to have crashed so far (empty without faults)."""
+        dead = self._machine._crashed
+        return frozenset(dead) if dead else frozenset()
 
     def __repr__(self) -> str:
         return f"ProcEnv(pid={self.pid}, nprocs={self.nprocs})"
@@ -324,7 +390,7 @@ class _Proc:
     """Internal per-processor simulator state."""
 
     __slots__ = ("pid", "gen", "status", "pending_recv", "resume_value",
-                 "recv_posted_at", "box", "value")
+                 "recv_posted_at", "timeout_at", "box", "value")
 
     def __init__(self, pid: int, gen: Generator[Any, Any, Any]):
         self.pid = pid
@@ -333,6 +399,7 @@ class _Proc:
         self.pending_recv: Recv | None = None
         self.resume_value: Any = None
         self.recv_posted_at = 0.0
+        self.timeout_at: float | None = None
         self.box = _Mailbox()
         self.value: Any = None
 
@@ -342,7 +409,7 @@ class Machine:
 
     def __init__(self, topology: Topology | int, *,
                  spec: MachineSpec = PERFECT, record_trace: bool = False,
-                 single_port: bool = False):
+                 single_port: bool = False, faults: Any = None):
         if isinstance(topology, int):
             topology = FullyConnected(topology)
         if not isinstance(topology, Topology):
@@ -351,6 +418,10 @@ class Machine:
         self.topology = topology
         self.spec = spec
         self.record_trace = record_trace
+        #: Deterministic fault injector (see module docstring), or ``None``
+        #: for the perfect machine.  ``None`` keeps the fault-free fast
+        #: path bit-for-bit identical to the reference engine.
+        self.faults = faults
         #: Single-port (full-duplex) contention model: each processor's
         #: network port transmits at most one message at a time, and
         #: receives at most one at a time.  Port reservations are made in
@@ -360,6 +431,9 @@ class Machine:
         self._clock: list[float] = []
         self._tx_free: list[float] = []
         self._rx_free: list[float] = []
+        #: Pids crashed so far in the current run; ``None`` until a faulty
+        #: run starts (so truthiness tests stay cheap on the fast path).
+        self._crashed: set[int] | None = None
 
     @property
     def nprocs(self) -> int:
@@ -419,11 +493,37 @@ class Machine:
         single_port = self.single_port
         hop_rows: list[list[int] | None] = [None] * n
 
+        # Fault-model setup.  ``faults is None`` (the default) must leave
+        # every hot-path branch below untaken; ``crashes``/``compute_factors``
+        # additionally stay None when the injector models no crash/slowdown,
+        # so those per-event checks cost a single identity test.
+        faults = self.faults
+        crashes: list[float | None] | None = None
+        compute_factors: list[float] | None = None
+        self._crashed = None
+        if faults is not None:
+            faults.begin_run(n)
+            self._crashed = set()
+            ct_list = [faults.crash_time(pid) for pid in range(n)]
+            if any(ct is not None for ct in ct_list):
+                crashes = ct_list
+            cf_list = [faults.compute_factor(pid) for pid in range(n)]
+            if any(f != 1.0 for f in cf_list):
+                compute_factors = cf_list
+        crashed_set = self._crashed
+
         send_seq = 0
         alive = n
         events = 0
         # One (clock, pid) entry per ready processor; blocked/done have none.
+        # Crash times get their own wake-up entries so a blocked or idle
+        # processor still dies on schedule.
         heap: list[tuple[float, int]] = [(0.0, pid) for pid in range(n)]
+        if crashes is not None:
+            for cpid, ct in enumerate(crashes):
+                if ct is not None:
+                    heap.append((ct, cpid))
+            heapify(heap)
 
         def complete_recv(proc: _Proc, st: ProcStats, msg: Message) -> None:
             """Finish ``proc``'s pending receive with ``msg`` and requeue it."""
@@ -442,25 +542,85 @@ class Machine:
                              src=msg.src, tag=msg.tag, nbytes=msg.nbytes)
             proc.status = _READY
             proc.pending_recv = None
+            proc.timeout_at = None
             proc.resume_value = msg
             heappush(heap, (t, pid))
+
+        def kill(proc: _Proc, at: float) -> None:
+            """Crash ``proc`` at virtual time ``at``: permanent node death."""
+            nonlocal alive
+            dead_pid = proc.pid
+            try:
+                proc.gen.close()
+            except RuntimeError:
+                pass
+            proc.status = _CRASHED
+            proc.pending_recv = None
+            proc.timeout_at = None
+            proc.box = _Mailbox()  # in-flight/pending messages die with it
+            proc.value = None
+            clock[dead_pid] = at
+            stats[dead_pid].finish_time = at
+            crashed_set.add(dead_pid)
+            alive -= 1
+            if trace_record is not None:
+                trace_record(dead_pid, "crash", at, at)
 
         while alive > 0:
             while True:
                 if not heap:
                     blocked = [p.pid for p in procs if p.status == _BLOCKED]
-                    raise DeadlockError(
+                    msg_text = (
                         f"deadlock: processors {blocked} blocked on receives "
                         f"that can never be satisfied")
+                    if crashed_set:
+                        msg_text += (f" (crashed processors: "
+                                     f"{sorted(crashed_set)}; use recv "
+                                     f"timeouts or the resilience layer)")
+                    raise DeadlockError(msg_text)
                 t, pid = heappop(heap)
                 proc = procs[pid]
-                # Lazy invalidation guard; every entry is valid under the
-                # current transition rules (see module docstring).
-                if proc.status == _READY and clock[pid] == t:
+                status = proc.status
+                if crashes is not None:
+                    ct = crashes[pid]
+                    if (ct is not None and t >= ct
+                            and status != _DONE and status != _CRASHED):
+                        # The crash wake-up (or any later entry) for a
+                        # processor past its death time: kill it exactly at
+                        # the modelled crash instant.
+                        kill(proc, ct)
+                        continue
+                # Lazy invalidation guard; without faults every entry is
+                # valid under the current transition rules (see module
+                # docstring).
+                if status == _READY and clock[pid] == t:
+                    break
+                if status == _BLOCKED and proc.timeout_at == t:
+                    # Timed-out receive: resume the generator with None.
+                    recv = proc.pending_recv
+                    st = stats[pid]
+                    st.idle_seconds += t - proc.recv_posted_at
+                    st.timeouts += 1
+                    clock[pid] = t
+                    if trace_record is not None:
+                        trace_record(pid, "timeout", proc.recv_posted_at, t,
+                                     src=recv.src, tag=recv.tag)
+                    proc.status = _READY
+                    proc.pending_recv = None
+                    proc.timeout_at = None
+                    proc.resume_value = None
                     break
             st = stats[pid]
             gen_send = proc.gen.send
             while True:
+                if crashes is not None:
+                    ct = crashes[pid]
+                    if ct is not None and clock[pid] >= ct:
+                        # The clock ran past the death time while this
+                        # processor was being driven: it dies at the
+                        # modelled instant, before issuing its next request.
+                        kill(proc, ct)
+                        break
                 try:
                     request = gen_send(proc.resume_value)
                 except StopIteration as stop:
@@ -468,7 +628,10 @@ class Machine:
                     proc.value = stop.value
                     st.finish_time = clock[pid]
                     alive -= 1
-                    if proc.box.count:
+                    if proc.box.count and faults is None:
+                        # Under faults, leftover retransmit duplicates and
+                        # messages racing a crash are expected — only the
+                        # perfect machine treats them as a program bug.
                         raise MachineError(
                             f"processor {pid} finished with {proc.box.count} "
                             f"unconsumed messages in its mailbox")
@@ -495,6 +658,8 @@ class Machine:
                     if seconds.__class__ is not float:
                         # Same IEEE double; keeps clocks/heap keys C floats.
                         seconds = float(seconds)
+                    if compute_factors is not None:
+                        seconds *= compute_factors[pid]
                     start = clock[pid]
                     t = start + seconds
                     clock[pid] = t
@@ -520,46 +685,134 @@ class Machine:
                     hops = row[dst]
                     if hops < 1:
                         hops = 1
-                    if single_port:
-                        wire = nbytes / bandwidth
-                        startup = latency + per_hop * (hops - 1)
-                        txf = tx_free[pid]
-                        tx_start = t if t > txf else txf
-                        tx_free[pid] = tx_start + wire
-                        a0 = tx_start + startup
-                        rxf = rx_free[dst]
-                        arrival = (a0 if a0 > rxf else rxf) + wire
-                        rx_free[dst] = arrival
-                    else:
-                        if nbytes < 0:
+                    if faults is None:
+                        if single_port:
+                            wire = nbytes / bandwidth
+                            startup = latency + per_hop * (hops - 1)
+                            txf = tx_free[pid]
+                            tx_start = t if t > txf else txf
+                            tx_free[pid] = tx_start + wire
+                            a0 = tx_start + startup
+                            rxf = rx_free[dst]
+                            arrival = (a0 if a0 > rxf else rxf) + wire
+                            rx_free[dst] = arrival
+                        else:
+                            if nbytes < 0:
+                                raise MachineError(
+                                    f"nbytes must be non-negative, got {nbytes}")
+                            arrival = t + (latency + per_hop * (hops - 1)
+                                           + nbytes / bandwidth)
+                        send_seq += 1
+                        tag = request.tag
+                        msg = Message(pid, dst, tag, request.payload, nbytes,
+                                      start, arrival, send_seq)
+                        st.msgs_sent += 1
+                        st.bytes_sent += nbytes
+                        if request.is_retransmit:
+                            st.retransmits += 1
+                            if trace_record is not None:
+                                trace_record(pid, "retransmit", start, t,
+                                             dst=dst, tag=tag, nbytes=nbytes)
+                        elif trace_record is not None:
+                            trace_record(pid, "send", start, t,
+                                         dst=dst, tag=tag, nbytes=nbytes)
+                        dproc = procs[dst]
+                        dstatus = dproc.status
+                        if dstatus == _DONE:
                             raise MachineError(
-                                f"nbytes must be non-negative, got {nbytes}")
-                        arrival = t + (latency + per_hop * (hops - 1)
-                                       + nbytes / bandwidth)
-                    send_seq += 1
-                    tag = request.tag
-                    msg = Message(pid, dst, tag, request.payload, nbytes,
-                                  start, arrival, send_seq)
-                    st.msgs_sent += 1
-                    st.bytes_sent += nbytes
-                    if trace_record is not None:
-                        trace_record(pid, "send", start, t,
-                                     dst=dst, tag=tag, nbytes=nbytes)
-                    dproc = procs[dst]
-                    dstatus = dproc.status
-                    if dstatus == _DONE:
-                        raise MachineError(
-                            f"message {msg!r} sent to already-finished processor {dst}")
-                    recv = dproc.pending_recv
-                    if (dstatus == _BLOCKED and recv is not None
-                            and (recv.src is ANY or recv.src == pid)
-                            and (recv.tag is ANY or recv.tag == tag)):
-                        # Direct hand-off: a blocked processor's mailbox holds no
-                        # matching message (it would have unblocked already), so
-                        # the newcomer is the unique earliest candidate.
-                        complete_recv(dproc, stats[dst], msg)
+                                f"message {msg!r} sent to already-finished processor {dst}")
+                        recv = dproc.pending_recv
+                        if (dstatus == _BLOCKED and recv is not None
+                                and (recv.src is ANY or recv.src == pid)
+                                and (recv.tag is ANY or recv.tag == tag)):
+                            # Direct hand-off: a blocked processor's mailbox holds no
+                            # matching message (it would have unblocked already), so
+                            # the newcomer is the unique earliest candidate.
+                            complete_recv(dproc, stats[dst], msg)
+                        else:
+                            dproc.box.add(msg)
                     else:
-                        dproc.box.add(msg)
+                        # Fault-injection send path: the injector decides
+                        # which copies of the message (if any) reach dst,
+                        # how late they are, and whether they are corrupted.
+                        # With an all-zero-rate injector the arithmetic below
+                        # is bit-identical to the fault-free branch
+                        # (``x * 1.0 == x`` and ``x + 0.0 == x`` for the
+                        # non-negative times involved).
+                        tag = request.tag
+                        rtx = request.is_retransmit
+                        st.msgs_sent += 1
+                        st.bytes_sent += nbytes
+                        if rtx:
+                            st.retransmits += 1
+                        if trace_record is not None:
+                            trace_record(pid, "retransmit" if rtx else "send",
+                                         start, t, dst=dst, tag=tag,
+                                         nbytes=nbytes)
+                        dproc = procs[dst]
+                        dstatus = dproc.status
+                        # Every wire attempt consumes a sequence number,
+                        # delivered or not: the injector's decisions hash
+                        # the sequence, so a retransmission must present a
+                        # *fresh* seq or it would inherit the original's
+                        # drop verdict forever.
+                        send_seq += 1
+                        if dstatus == _CRASHED or dstatus == _DONE:
+                            # The peer is gone: the network quietly eats the
+                            # message.  The resilience layer notices dead
+                            # peers through timeouts, not through errors.
+                            st.msgs_dropped += 1
+                            if trace_record is not None:
+                                trace_record(pid, "drop", t, t, dst=dst,
+                                             tag=tag, nbytes=nbytes,
+                                             reason="peer-gone")
+                        else:
+                            outcomes = faults.deliveries(pid, dst, tag,
+                                                         nbytes, send_seq)
+                            if not outcomes:
+                                st.msgs_dropped += 1
+                                if trace_record is not None:
+                                    trace_record(pid, "drop", t, t, dst=dst,
+                                                 tag=tag, nbytes=nbytes,
+                                                 reason="injected")
+                            else:
+                                wire_factor = faults.link_factor(pid, dst)
+                                if single_port:
+                                    wire = nbytes / bandwidth * wire_factor
+                                    startup = latency + per_hop * (hops - 1)
+                                    txf = tx_free[pid]
+                                    tx_start = t if t > txf else txf
+                                    tx_free[pid] = tx_start + wire
+                                    a0 = tx_start + startup
+                                    rxf = rx_free[dst]
+                                    base_arrival = (a0 if a0 > rxf else rxf) + wire
+                                    rx_free[dst] = base_arrival
+                                else:
+                                    if nbytes < 0:
+                                        raise MachineError(
+                                            f"nbytes must be non-negative, got {nbytes}")
+                                    base_arrival = t + (latency + per_hop * (hops - 1)
+                                                        + nbytes / bandwidth * wire_factor)
+                                first_copy = True
+                                for extra_delay, corrupt in outcomes:
+                                    payload = request.payload
+                                    if corrupt:
+                                        payload = faults.corrupt_payload(payload)
+                                    if first_copy:
+                                        first_copy = False
+                                    else:
+                                        send_seq += 1  # duplicate copies
+                                    arrival = base_arrival + extra_delay
+                                    msg = Message(pid, dst, tag, payload,
+                                                  nbytes, start, arrival,
+                                                  send_seq)
+                                    recv = dproc.pending_recv
+                                    if (dproc.status == _BLOCKED and recv is not None
+                                            and (recv.src is ANY or recv.src == pid)
+                                            and (recv.tag is ANY or recv.tag == tag)):
+                                        complete_recv(dproc, stats[dst], msg)
+                                    else:
+                                        dproc.box.add(msg)
                 else:  # Recv
                     box = proc.box
                     msg = None
@@ -585,6 +838,11 @@ class Machine:
                         proc.status = _BLOCKED
                         proc.pending_recv = request
                         proc.recv_posted_at = clock[pid]
+                        to = request.timeout
+                        if to is not None:
+                            deadline = clock[pid] + to
+                            proc.timeout_at = deadline
+                            heappush(heap, (deadline, pid))
                         break
                     # Matching message already delivered: complete the
                     # receive in place (same accounting as complete_recv,
@@ -613,4 +871,5 @@ class Machine:
                     break
 
         return RunResult(values=[p.value for p in procs], stats=stats,
-                         trace=trace, events=events)
+                         trace=trace, events=events,
+                         crashed=sorted(crashed_set) if crashed_set else [])

@@ -5,6 +5,16 @@ When a :class:`~repro.machine.simulator.Machine` is created with
 and receive interval.  Traces power the communication-algebra benchmarks
 (message counts before/after rewriting) and make Gantt-style inspection of
 skeleton programs possible.
+
+Fault-injected runs (``Machine(..., faults=...)``) add four more kinds:
+
+* ``"retransmit"`` — a send issued by the reliable-messaging layer with
+  ``Send.is_retransmit=True`` (same cost and detail as ``"send"``),
+* ``"drop"`` — a message the network ate, either ``reason="injected"``
+  (the fault model dropped it) or ``reason="peer-gone"`` (the destination
+  had crashed or finished),
+* ``"timeout"`` — a ``Recv`` whose deadline expired; spans the wait,
+* ``"crash"`` — the zero-length instant a processor died.
 """
 
 from __future__ import annotations
@@ -21,7 +31,9 @@ class TraceEvent:
     """One timed interval on one processor."""
 
     pid: int
-    kind: str  # "compute" | "send" | "recv"
+    #: "compute" | "send" | "recv", plus under fault injection
+    #: "retransmit" | "drop" | "timeout" | "crash".
+    kind: str
     start: float
     end: float
     detail: dict[str, Any] = dataclasses.field(default_factory=dict)
@@ -81,7 +93,8 @@ class Trace:
         if t_end == 0:
             return "(zero-length trace)"
         pids = sorted({e.pid for e in self._events})
-        glyph = {"compute": "#", "send": ">", "recv": "<"}
+        glyph = {"compute": "#", "send": ">", "recv": "<",
+                 "retransmit": "}", "drop": "x", "timeout": "~", "crash": "X"}
         rows = []
         for pid in pids:
             cells = [" "] * width

@@ -1,0 +1,118 @@
+"""Determinism: same seed + same fault spec => identical runs.
+
+The satellite requirement: makespan, traces, and survivor sets must be
+bit-identical across repeated runs — including programs built on
+ANY-wildcard receives (the farm master receives with ``src=ANY``), where
+nondeterministic tie-breaking would first show up.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.faults import chaos
+from repro.faults.apps import ft_hyperquicksort_machine
+from repro.faults.models import FaultSpec
+from repro.faults.runtime import CheckpointStore, ft_map_machine
+from repro.machine import AP1000
+
+
+def _sort_run(seed):
+    values = np.random.default_rng(3).integers(0, 10_000, size=1_500)
+    return ft_hyperquicksort_machine(
+        values, 3, faults=FaultSpec(seed=seed, drop_rate=0.05, dup_rate=0.02),
+        record_trace=True)
+
+
+class TestSameSeedSameRun:
+    def test_hyperquicksort_identical_twice(self):
+        out_a, res_a = _sort_run(7)
+        out_b, res_b = _sort_run(7)
+        assert np.array_equal(out_a, out_b)
+        assert res_a.makespan == res_b.makespan
+        assert list(res_a.trace) == list(res_b.trace)
+        assert res_a.crashed == res_b.crashed
+        for sa, sb in zip(res_a.stats, res_b.stats):
+            assert sa == sb
+
+    def test_different_seed_different_faults(self):
+        _, res_a = _sort_run(7)
+        _, res_b = _sort_run(8)
+        # both sort correctly, but the injected fault pattern differs
+        ca = [(s.msgs_dropped, s.retransmits) for s in res_a.stats]
+        cb = [(s.msgs_dropped, s.retransmits) for s in res_b.stats]
+        assert ca != cb
+
+    def test_any_wildcard_farm_identical_twice(self):
+        # the farm master receives with src=ANY; crash two workers so the
+        # run exercises suspicion, requeue, and reassignment paths
+        spec = FaultSpec(seed=5, drop_rate=0.02, crash_at={2: 0.003})
+
+        def run():
+            results, runs = ft_map_machine(
+                list(range(24)), lambda x: x * 3, nprocs=4, faults=spec,
+                cost_fn=lambda x: 4000.0, checkpoint=CheckpointStore(),
+                record_trace=True)
+            return results, runs
+
+        results_a, runs_a = run()
+        results_b, runs_b = run()
+        assert results_a == results_b == [x * 3 for x in range(24)]
+        assert len(runs_a) == len(runs_b)
+        for ra, rb in zip(runs_a, runs_b):
+            assert ra.makespan == rb.makespan
+            assert ra.crashed == rb.crashed
+            assert list(ra.trace) == list(rb.trace)
+
+
+class TestChaosHarness:
+    def _args(self, **kw):
+        base = dict(app="hyperquicksort", p=4, n=800, seed=7,
+                    drop_rate=[0.05], dup_rate=0.0, delay_rate=0.0,
+                    delay_seconds=0.002, corrupt_rate=0.0, crash=[],
+                    crash_master=False, spec=AP1000, out=None)
+        base.update(kw)
+        return argparse.Namespace(**base)
+
+    def test_sweep_reproducible(self):
+        rows_a = chaos.run_sweep(self._args())
+        rows_b = chaos.run_sweep(self._args())
+        assert rows_a == rows_b
+        assert all(r["ok"] for r in rows_a)
+        faulty = [r for r in rows_a if r["drop_rate"] > 0]
+        assert faulty and all(r["retransmits"] > 0 for r in faulty)
+
+    def test_sweep_includes_baseline(self):
+        rows = chaos.run_sweep(self._args())
+        assert rows[0]["drop_rate"] == 0.0
+        assert rows[0]["overhead"] == 1.0
+
+    def test_mapreduce_crash_scenario(self):
+        args = self._args(app="mapreduce", crash=["2@0.002"],
+                          drop_rate=[0.01])
+        rows = chaos.run_sweep(args)
+        assert all(r["ok"] for r in rows)
+        assert rows[1]["crashed"] == 1
+
+    def test_cli_chaos_exit_code(self, capsys):
+        from repro.cli import main
+        rc = main(["chaos", "--app", "hyperquicksort", "--p", "4",
+                   "-n", "800", "--drop-rate", "0.02", "--seed", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Chaos sweep" in out
+        assert "ok" in out
+
+    def test_out_artifact_written(self, tmp_path, capsys):
+        from repro.cli import main
+        out_file = tmp_path / "survival.json"
+        rc = main(["chaos", "--app", "hyperquicksort", "--p", "4",
+                   "-n", "400", "--drop-rate", "0.02", "--seed", "3",
+                   "--out", str(out_file)])
+        assert rc == 0
+        import json
+        artifact = json.loads(out_file.read_text())
+        assert artifact["app"] == "hyperquicksort"
+        assert len(artifact["rows"]) == 2

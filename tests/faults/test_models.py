@@ -1,0 +1,135 @@
+"""Tests for repro.faults.models (FaultSpec / FaultInjector / hashing)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MachineError
+from repro.faults.models import Corrupted, FaultInjector, FaultSpec, _u01
+
+
+class TestHash:
+    def test_pure_function_of_inputs(self):
+        assert _u01(7, 1, 0, 1, 3, 42) == _u01(7, 1, 0, 1, 3, 42)
+
+    def test_in_unit_interval(self):
+        for seq in range(200):
+            u = _u01(123, 1, 0, 1, 0, seq)
+            assert 0.0 <= u < 1.0
+
+    def test_sensitive_to_every_part(self):
+        base = _u01(7, 1, 0, 1, 3, 42)
+        assert base != _u01(8, 1, 0, 1, 3, 42)   # seed
+        assert base != _u01(7, 2, 0, 1, 3, 42)   # decision kind
+        assert base != _u01(7, 1, 5, 1, 3, 42)   # src
+        assert base != _u01(7, 1, 0, 2, 3, 42)   # dst
+        assert base != _u01(7, 1, 0, 1, 4, 42)   # tag
+        assert base != _u01(7, 1, 0, 1, 3, 43)   # seq
+
+    def test_roughly_uniform(self):
+        draws = [_u01(99, 1, 0, 1, 0, s) for s in range(2000)]
+        below = sum(1 for u in draws if u < 0.5)
+        assert 800 < below < 1200
+
+
+class TestFaultSpec:
+    def test_default_is_identity(self):
+        assert FaultSpec().is_identity
+
+    @pytest.mark.parametrize("field", ["drop_rate", "dup_rate",
+                                       "delay_rate", "corrupt_rate"])
+    def test_rate_validation(self, field):
+        with pytest.raises(MachineError):
+            FaultSpec(**{field: 1.5})
+        with pytest.raises(MachineError):
+            FaultSpec(**{field: -0.1})
+
+    def test_delay_and_slowdown_validation(self):
+        with pytest.raises(MachineError):
+            FaultSpec(delay_seconds=-1.0)
+        with pytest.raises(MachineError):
+            FaultSpec(link_slowdown=0.5)
+        with pytest.raises(MachineError):
+            FaultSpec(slow_nodes={0: 0.5})
+        with pytest.raises(MachineError):
+            FaultSpec(crash_at={0: -1.0})
+
+    def test_non_identity_fields(self):
+        assert not FaultSpec(drop_rate=0.1).is_identity
+        assert not FaultSpec(link_slowdown=2.0).is_identity
+        assert not FaultSpec(slow_nodes={1: 2.0}).is_identity
+        assert not FaultSpec(crash_at={1: 0.5}).is_identity
+
+    def test_replace(self):
+        spec = FaultSpec(seed=3, drop_rate=0.1)
+        assert spec.replace(drop_rate=0.0) == FaultSpec(seed=3)
+
+
+class TestFaultInjector:
+    def test_rejects_non_spec(self):
+        with pytest.raises(MachineError):
+            FaultInjector({"drop_rate": 0.5})
+
+    def test_zero_spec_is_clean_delivery(self):
+        inj = FaultInjector(FaultSpec())
+        for seq in range(50):
+            assert inj.deliveries(0, 1, 0, 100, seq) == ((0.0, False),)
+
+    def test_certain_drop(self):
+        inj = FaultInjector(FaultSpec(drop_rate=1.0))
+        assert inj.deliveries(0, 1, 0, 100, 1) == ()
+
+    def test_certain_duplicate_trails_by_delay_quantum(self):
+        inj = FaultInjector(FaultSpec(dup_rate=1.0, delay_seconds=0.5))
+        out = inj.deliveries(0, 1, 0, 100, 1)
+        assert len(out) == 2
+        assert out[0] == (0.0, False)
+        assert out[1] == (0.5, False)   # never independently corrupted
+
+    def test_certain_delay_and_corruption(self):
+        inj = FaultInjector(FaultSpec(delay_rate=1.0, delay_seconds=0.25,
+                                      corrupt_rate=1.0))
+        assert inj.deliveries(0, 1, 0, 100, 1) == ((0.25, True),)
+
+    def test_decisions_deterministic_and_seq_local(self):
+        inj = FaultInjector(FaultSpec(seed=11, drop_rate=0.3, dup_rate=0.2))
+        a = [inj.deliveries(0, 1, 5, 64, s) for s in range(100)]
+        b = [inj.deliveries(0, 1, 5, 64, s) for s in range(100)]
+        assert a == b
+        # a different seed reshuffles at least one decision
+        other = FaultInjector(FaultSpec(seed=12, drop_rate=0.3, dup_rate=0.2))
+        assert a != [other.deliveries(0, 1, 5, 64, s) for s in range(100)]
+
+    def test_link_factor_all_links(self):
+        inj = FaultInjector(FaultSpec(link_slowdown=3.0))
+        assert inj.link_factor(0, 1) == 3.0
+        assert inj.link_factor(4, 2) == 3.0
+
+    def test_link_factor_specific_links(self):
+        inj = FaultInjector(FaultSpec(link_slowdown=3.0,
+                                      slow_links=frozenset({(0, 1)})))
+        assert inj.link_factor(0, 1) == 3.0
+        assert inj.link_factor(1, 0) == 1.0
+
+    def test_node_schedules(self):
+        inj = FaultInjector(FaultSpec(slow_nodes={2: 4.0},
+                                      crash_at={1: 0.5}))
+        assert inj.compute_factor(2) == 4.0
+        assert inj.compute_factor(0) == 1.0
+        assert inj.crash_time(1) == 0.5
+        assert inj.crash_time(0) is None
+
+    def test_begin_run_validates_pids(self):
+        inj = FaultInjector(FaultSpec(crash_at={9: 0.5}))
+        with pytest.raises(MachineError):
+            inj.begin_run(4)
+        inj2 = FaultInjector(FaultSpec(slow_nodes={9: 2.0}))
+        with pytest.raises(MachineError):
+            inj2.begin_run(4)
+
+    def test_corrupt_payload_wraps(self):
+        inj = FaultInjector(FaultSpec())
+        wrapped = inj.corrupt_payload([1, 2, 3])
+        assert isinstance(wrapped, Corrupted)
+        assert wrapped.original == [1, 2, 3]
+        assert "Corrupted" in repr(wrapped)

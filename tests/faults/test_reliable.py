@@ -1,0 +1,226 @@
+"""Reliable channel and crash-aware collectives under injected faults."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FaultError, MachineError
+from repro.faults.models import FaultInjector, FaultSpec
+from repro.machine import AP1000, Machine, Comm, ReliableChannel
+from repro.machine import collectives_ft as cft
+from repro.machine.events import ANY
+
+
+def _run(nprocs, prog, spec=None, **machine_kw):
+    faults = FaultInjector(spec if spec is not None else FaultSpec())
+    return Machine(nprocs, spec=AP1000, faults=faults, **machine_kw).run(prog)
+
+
+class TestSendRecv:
+    def test_roundtrip_clean(self):
+        def prog(env):
+            chan = ReliableChannel(env)
+            if env.pid == 0:
+                yield from chan.send(1, {"k": 1}, tag=4)
+                return None
+            return (yield from chan.recv(0, tag=4))
+
+        assert _run(2, prog).values[1] == {"k": 1}
+
+    def test_survives_heavy_drops(self):
+        def prog(env):
+            chan = ReliableChannel(env)
+            if env.pid == 0:
+                for i in range(5):
+                    yield from chan.send(1, i, tag=1)
+                return None
+            got = []
+            for _ in range(5):
+                got.append((yield from chan.recv(0, tag=1)))
+            return got
+
+        res = _run(2, prog, FaultSpec(seed=3, drop_rate=0.3))
+        assert res.values[1] == [0, 1, 2, 3, 4]
+        assert res.total_retransmits > 0
+        assert res.total_dropped > 0
+
+    def test_deduplicates_under_duplication(self):
+        def prog(env):
+            chan = ReliableChannel(env)
+            if env.pid == 0:
+                for i in range(5):
+                    yield from chan.send(1, i, tag=1)
+                return None
+            got = []
+            for _ in range(5):
+                got.append((yield from chan.recv(0, tag=1)))
+            return got
+
+        res = _run(2, prog, FaultSpec(seed=3, dup_rate=1.0,
+                                      delay_seconds=0.0005))
+        assert res.values[1] == [0, 1, 2, 3, 4]
+
+    def test_corruption_forces_retransmit(self):
+        def prog(env):
+            # corruption hits acks too, so each attempt needs both
+            # directions clean: give the channel a deep retry budget
+            chan = ReliableChannel(env, max_retries=16)
+            if env.pid == 0:
+                yield from chan.send(1, "precious", tag=1)
+                return None
+            got = yield from chan.recv(0, tag=1)
+            # linger: the ack we just sent may arrive corrupted, and the
+            # sender can only be re-acked while we are still receiving
+            try:
+                yield from chan.recv(0, tag=9,
+                                     timeout=chan.worst_case_send_seconds())
+            except FaultError:
+                pass
+            return got
+
+        res = _run(2, prog, FaultSpec(seed=5, corrupt_rate=0.4))
+        assert res.values[1] == "precious"
+        assert res.total_retransmits > 0
+
+    def test_total_corruption_presumes_peer_dead(self):
+        def prog(env):
+            chan = ReliableChannel(env, max_retries=2)
+            if env.pid == 0:
+                try:
+                    yield from chan.send(1, "x", tag=1)
+                except FaultError as exc:
+                    return exc.kind
+                return "delivered"
+            try:
+                yield from chan.recv(0, tag=1,
+                                     timeout=chan.worst_case_send_seconds())
+            except FaultError:
+                return None
+            return None
+
+        res = _run(2, prog, FaultSpec(corrupt_rate=1.0))
+        assert res.values[0] == "peer-dead"
+
+    def test_recv_timeout_raises_structured(self):
+        def prog(env):
+            chan = ReliableChannel(env)
+            if env.pid == 0:
+                yield env.compute(0.01)
+                return None
+            try:
+                yield from chan.recv(0, tag=1, timeout=0.02)
+            except FaultError as exc:
+                return (exc.kind, exc.pid)
+            return "no-error"
+
+        assert _run(2, prog).values[1] == ("timeout", 0)
+
+    def test_rejects_out_of_range_tag(self):
+        def prog(env):
+            chan = ReliableChannel(env)
+            with pytest.raises(MachineError, match="tag"):
+                list(chan.send(0, "x", tag=10**7))
+            yield env.compute(0)
+            return None
+
+        _run(1, prog)
+
+
+class TestExchange:
+    def test_symmetric_swap_under_drops(self):
+        def prog(env):
+            chan = ReliableChannel(env)
+            peer = env.pid ^ 1
+            mine = f"from-{env.pid}"
+            theirs = yield from chan.exchange(peer, mine, tag=2)
+            return theirs
+
+        res = _run(2, prog, FaultSpec(seed=9, drop_rate=0.3))
+        assert res.values == ["from-1", "from-0"]
+
+    def test_consecutive_exchanges_keep_order(self):
+        def prog(env):
+            chan = ReliableChannel(env)
+            peer = env.pid ^ 1
+            out = []
+            for rnd in range(4):
+                out.append((yield from chan.exchange(
+                    peer, (env.pid, rnd), tag=2)))
+            return out
+
+        res = _run(2, prog, FaultSpec(seed=2, drop_rate=0.2, dup_rate=0.2))
+        assert res.values[0] == [(1, r) for r in range(4)]
+        assert res.values[1] == [(0, r) for r in range(4)]
+
+
+class TestCollectivesFT:
+    def test_bcast_and_gather_clean(self):
+        def prog(env):
+            chan = ReliableChannel(env)
+            comm = Comm.world(env)
+            value = yield from cft.ft_bcast(chan, comm, "v" if env.pid == 0
+                                            else None, root=0)
+            gathered = yield from cft.ft_gather(chan, comm, env.pid, root=0)
+            return (value, gathered)
+
+        res = _run(4, prog)
+        assert all(v[0] == "v" for v in res.values)
+        assert res.values[0][1] == [0, 1, 2, 3]
+
+    def test_gather_degrades_to_survivors(self):
+        def prog(env):
+            chan = ReliableChannel(env, max_retries=2)
+            comm = Comm.world(env)
+            if env.pid == 2:
+                while True:   # crashes at t=0.001
+                    yield env.compute(0.01)
+            gathered = yield from cft.ft_gather(chan, comm, env.pid, root=0)
+            return gathered
+
+        res = _run(4, prog, FaultSpec(crash_at={2: 0.001}))
+        assert res.crashed == [2]
+        assert res.values[0] == [0, 1, None, 3]
+
+    def test_reduce_over_survivors(self):
+        def prog(env):
+            chan = ReliableChannel(env, max_retries=2)
+            comm = Comm.world(env)
+            if env.pid == 1:
+                while True:
+                    yield env.compute(0.01)
+            total = yield from cft.ft_reduce(chan, comm, env.pid + 1,
+                                             lambda a, b: a + b, root=0)
+            return total
+
+        res = _run(4, prog, FaultSpec(crash_at={1: 0.001}))
+        # survivors contribute 1 + 3 + 4
+        assert res.values[0] == 8
+
+    def test_dead_root_raises_root_dead(self):
+        def prog(env):
+            chan = ReliableChannel(env, max_retries=1)
+            comm = Comm.world(env)
+            if env.pid == 0:
+                while True:
+                    yield env.compute(0.01)
+            try:
+                yield from cft.ft_bcast(chan, comm, root=0)
+            except FaultError as exc:
+                return exc.kind
+            return "no-error"
+
+        res = _run(3, prog, FaultSpec(crash_at={0: 0.001}))
+        assert res.values[1] == res.values[2] == "root-dead"
+
+    def test_barrier_clean(self):
+        def prog(env):
+            chan = ReliableChannel(env)
+            comm = Comm.world(env)
+            yield env.compute(0.001 * env.pid)   # desynchronise
+            yield from cft.ft_barrier(chan, comm, root=0)
+            return env.now
+
+        res = _run(3, prog)
+        # everyone leaves the barrier at (nearly) the same virtual time:
+        # no one before the slowest member entered it
+        assert min(res.values) >= 0.002

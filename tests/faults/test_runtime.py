@@ -1,0 +1,128 @@
+"""Fault-tolerant skeleton runtime: reassignment, checkpoint/restart, apps."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.computational import farm
+from repro.core.pararray import ParArray
+from repro.errors import SkeletonError
+from repro.faults.apps import ft_hyperquicksort_machine
+from repro.faults.models import FaultSpec
+from repro.faults.runtime import CheckpointStore, ft_map_machine
+from repro.apps.sort import hyperquicksort_machine
+
+
+class TestCheckpointStore:
+    def test_idempotent_commits(self):
+        store = CheckpointStore()
+        store.record(3, "first")
+        store.record(3, "second")
+        assert store.result(3) == "first"
+        assert store.completed() == {3}
+        assert len(store) == 1
+
+
+class TestFtMapMachine:
+    def test_fault_free_map(self):
+        items = list(range(23))
+        results, runs = ft_map_machine(items, lambda x: x * x, nprocs=4)
+        assert results == [x * x for x in items]
+        assert len(runs) == 1
+        assert runs[0].crashed == []
+
+    def test_worker_crash_reassigns_without_restart(self):
+        items = list(range(30))
+        spec = FaultSpec(seed=1, crash_at={2: 0.002, 3: 0.004})
+        results, runs = ft_map_machine(items, lambda x: x + 100, nprocs=4,
+                                       faults=spec,
+                                       cost_fn=lambda x: 5000.0)
+        assert results == [x + 100 for x in items]
+        assert len(runs) == 1          # no restart needed: master survived
+        assert runs[0].crashed == [2, 3]
+
+    def test_master_crash_restarts_from_checkpoint(self):
+        items = list(range(30))
+        store = CheckpointStore()
+        spec = FaultSpec(seed=1, crash_at={0: 0.01})
+        results, runs = ft_map_machine(items, lambda x: x * 2, nprocs=4,
+                                       faults=spec, checkpoint=store,
+                                       cost_fn=lambda x: 5000.0)
+        assert results == [x * 2 for x in items]
+        assert len(runs) >= 2          # the crashed attempt plus the restart
+        assert runs[0].crashed == [0]
+        assert len(store) == len(items)
+
+    def test_restart_skips_checkpointed_jobs(self):
+        calls = []
+
+        def fn(x):
+            calls.append(x)
+            return x
+
+        items = list(range(12))
+        store = CheckpointStore()
+        for i in range(6):
+            store.record(i, i)         # half the work already committed
+        results, runs = ft_map_machine(items, fn, nprocs=4, checkpoint=store)
+        assert results == items
+        assert not any(c < 6 for c in calls)
+
+    def test_everyone_dead_master_computes_locally(self):
+        items = list(range(8))
+        spec = FaultSpec(seed=1, crash_at={1: 0.0, 2: 0.0, 3: 0.0})
+        results, runs = ft_map_machine(items, lambda x: -x, nprocs=4,
+                                       faults=spec)
+        assert results == [-x for x in items]
+        assert runs[0].crashed == [1, 2, 3]
+
+
+class TestFtHyperquicksort:
+    def test_matches_plain_version_fault_free(self):
+        values = np.random.default_rng(11).integers(0, 10_000, size=2_000)
+        plain, _ = hyperquicksort_machine(values, 3)
+        ft, res = ft_hyperquicksort_machine(values, 3)
+        assert np.array_equal(plain, ft)
+        assert res.total_retransmits == 0
+
+    def test_sorts_under_drops_with_retransmits(self):
+        values = np.random.default_rng(11).integers(0, 10_000, size=2_000)
+        out, res = ft_hyperquicksort_machine(
+            values, 3, faults=FaultSpec(seed=7, drop_rate=0.05))
+        assert np.array_equal(out, np.sort(values))
+        assert res.total_retransmits > 0
+        assert res.total_dropped > 0
+
+    def test_sorts_under_mixed_faults(self):
+        values = np.random.default_rng(4).integers(0, 10_000, size=1_000)
+        spec = FaultSpec(seed=13, drop_rate=0.02, dup_rate=0.02,
+                         delay_rate=0.05, delay_seconds=0.001)
+        out, _ = ft_hyperquicksort_machine(values, 2, faults=spec)
+        assert np.array_equal(out, np.sort(values))
+
+
+class TestFarmRetriesSatellite:
+    def test_transient_failure_retried(self):
+        attempts = {}
+
+        def flaky(env, x):
+            attempts[x] = attempts.get(x, 0) + 1
+            if attempts[x] == 1:
+                raise RuntimeError("transient")
+            return x * env
+
+        out = farm(flaky, 10, ParArray([1, 2, 3]), retries=1)
+        assert list(out) == [10, 20, 30]
+        assert all(n == 2 for n in attempts.values())
+
+    def test_persistent_failure_propagates(self):
+        def broken(env, x):
+            raise RuntimeError("permanent")
+
+        with pytest.raises(RuntimeError, match="permanent"):
+            farm(broken, 0, ParArray([1]), retries=2)
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(SkeletonError):
+            farm(lambda e, x: x, 0, ParArray([1]), retries=-1)

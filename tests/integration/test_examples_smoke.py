@@ -19,6 +19,7 @@ EXAMPLES = pathlib.Path(__file__).parent.parent.parent / "examples"
 CASES = {
     "quickstart.py": [],
     "hyperquicksort.py": ["4096"],
+    "fault_tolerant_sort.py": ["4096"],
     "gauss_jordan.py": ["24"],
     "cannon_matmul.py": ["8", "2"],
     "jacobi.py": ["16", "2"],
