@@ -26,7 +26,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core import Block, ParArray, align, fetch, imap, iter_for, parmap, partition
+from repro.core import Block, ParArray, align, fetch, imap, iter_for, partition
 from repro.errors import SkeletonError
 from repro.machine import AP1000, Comm, Hypercube, Machine, MachineSpec
 from repro.machine.simulator import RunResult

@@ -25,7 +25,6 @@ as a message-passing program on the simulated machine
 from __future__ import annotations
 
 import dataclasses
-from typing import Sequence
 
 import numpy as np
 

@@ -21,7 +21,6 @@ Gravitational softening keeps the maths finite for coincident bodies.
 from __future__ import annotations
 
 import dataclasses
-from typing import Sequence
 
 import numpy as np
 

@@ -36,7 +36,8 @@ opaque Fortran/C code.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Sequence
+import functools
+from typing import Sequence
 
 import numpy as np
 
@@ -476,6 +477,7 @@ def hyperquicksort_machine_nested(
 # 5. Hyperquicksort as a compilable SCL expression
 # --------------------------------------------------------------------------
 
+@functools.lru_cache(maxsize=None)
 def hyperquicksort_expression(d: int):
     """The flattened §5 program as a :mod:`repro.scl` expression.
 
@@ -486,6 +488,10 @@ def hyperquicksort_expression(d: int):
     can be interpreted (`evaluate`) over a ParArray of pre-sorted blocks,
     rewritten by the §4 rules, or **compiled** onto the simulated machine
     (`run_expression`), which mechanises the paper's full pipeline.
+
+    Memoised on ``d``: repeated calls return the *same* expression object,
+    so every compile after the first is a plan-cache hit (plans are keyed
+    by the expression).
     """
     import numpy as np
 

@@ -15,7 +15,6 @@ falls below a tolerance.  Parallel structure in SCL terms:
 from __future__ import annotations
 
 import dataclasses
-from typing import Any
 
 import numpy as np
 

@@ -10,16 +10,20 @@
     python -m repro all                  # everything above
     python -m repro perf                 # simulator-core performance suite
     python -m repro chaos                # fault-injection survival sweep
+    python -m repro plan hyperquicksort  # dump a lowered plan + its costs
     python -m repro table1 -n 20000 --seed 7   # smaller/quicker variants
 
 Each command prints the reproduced table to stdout; ``--spec`` switches the
 machine model (``ap1000`` / ``modern`` / ``perfect``).
 
-``perf`` and ``chaos`` are different from the rest: ``perf`` measures *host*
-performance of the simulator itself (see :mod:`repro.perf`), ``chaos``
-sweeps fault rates over the fault-tolerant apps (see
-:mod:`repro.faults.chaos`); each takes its own flags —
-``python -m repro perf --help`` / ``python -m repro chaos --help``.
+``perf``, ``chaos`` and ``plan`` are different from the rest: ``perf``
+measures *host* performance of the simulator itself (see
+:mod:`repro.perf`), ``chaos`` sweeps fault rates over the fault-tolerant
+apps (see :mod:`repro.faults.chaos`), ``plan`` dumps a lowered Plan-IR
+program with predicted-vs-simulated cost columns (see
+:mod:`repro.plan.cli`); each takes its own flags —
+``python -m repro perf --help`` / ``python -m repro chaos --help`` /
+``python -m repro plan --help``.
 """
 
 from __future__ import annotations
@@ -168,12 +172,15 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro",
         description="Regenerate the evaluation of 'Parallel Skeletons for "
                     "Structured Composition' (PPoPP 1995).")
-    parser.add_argument("command", choices=[*_COMMANDS, "all", "perf", "chaos"],
+    parser.add_argument("command",
+                        choices=[*_COMMANDS, "all", "perf", "chaos", "plan"],
                         help="which artefact to regenerate ('perf' runs the "
                              "simulator performance suite, 'chaos' the "
-                             "fault-injection sweep; see "
+                             "fault-injection sweep, 'plan' dumps a lowered "
+                             "Plan-IR program; see "
                              "'python -m repro perf --help' / "
-                             "'python -m repro chaos --help')")
+                             "'python -m repro chaos --help' / "
+                             "'python -m repro plan --help')")
     parser.add_argument("-n", type=int, default=100_000,
                         help="workload size (default: the paper's 100,000)")
     parser.add_argument("--seed", type=int, default=19950701,
@@ -200,6 +207,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.faults import chaos
 
         return chaos.main(argv[1:])
+    if argv[:1] == ["plan"]:
+        # And the plan dumper (<app>/--dim/--tables/...).
+        from repro.plan import cli as plan_cli
+
+        return plan_cli.main(argv[1:])
     args = build_parser().parse_args(argv)
     args.spec = _SPECS[args.spec]
     if args.max_dim < 1 or args.max_dim > 10:

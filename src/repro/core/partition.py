@@ -20,7 +20,7 @@ directives, as Fig. 1 notes).  Uneven divisions are supported: the first
 from __future__ import annotations
 
 import abc
-from typing import Any, Sequence
+from typing import Any
 
 import numpy as np
 

@@ -1,18 +1,22 @@
 """Example applications rebuilt on the resilience layer.
 
-:func:`ft_hyperquicksort_machine` is the hand-compiled hyperquicksort of
-:mod:`repro.apps.sort` with every message moved onto the reliable
-(ack/retransmit) channel, so the run completes — with a measurable
-makespan penalty — while the fault injector drops, duplicates, delays or
-corrupts messages.  The communication pattern changes with it:
+:func:`ft_hyperquicksort_machine` is hyperquicksort on a lossy machine —
+but unlike the first generation of this module, it is no longer a hand
+port.  The sorting rounds are the *compiled* §5 expression
+(:func:`repro.apps.sort.hyperquicksort_expression`) executed through the
+fault-tolerant plan interpreter
+(:func:`repro.faults.plan_exec.execute_plan_ft`), and the bracketing
+distribution/collection steps are the shared crash-aware collectives
+(:func:`~repro.machine.collectives_ft.ft_scatter` /
+:func:`~repro.machine.collectives_ft.ft_gather`).  The only app-specific
+code left is the app itself: pre-sort the local block, run the
+expression, concatenate.
 
-* scatter/gather and the pivot broadcast become *linear* reliable
-  transfers (root/leader serves each peer in turn) instead of binomial
-  trees — a dropped tree edge would strand a whole subtree, while a
-  linear pattern confines every loss to one acked edge;
-* the partner exchange uses :meth:`ReliableChannel.exchange`, which
-  services the partner's data while awaiting its own ack (a plain
-  reliable send/recv pair deadlocks when both sides lose their acks).
+The communication pattern this produces differs from the perfect-network
+compiler's (linear reliable scatter/gather instead of binomial trees;
+`ReliableChannel.exchange` for the symmetric partner swap, which services
+the partner's data while awaiting its own ack), so the makespan carries a
+measurable resilience penalty — but the computed values are identical.
 
 Node *crashes* are out of scope here: a crashed sorter loses its data
 block, which no messaging protocol can recover.  Crash tolerance belongs
@@ -27,20 +31,19 @@ from typing import Sequence
 import numpy as np
 
 from repro.errors import FaultError
-from repro.apps.sort import (SortCostParams, merge_sorted, midvalue,
-                             seq_quicksort, split_by_pivot)
+from repro.apps.sort import SortCostParams, hyperquicksort_expression, seq_quicksort
 from repro.machine import AP1000, Hypercube, Machine, MachineSpec
+from repro.machine.api import Comm
+from repro.machine.collectives_ft import ft_gather, ft_scatter
+from repro.machine.plan_exec import Grouped
 from repro.machine.reliable import ReliableChannel
 from repro.machine.simulator import RunResult
+from repro.plan.lower import lower
 from repro.runtime.chunking import chunk_indices
 from repro.faults.models import FaultInjector, FaultSpec
+from repro.faults.plan_exec import execute_plan_ft
 
 __all__ = ["ft_hyperquicksort_machine"]
-
-_TAG_SCATTER = 11
-_TAG_GATHER = 12
-_TAG_PIVOT = 13
-_TAG_EXCHANGE = 7
 
 
 def ft_hyperquicksort_machine(
@@ -56,13 +59,13 @@ def ft_hyperquicksort_machine(
 ) -> tuple[np.ndarray, RunResult]:
     """Hyperquicksort on a lossy simulated hypercube; returns (sorted, run).
 
-    Identical algorithmic structure to
-    :func:`repro.apps.sort.hyperquicksort_machine` (scatter, local sort,
-    ``d`` pivot/split/exchange/merge rounds, gather), with all traffic on
-    a :class:`ReliableChannel`.  With ``faults=None`` (or an all-zero
-    spec) the result matches the plain version element-for-element; under
-    message faults it still sorts correctly, and the :class:`RunResult`
-    carries the retransmit/timeout/drop counters that quantify the cost.
+    Structure: reliable scatter, local sort, the compiled §5 expression's
+    ``d`` pivot/split/exchange/merge rounds through the fault-tolerant
+    plan interpreter, reliable gather.  With ``faults=None`` (or an
+    all-zero spec) the result matches the plain version
+    element-for-element; under message faults it still sorts correctly,
+    and the :class:`RunResult` carries the retransmit/timeout/drop
+    counters that quantify the cost.
     """
     values = np.asarray(values)
     p = 1 << d
@@ -75,71 +78,36 @@ def ft_hyperquicksort_machine(
     machine = Machine(Hypercube(d), spec=spec, record_trace=record_trace,
                       faults=injector)
     spans = chunk_indices(len(values), p)
+    blocks = [values[lo:hi] for lo, hi in spans]
+    plan = lower(hyperquicksort_expression(d), p)
 
     def program(env):
-        pid = env.pid
+        comm = Comm.world(env)
         chan = ReliableChannel(env, timeout=channel_timeout,
                                max_retries=max_retries)
         # -- distribute: linear reliable scatter from p0
-        if p > 1:
-            if pid == 0:
-                local = np.asarray(values[spans[0][0]:spans[0][1]])
-                for dst in range(1, p):
-                    lo, hi = spans[dst]
-                    yield from chan.send(dst, values[lo:hi],
-                                         tag=_TAG_SCATTER)
-            else:
-                local = np.asarray((yield from chan.recv(
-                    0, tag=_TAG_SCATTER)))
-        else:
-            local = values
+        local = np.asarray((yield from ft_scatter(
+            chan, comm, blocks if comm.rank == 0 else None)))
         # -- local sort
         yield env.work(params.sort_ops(local.size))
         local = seq_quicksort(local)
-        # -- d iterations over shrinking sub-cubes
-        for it in range(d):
-            dim = d - it
-            sub = 1 << dim
-            half = sub >> 1
-            leader = (pid // sub) * sub
-            # pivot: median on the sub-cube leader, relayed linearly
-            if pid == leader:
-                yield env.work(params.median_ops)
-                pivot = midvalue(local)
-                for member in range(leader + 1, leader + sub):
-                    yield from chan.send(member, pivot, tag=_TAG_PIVOT)
-            else:
-                pivot = yield from chan.recv(leader, tag=_TAG_PIVOT)
-            # split
-            yield env.work(params.split_ops(local.size))
-            low, high = split_by_pivot(pivot, local)
-            keep, send_part = (low, high) if pid & half == 0 else (high, low)
-            # partner exchange: symmetric, so it must service both
-            # directions while awaiting its ack (see module docstring)
-            partner = pid ^ half
-            recv_part = np.asarray((yield from chan.exchange(
-                partner, send_part, tag=_TAG_EXCHANGE)))
-            # merge
-            yield env.work(params.merge_ops(keep.size + recv_part.size))
-            local = merge_sorted(keep, recv_part)
+        # -- the compiled sorting rounds, fault-tolerantly
+        local = yield from execute_plan_ft(plan, env, comm, chan, local)
+        assert not isinstance(local, Grouped)
         # -- linear reliable gather to p0
         if p > 1:
-            if pid == 0:
-                parts = [local]
-                for src in range(1, p):
-                    parts.append(np.asarray((yield from chan.recv(
-                        src, tag=_TAG_GATHER))))
-                yield env.work(len(values))  # copy-out cost
-                return np.concatenate(parts)
             try:
-                yield from chan.send(0, local, tag=_TAG_GATHER)
+                parts = yield from ft_gather(chan, comm, local)
             except FaultError:
                 # Two-generals tail: an eternally unacked final send means
                 # the root already has our block and exited (its ack to us
                 # was lost).  If the data itself were lost, the root would
                 # still be blocked re-acking our retransmissions.
-                pass
-            return None
+                return None
+            if comm.rank != 0:
+                return None
+            yield env.work(len(values))  # copy-out cost
+            return np.concatenate([np.asarray(b) for b in parts])
         return local
 
     result = machine.run(program)

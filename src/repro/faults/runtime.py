@@ -35,6 +35,7 @@ from typing import Any, Callable, Generator, Sequence
 
 from repro.errors import FaultError, MachineError
 from repro.machine import Machine, MachineSpec, AP1000
+from repro.machine import tags
 from repro.machine.events import ANY
 from repro.machine.reliable import ReliableChannel
 from repro.machine.simulator import ProcEnv, RunResult
@@ -43,8 +44,10 @@ from repro.faults.models import FaultInjector, FaultSpec
 
 __all__ = ["CheckpointStore", "ft_farm", "ft_map_machine"]
 
-_TAG_CTRL = 800_001   # worker -> master: ("ready", pid) / ("done", pid, idx, value)
-_TAG_JOB = 800_002    # master -> worker: ("job", idx, item) / ("stop",)
+# worker -> master: ("ready", pid) / ("done", pid, idx, value)
+_TAG_CTRL = tags.reserve("ft-runtime", "ctrl", 0)
+# master -> worker: ("job", idx, item) / ("stop",)
+_TAG_JOB = tags.reserve("ft-runtime", "job", 1)
 
 Gen = Generator[Any, Any, Any]
 

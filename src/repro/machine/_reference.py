@@ -19,11 +19,10 @@ from __future__ import annotations
 from typing import Any, Generator, Iterable, Sequence
 
 from repro.errors import DeadlockError, MachineError
-from repro.machine.cost import MachineSpec, estimate_nbytes, PERFECT
+from repro.machine.cost import estimate_nbytes
 from repro.machine.events import ANY, Compute, Message, Recv, Send
 from repro.machine.simulator import (Machine, ProcEnv, ProcStats, Program,
                                      RunResult, _BLOCKED, _DONE, _READY)
-from repro.machine.topology import Topology
 from repro.machine.trace import Trace
 
 __all__ = ["ReferenceMachine"]

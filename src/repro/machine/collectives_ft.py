@@ -25,18 +25,21 @@ from __future__ import annotations
 from typing import Any, Callable, Generator
 
 from repro.errors import FaultError, MachineError
+from repro.machine import tags
 from repro.machine.api import Comm
 from repro.machine.reliable import ReliableChannel
 
-__all__ = ["ft_bcast", "ft_gather", "ft_reduce", "ft_allreduce",
-           "ft_barrier"]
+__all__ = ["ft_bcast", "ft_scatter", "ft_gather", "ft_reduce",
+           "ft_allreduce", "ft_barrier"]
 
-# Small user-range tags, disjoint per operation so back-to-back collectives
-# cannot confuse each other's frames.
-_TAG_FT_BCAST = 900_001
-_TAG_FT_GATHER = 900_002
-_TAG_FT_BARRIER_IN = 900_003
-_TAG_FT_BARRIER_OUT = 900_004
+# Tags disjoint per operation so back-to-back collectives cannot confuse
+# each other's frames; reserved centrally so no other subsystem can reuse
+# them (the SCL compiler's exchange tag once collided with the bcast tag).
+_TAG_FT_BCAST = tags.reserve("collectives-ft", "bcast", 0)
+_TAG_FT_GATHER = tags.reserve("collectives-ft", "gather", 1)
+_TAG_FT_BARRIER_IN = tags.reserve("collectives-ft", "barrier-in", 2)
+_TAG_FT_BARRIER_OUT = tags.reserve("collectives-ft", "barrier-out", 3)
+_TAG_FT_SCATTER = tags.reserve("collectives-ft", "scatter", 4)
 
 Gen = Generator[Any, Any, Any]
 
@@ -86,6 +89,45 @@ def ft_bcast(chan: ReliableChannel, comm: Comm, value: Any = None, *,
     except FaultError as exc:
         raise FaultError(
             f"rank {comm.rank}: broadcast root rank {root} (pid {root_pid}) "
+            f"presumed dead ({exc.kind})", kind="root-dead", pid=root_pid,
+            rank=root) from exc
+
+
+def ft_scatter(chan: ReliableChannel, comm: Comm, values: Any = None, *,
+               root: int = 0, timeout: float | None = None) -> Gen:
+    """Scatter one value per member from ``root``; returns each member's.
+
+    ``values`` (root only) is a rank-indexed sequence of length
+    ``comm.size``.  Dead non-root members are skipped; members raise
+    :class:`FaultError` (``kind="root-dead"``) if the root never serves
+    them.
+    """
+    _check_root(comm, root)
+    if comm.size == 1:
+        return values[0]
+    if comm.rank == root:
+        if values is None or len(values) != comm.size:
+            raise MachineError(
+                f"scatter root needs one value per member "
+                f"({comm.size}), got "
+                f"{'none' if values is None else len(values)}")
+        for r in range(comm.size):
+            if r == root:
+                continue
+            try:
+                yield from chan.send(comm.pid_of(r), values[r],
+                                     tag=_TAG_FT_SCATTER)
+            except FaultError:
+                continue  # dead member: the survivors proceed
+        return values[root]
+    root_pid = comm.pid_of(root)
+    try:
+        return (yield from chan.recv(root_pid, tag=_TAG_FT_SCATTER,
+                                     timeout=_member_timeout(chan, comm,
+                                                             timeout)))
+    except FaultError as exc:
+        raise FaultError(
+            f"rank {comm.rank}: scatter root rank {root} (pid {root_pid}) "
             f"presumed dead ({exc.kind})", kind="root-dead", pid=root_pid,
             rank=root) from exc
 

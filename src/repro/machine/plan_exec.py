@@ -1,0 +1,152 @@
+"""The plan interpreter: one SPMD loop executing a lowered plan.
+
+This is the back half of the SCL compiler.  Every virtual processor runs
+the *same* :class:`~repro.plan.ir.Plan` through :func:`execute_plan`,
+indexing the precomputed communication tables with its own rank — there
+is no per-processor tree-walk and no index-function evaluation at run
+time.  The interpreter is a generator (like every machine program):
+``yield`` s are simulator requests, the return value is the processor's
+final local value (a :class:`~repro.plan.ir.Scalar` for reductions).
+
+Group instructions maintain the same value discipline as the old
+tree-walking compiler: ``GroupSplit`` wraps the local value in a
+:class:`Grouped` frame carrying the subgroup communicator, ``SubPlan``
+runs a nested plan inside that frame, and ``GroupCombine`` unwraps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+from repro.machine import collectives as C
+from repro.machine import tags
+from repro.machine.api import Comm
+from repro.machine.cost import estimate_nbytes
+from repro.machine.simulator import ProcEnv
+from repro.plan import ir
+
+__all__ = ["execute_plan", "Grouped", "EXCHANGE_TAG"]
+
+#: Tag of all point-to-point plan traffic (rotate / exchange tables).
+EXCHANGE_TAG = tags.reserve("plan", "exchange", 0)
+
+
+@dataclasses.dataclass
+class Grouped:
+    """Marker value: this processor's slice of a split (nested) array."""
+
+    comm: Comm
+    parent: Comm
+    local: Any
+    gid: int
+
+
+def execute_plan(plan: ir.Plan, env: ProcEnv, comm: Comm, local: Any,
+                 default: float = ir.DEFAULT_FRAGMENT_OPS):
+    """Run ``plan`` on this processor; returns the new local value."""
+    return (yield from _run_seq(plan.instrs, plan, env, comm, local, default))
+
+
+def _run_seq(instrs, plan: ir.Plan, env: ProcEnv, comm: Comm, local: Any,
+             default: float):
+    for instr in instrs:
+        local = yield from _step(instr, plan, env, comm, local, default)
+    return local
+
+
+def _step(instr: ir.Instr, plan: ir.Plan, env: ProcEnv, comm: Comm,
+          local: Any, default: float):
+    if isinstance(instr, ir.LocalApply):
+        yield env.work(ir.fragment_ops(instr.fn, local, default))
+        if instr.indexed:
+            idx = (divmod(comm.rank, plan.grid[1])
+                   if plan.grid is not None else comm.rank)
+            return instr.fn(idx, local)
+        if instr.farm_env is not ir.NO_ENV:
+            return instr.fn(instr.farm_env, local)
+        return instr.fn(local)
+
+    if isinstance(instr, ir.Rotate):
+        p = comm.size
+        k = instr.k
+        yield comm.send((comm.rank - k) % p, local, tag=EXCHANGE_TAG,
+                        nbytes=estimate_nbytes(local, env.spec.word_bytes))
+        msg = yield comm.recv((comm.rank + k) % p, tag=EXCHANGE_TAG)
+        return msg.payload
+
+    if isinstance(instr, ir.Exchange):
+        r = comm.rank
+        for dst in instr.sends[r]:
+            yield comm.send(dst, local, tag=EXCHANGE_TAG,
+                            nbytes=estimate_nbytes(local,
+                                                   env.spec.word_bytes))
+        if instr.mode == "collect":
+            arrivals = []
+            for src in instr.recvs[r]:
+                if src == r:
+                    arrivals.append(local)
+                else:
+                    msg = yield comm.recv(src, tag=EXCHANGE_TAG)
+                    arrivals.append(msg.payload)
+            return arrivals
+        (src,) = instr.recvs[r]
+        if src == r:
+            fetched = local
+        else:
+            msg = yield comm.recv(src, tag=EXCHANGE_TAG)
+            fetched = msg.payload
+        if instr.mode == "pair":
+            return (local, fetched)
+        return fetched
+
+    if isinstance(instr, ir.Collective):
+        return (yield from _collective(instr, env, comm, local, default))
+
+    if isinstance(instr, ir.GroupSplit):
+        gid = instr.group_of[comm.rank]
+        sub = comm.subgroup(list(instr.groups[gid]))
+        return Grouped(sub, comm, local, gid)
+
+    if isinstance(instr, ir.SubPlan):
+        subplan = instr.plans[local.gid]
+        inner = yield from _run_seq(subplan.instrs, subplan, env, local.comm,
+                                    local.local, default)
+        return Grouped(local.comm, local.parent, inner, local.gid)
+
+    if isinstance(instr, ir.GroupCombine):
+        return local.local
+
+    if isinstance(instr, ir.Loop):
+        for body in instr.bodies:
+            local = yield from _run_seq(body, plan, env, comm, local, default)
+        return local
+
+    raise AssertionError(f"unknown plan instruction {instr!r}")
+
+
+def _collective(instr: ir.Collective, env: ProcEnv, comm: Comm, local: Any,
+                default: float):
+    # Reduction operators run synchronously inside the collectives'
+    # generator frames, so their CPU cost cannot be yielded from here; the
+    # message rounds carry the synchronisation cost (plan_cost prices the
+    # combines analytically).
+    if instr.kind == "fold":
+        acc = yield from C.reduce(comm, local, instr.op)
+        acc = yield from C.bcast(comm, acc, root=0)
+        return ir.Scalar(acc)
+    if instr.kind == "scan":
+        return (yield from C.scan(comm, local, instr.op))
+    if instr.kind == "bcast":
+        value = yield from C.bcast(
+            comm, instr.value if comm.rank == 0 else None)
+        return (value, local)
+    if instr.kind == "apply_bcast":
+        if comm.rank == instr.root:
+            yield env.work(ir.fragment_ops(instr.op, local, default))
+            piece = instr.op(local)
+        else:
+            piece = None
+        piece = yield from C.bcast(comm, piece, root=instr.root)
+        return (piece, local)
+    raise AssertionError(f"unknown collective kind {instr.kind!r}")

@@ -56,15 +56,16 @@ from repro.errors import FaultError, MachineError
 from repro.machine.cost import MachineSpec
 from repro.machine.events import ANY, Recv, Send
 from repro.machine.simulator import ProcEnv
+from repro.machine.tags import MAX_USER_TAG
 
 __all__ = ["ReliableChannel", "default_timeout", "DATA_TAG_BASE",
            "ACK_TAG_BASE", "MAX_USER_TAG"]
 
-#: Reliable-layer frames live in these tag blocks (user tag added to each).
+#: Reliable-layer frames live in these tag blocks (user tag added to each);
+#: the exclusive user-tag bound MAX_USER_TAG is defined in
+#: :mod:`repro.machine.tags` and re-exported here.
 DATA_TAG_BASE = 2_000_000
 ACK_TAG_BASE = 3_000_000
-#: Exclusive upper bound on user tags accepted by the reliable layer.
-MAX_USER_TAG = 1_000_000
 
 Gen = Generator[Any, Any, Any]
 
@@ -322,6 +323,29 @@ class ReliableChannel:
             # forces the peer to re-ack, which is exactly the repair.
             wait = min(wait * self.backoff, self.max_timeout)
             yield Send(peer, frame, data_tag, None, True)
+
+    def drain(self, *, quiet: float | None = None) -> Gen:
+        """Service the network until it stays quiet for one full window.
+
+        Call this after a program's *last* channel operation, before
+        returning: the acks for our final receives may have been lost, in
+        which case peers are still retransmitting data we already
+        consumed — and once this program exits, nobody re-acks, so those
+        peers would wrongly presume us dead.  Each incoming frame is
+        pumped (re-acked, and stashed if somehow fresh); once nothing
+        arrives for ``quiet`` virtual seconds the line is clear.
+
+        The default window is ``max_timeout + timeout`` — the longest
+        silence a still-retrying sender can produce between two frames
+        aimed at us (one maximal backoff window plus transit slack) — so
+        outlasting it proves every peer has either been acked or given up.
+        """
+        window = (self.max_timeout + self.timeout) if quiet is None else quiet
+        while True:
+            msg = yield Recv(ANY, ANY, window)
+            if msg is None:
+                return None
+            yield from self._service(msg)
 
     def __repr__(self) -> str:
         return (f"ReliableChannel(pid={self.env.pid}, "

@@ -26,6 +26,13 @@ reports.  Three workload families are measured at several machine sizes:
     at p processors — the headline workload the ROADMAP's perf trajectory
     is tracked against.
 
+``compiled_hyperquicksort``
+    The same sort through the SCL compiler: the §5 expression lowered once
+    to the Plan IR (cache hit on every repeat) and executed by the plan
+    interpreter.  Tracked against ``TREEWALK_BASELINE`` — the per-processor
+    recursive tree-walking compiler this path replaced — so the lowering
+    refactor's host cost stays visible.
+
 ``run_suite`` executes all of them and ``write_bench_json`` persists the
 results to ``BENCH_simulator.json`` at the repository root, next to the
 frozen pre-rewrite ``SEED_BASELINE`` numbers, so every future PR can be
@@ -52,7 +59,9 @@ from repro.machine.topology import FullyConnected, Hypercube, Ring
 
 __all__ = [
     "SEED_BASELINE",
+    "TREEWALK_BASELINE",
     "bench_allreduce",
+    "bench_compiled_hyperquicksort",
     "bench_hyperquicksort",
     "bench_ring_sweep",
     "bench_wildcard_funnel",
@@ -90,6 +99,21 @@ SEED_BASELINE: dict[str, dict[str, float]] = {
     "wildcard_funnel/p256": {"host_seconds": 12.868559, "events": 20400, "events_per_sec": 1585},
     "allreduce/p256": {"host_seconds": 0.494632, "events": 25500, "events_per_sec": 51553},
     "hyperquicksort/p256": {"host_seconds": 0.46508, "events": 8702, "events_per_sec": 18711},
+}
+
+#: Host-time results of the compiled (§5 expression) hyperquicksort under
+#: the PR-2 *tree-walking* compiler — a per-processor recursive ``_exec``
+#: over the expression tree, re-walked on every run.  Frozen when the
+#: Plan-IR compiler (lower once, interpret a flat instruction stream,
+#: cache per expression) replaced it, so the refactor's host cost stays
+#: tracked the same way the scheduler rewrite is tracked by
+#: ``SEED_BASELINE``.  Same workload as ``bench_compiled_hyperquicksort``:
+#: 100,000 int32 keys, seed 19950701, best of 3.
+TREEWALK_BASELINE: dict[str, dict[str, float]] = {
+    "compiled_hyperquicksort/p32": {"host_seconds": 0.022635, "events": 578, "events_per_sec": 25536},
+    "compiled_hyperquicksort/p64": {"host_seconds": 0.051609, "events": 1410, "events_per_sec": 27321},
+    "compiled_hyperquicksort/p128": {"host_seconds": 0.070219, "events": 3330, "events_per_sec": 47423},
+    "compiled_hyperquicksort/p256": {"host_seconds": 0.183219, "events": 7682, "events_per_sec": 41928},
 }
 
 
@@ -209,6 +233,43 @@ def bench_hyperquicksort(p: int, *, n: int = 100_000, seed: int = 19950701,
     return _record("hyperquicksort", p, host, result, n=n)
 
 
+def bench_compiled_hyperquicksort(p: int, *, n: int = 100_000,
+                                  seed: int = 19950701,
+                                  repeats: int = 3) -> dict[str, Any]:
+    """The §5 expression through the SCL compiler (plan-cached repeats).
+
+    The first run lowers the expression to a plan; later runs (including
+    every ``repeats`` iteration here, since best-of timing is used) hit
+    the plan cache, so the figure tracks interpretation speed with
+    amortised lowering — the production profile of a compiled program.
+    """
+    from repro.apps.sort import hyperquicksort_compiled
+
+    d = int(p).bit_length() - 1
+    if 1 << d != p:
+        raise ValueError(f"hyperquicksort needs a power-of-two p, got {p}")
+    values = np.random.default_rng(seed).integers(0, 2**31, size=n).astype(np.int32)
+    expected = np.sort(values)
+
+    def run() -> RunResult:
+        out, result = hyperquicksort_compiled(values, d)
+        if not np.array_equal(out, expected):
+            raise AssertionError(f"compiled sort produced a wrong sort at p={p}")
+        return result
+
+    host, result = _timed(run, repeats=repeats)
+    rec = _record("compiled_hyperquicksort", p, host, result, n=n)
+    base = TREEWALK_BASELINE.get(f"compiled_hyperquicksort/p{p}")
+    # Only ratio against the frozen tree-walk numbers when this run is the
+    # same workload they were measured on.  The event count alone can't
+    # tell: the compiled program exchanges one message per rank per step
+    # regardless of n, so quick mode (smaller n) matches on events while
+    # moving less data per host-second.
+    if base and host > 0 and n == 100_000 and rec["events"] == base["events"]:
+        rec["speedup_vs_treewalk"] = round(base["host_seconds"] / host, 2)
+    return rec
+
+
 def run_suite(*, procs: tuple[int, ...] = DEFAULT_PROCS,
               quick: bool = False) -> dict[str, dict[str, Any]]:
     """Run every workload at every machine size; returns ``{key: record}``.
@@ -226,6 +287,8 @@ def run_suite(*, procs: tuple[int, ...] = DEFAULT_PROCS,
             p, per_src=10 if quick else 40)
         out[f"allreduce/p{p}"] = bench_allreduce(p, reps=5 if quick else 25)
         out[f"hyperquicksort/p{p}"] = bench_hyperquicksort(
+            p, n=20_000 if quick else 100_000)
+        out[f"compiled_hyperquicksort/p{p}"] = bench_compiled_hyperquicksort(
             p, n=20_000 if quick else 100_000)
     return out
 
@@ -253,6 +316,11 @@ def write_bench_json(path: str, current: dict[str, dict[str, Any]],
             "label": "seed simulator (pre PR 1: O(p) scan scheduler, linear mailbox)",
             "workloads": SEED_BASELINE,
         },
+        "treewalk_baseline": {
+            "label": "PR-2 tree-walking SCL compiler (pre Plan IR: "
+                     "per-processor recursive _exec)",
+            "workloads": TREEWALK_BASELINE,
+        },
         "current": current,
         # Quick mode shrinks the per-workload iteration counts, so its host
         # times are not comparable with the full-size seed baseline.
@@ -268,10 +336,12 @@ def render_report(doc: dict[str, Any]) -> str:
     """Human-readable throughput table for a bench document."""
     from repro.util.tables import render_table
 
+    treewalk = doc.get("treewalk_baseline", {}).get("workloads", {})
     rows = []
     for key, rec in doc["current"].items():
-        base = doc["baseline"]["workloads"].get(key, {})
-        speedup = doc["speedup_vs_seed"].get(key)
+        base = doc["baseline"]["workloads"].get(key) or treewalk.get(key, {})
+        speedup = (doc["speedup_vs_seed"].get(key)
+                   or rec.get("speedup_vs_treewalk"))
         rows.append([
             key,
             f"{rec['host_seconds']:.3f}",
@@ -280,8 +350,9 @@ def render_report(doc: dict[str, Any]) -> str:
             f"{speedup:.2f}x" if speedup else "-",
         ])
     return render_table(
-        "Simulator performance (host time; baseline = seed implementation)",
-        ["workload", "host (s)", "events/sec", "seed host (s)", "speedup"],
+        "Simulator performance (host time; baseline = seed implementation, "
+        "or the tree-walk compiler for compiled workloads)",
+        ["workload", "host (s)", "events/sec", "base host (s)", "speedup"],
         rows,
         notes="Virtual-time results are engine-invariant; see tests/machine/"
               "test_equivalence.py.")

@@ -1,0 +1,39 @@
+"""``repro.plan`` — the explicit program representation between SCL
+expressions and the machine.
+
+The paper treats a skeleton program as an object you can transform (§4)
+and then hand-compile (§5).  This package mechanises the hand-off: an
+expression is *lowered once* into a flat, typed SPMD instruction
+sequence (:mod:`repro.plan.ir`), and that one representation is then
+executed (:mod:`repro.machine.plan_exec`), executed fault-tolerantly
+(:mod:`repro.faults.plan_exec`), priced (:mod:`repro.plan.cost`) and
+pretty-printed (:mod:`repro.scl.plan_pretty`).  ``python -m repro plan``
+dumps lowered programs with predicted-vs-simulated cost columns.
+"""
+
+from repro.plan.cost import ExprCost, plan_cost
+from repro.plan.ir import (
+    DEFAULT_FRAGMENT_OPS,
+    Collective,
+    Exchange,
+    GroupCombine,
+    GroupSplit,
+    Instr,
+    LocalApply,
+    Loop,
+    Plan,
+    Rotate,
+    Scalar,
+    SubPlan,
+    base_fragment,
+    fragment_ops,
+)
+from repro.plan.lower import clear_plan_cache, lower, plan_cache_stats
+
+__all__ = [
+    "Plan", "Instr", "LocalApply", "Rotate", "Exchange", "Collective",
+    "GroupSplit", "SubPlan", "GroupCombine", "Loop", "Scalar",
+    "base_fragment", "fragment_ops", "DEFAULT_FRAGMENT_OPS",
+    "lower", "clear_plan_cache", "plan_cache_stats",
+    "plan_cost", "ExprCost",
+]

@@ -1,0 +1,220 @@
+"""The Plan IR: a flat, typed SPMD instruction sequence.
+
+A :class:`Plan` is what an SCL expression lowers to (see
+:mod:`repro.plan.lower`): one shared instruction stream that every virtual
+processor interprets against its own rank.  All index-function evaluation
+happens at lowering time — instructions carry *precomputed per-rank
+communication tables*, so the executor never re-walks the expression tree
+or re-evaluates an index map.  The same stream is the unit of pricing
+(:mod:`repro.plan.cost`), pretty-printing
+(:mod:`repro.scl.plan_pretty`), raw execution
+(:mod:`repro.machine.plan_exec`) and fault-tolerant execution
+(:mod:`repro.faults.plan_exec`): predicted cost, dump, simulated run and
+resilient run all describe the identical program.
+
+Instruction set:
+
+==================  =====================================================
+:class:`LocalApply`  apply a base-language fragment to the local value
+:class:`Rotate`      cyclic shift by ``k`` (dst/src are rank arithmetic)
+:class:`Exchange`    static point-to-point pattern (fetch / send family)
+:class:`Collective`  fold / scan / broadcast via the machine collectives
+:class:`GroupSplit`  enter a processor group (communicator split)
+:class:`SubPlan`     run a nested plan inside the current group
+:class:`GroupCombine` leave the group (inverse of :class:`GroupSplit`)
+:class:`Loop`        ``iterFor``: per-iteration instruction sequences
+==================  =====================================================
+
+The base-fragment cost annotations (:func:`base_fragment`,
+:func:`fragment_ops`) live here because charging opaque fragments to the
+machine clock is part of the IR's execution contract: every executor of a
+:class:`LocalApply` charges ``fragment_ops(fn, value)`` before applying.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable
+
+__all__ = [
+    "DEFAULT_FRAGMENT_OPS", "base_fragment", "fragment_ops",
+    "Instr", "LocalApply", "Rotate", "Exchange", "Collective",
+    "GroupSplit", "SubPlan", "GroupCombine", "Loop",
+    "Plan", "Scalar", "NO_ENV",
+]
+
+#: Default operation count charged per opaque base-language application.
+DEFAULT_FRAGMENT_OPS = 10.0
+
+
+def base_fragment(ops: float | Callable[[Any], float]):
+    """Annotate a base-language callable with its operation cost.
+
+    ``ops`` is either a constant or a function of the fragment's input
+    (e.g. ``lambda xs: len(xs) * 5`` for a linear pass).  Every plan
+    executor charges this to the machine's cost model at each
+    application::
+
+        @base_fragment(ops=lambda block: block.size * 3)
+        def smooth(block): ...
+    """
+
+    def wrap(fn):
+        fn.scl_ops = ops
+        return fn
+
+    return wrap
+
+
+def fragment_ops(fn: Any, value: Any, default: float = DEFAULT_FRAGMENT_OPS) -> float:
+    """The operation count a fragment application charges for ``value``."""
+    ops = getattr(fn, "scl_ops", default)
+    if callable(ops):
+        return float(ops(value))
+    return float(ops)
+
+
+class _NoEnv:
+    """Sentinel: a :class:`LocalApply` with no farm environment."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "NO_ENV"
+
+
+NO_ENV = _NoEnv()
+
+
+@dataclasses.dataclass(frozen=True)
+class Instr:
+    """Base class of plan instructions."""
+
+
+@dataclasses.dataclass(frozen=True)
+class LocalApply(Instr):
+    """Apply fragment ``fn`` to the local value (charging its cost first).
+
+    ``indexed=True`` applies ``fn(index, local)`` where ``index`` is the
+    rank (or the ``(row, col)`` grid coordinate); a non-``NO_ENV``
+    ``farm_env`` applies ``fn(farm_env, local)``.
+    """
+
+    fn: Callable[..., Any]
+    indexed: bool = False
+    farm_env: Any = NO_ENV
+    label: str = "map"
+
+
+@dataclasses.dataclass(frozen=True)
+class Rotate(Instr):
+    """Cyclic shift: rank ``r`` sends to ``(r - k) % p``, receives from
+    ``(r + k) % p`` (so ``out[i] = A[(i + k) % p]``).  ``k`` is already
+    reduced modulo the plan size and non-zero (a zero shift lowers to no
+    instruction at all)."""
+
+    k: int
+
+
+@dataclasses.dataclass(frozen=True)
+class Exchange(Instr):
+    """A static point-to-point pattern with precomputed per-rank tables.
+
+    ``sends[r]`` is the ordered tuple of destinations rank ``r`` sends its
+    local value to (self excluded); ``recvs[r]`` the ordered tuple of
+    sources it receives from, where an entry equal to ``r`` itself means
+    "take the local value" (no message).  ``mode`` selects the result:
+
+    * ``"replace"`` — single source; the received value becomes the local
+      value (``rotate_row``/``rotate_col``/``fetch``/``send`` with a
+      permutation),
+    * ``"pair"`` — single source; the result is ``(local, received)``
+      (``align id (fetch f)``),
+    * ``"collect"`` — any number of sources in source-rank order; the
+      result is the list of arrivals (the general ``send``).
+    """
+
+    mode: str
+    sends: tuple[tuple[int, ...], ...]
+    recvs: tuple[tuple[int, ...], ...]
+    label: str = "exchange"
+
+
+@dataclasses.dataclass(frozen=True)
+class Collective(Instr):
+    """A machine collective.
+
+    ``kind`` is one of ``"fold"`` (tree reduce + broadcast, result wrapped
+    in :class:`Scalar`), ``"scan"`` (Hillis–Steele prefix), ``"bcast"``
+    (broadcast the constant ``value``, result ``(value, local)``) or
+    ``"apply_bcast"`` (root applies ``op`` to its local value and
+    broadcasts, result ``(piece, local)``).
+    """
+
+    kind: str
+    op: Callable[..., Any] | None = None
+    value: Any = None
+    root: int = 0
+    label: str = "collective"
+
+
+@dataclasses.dataclass(frozen=True)
+class GroupSplit(Instr):
+    """Split the current communicator into processor groups.
+
+    ``groups[g]`` lists the member ranks of group ``g``; ``group_of[r]``
+    is the group index of rank ``r``.  Executors push a group frame (the
+    subgroup communicator) that :class:`SubPlan` runs within and
+    :class:`GroupCombine` pops.
+    """
+
+    groups: tuple[tuple[int, ...], ...]
+    group_of: tuple[int, ...]
+    label: str = "split"
+
+
+@dataclasses.dataclass(frozen=True)
+class SubPlan(Instr):
+    """Run a nested plan inside the current group (``map`` of a
+    sub-expression).  ``plans[g]`` is the plan for group ``g`` — groups of
+    equal size share one :class:`Plan` object via the lowering cache."""
+
+    plans: tuple["Plan", ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class GroupCombine(Instr):
+    """Return to the parent communicator (inverse of :class:`GroupSplit`)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Loop(Instr):
+    """``iterFor n body``: ``bodies[i]`` is the instruction sequence of
+    iteration ``i`` (bodies differ per iteration — the expression family
+    is expanded at lowering time)."""
+
+    bodies: tuple[tuple[Instr, ...], ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class Plan:
+    """A lowered SPMD program: one instruction stream for ``nprocs`` ranks.
+
+    ``grid`` carries the processor-grid shape for 2-D configurations
+    (indexed :class:`LocalApply` then receives ``(row, col)``);
+    ``returns_scalar`` is set when the outermost step is a reduction, so
+    drivers know to unwrap the :class:`Scalar` result.
+    """
+
+    instrs: tuple[Instr, ...]
+    nprocs: int
+    grid: tuple[int, int] | None = None
+    returns_scalar: bool = False
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+
+@dataclasses.dataclass(frozen=True)
+class Scalar:
+    """Wrapper distinguishing a reduction result from an array component."""
+
+    value: Any

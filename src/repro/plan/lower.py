@@ -1,0 +1,325 @@
+"""Lowering: SCL skeleton expressions → :class:`~repro.plan.ir.Plan`.
+
+This is the front half of the SCL compiler (the back half is the plan
+interpreter, :mod:`repro.machine.plan_exec`).  Lowering happens *once* per
+``(expression, nprocs, grid)`` — every index function is evaluated over
+the whole index space here (index functions are pure), producing the
+static per-rank send/receive tables of :class:`~repro.plan.ir.Exchange` —
+and the resulting plan is cached, so repeated runs (the perf harness,
+chaos sweeps, an ``iterFor`` driver re-running an expression) skip both
+the tree-walk and the table construction entirely.
+
+Shape errors are raised at lowering time with the same messages the
+tree-walking compiler raised during execution: applying a flat skeleton
+to a split configuration, ``combine`` without ``split``, grid skeletons
+on 1-D configurations (and vice versa), non-permutation ``send`` maps and
+out-of-range ``fetch`` sources are all static properties of the
+expression, so the plan either lowers completely or fails before any
+virtual processor starts.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import SkeletonError
+from repro.plan import ir
+from repro.scl import nodes as N
+
+__all__ = ["lower", "clear_plan_cache", "plan_cache_stats"]
+
+_CACHE: OrderedDict[tuple, ir.Plan] = OrderedDict()
+_CACHE_CAP = 512
+_STATS = {"hits": 0, "misses": 0, "uncachable": 0}
+
+
+def lower(expr: N.Node, nprocs: int,
+          grid: tuple[int, int] | None = None) -> ir.Plan:
+    """Lower ``expr`` for ``nprocs`` ranks (row-major over ``grid`` if 2-D).
+
+    Cached per ``(expr, nprocs, grid)``.  Expressions whose nodes are not
+    hashable (e.g. a ``Brdcast`` of a numpy array) are lowered fresh each
+    time.
+    """
+    key = (expr, nprocs, grid)
+    try:
+        cached = _CACHE.get(key)
+    except TypeError:
+        _STATS["uncachable"] += 1
+        return _lower(expr, nprocs, grid)
+    if cached is not None:
+        _STATS["hits"] += 1
+        _CACHE.move_to_end(key)
+        return cached
+    _STATS["misses"] += 1
+    plan = _lower(expr, nprocs, grid)
+    _CACHE[key] = plan
+    while len(_CACHE) > _CACHE_CAP:
+        _CACHE.popitem(last=False)
+    return plan
+
+
+def clear_plan_cache() -> None:
+    """Drop all cached plans (and reset the hit/miss counters)."""
+    _CACHE.clear()
+    _STATS.update(hits=0, misses=0, uncachable=0)
+
+
+def plan_cache_stats() -> dict[str, int]:
+    """Cache metrics: ``{"size", "hits", "misses", "uncachable"}``."""
+    return {"size": len(_CACHE), **_STATS}
+
+
+def _lower(expr: N.Node, nprocs: int,
+           grid: tuple[int, int] | None) -> ir.Plan:
+    out: list[ir.Instr] = []
+    _emit(expr, nprocs, grid, out, [])
+    returns_scalar = bool(out) and isinstance(out[-1], ir.Collective) \
+        and out[-1].kind == "fold"
+    return ir.Plan(tuple(out), nprocs, grid, returns_scalar)
+
+
+def _emit(node: N.Node, p: int, grid: tuple[int, int] | None,
+          out: list[ir.Instr],
+          splits: list[ir.GroupSplit]) -> None:
+    """Append the instructions of ``node`` to ``out``.
+
+    ``splits`` is the static stack of open ``split``s — the lowering-time
+    image of the tree-walker's ``_Grouped`` value wrapper, used to resolve
+    nesting errors and to find the group shapes a ``map`` of a
+    sub-expression runs over.
+    """
+    if isinstance(node, N.Id):
+        return
+
+    if isinstance(node, N.Compose):
+        for step in reversed(node.steps):
+            _emit(step, p, grid, out, splits)
+        return
+
+    if isinstance(node, N.Map):
+        if isinstance(node.f, N.Node):
+            if not splits:
+                raise SkeletonError(
+                    "map of a sub-expression requires a split (nested) "
+                    "configuration — compile `... . split P` first")
+            top = splits[-1]
+            plans = tuple(lower(node.f, len(members), None)
+                          for members in top.groups)
+            out.append(ir.SubPlan(plans))
+            return
+        _no_groups(splits, "map of a base fragment")
+        out.append(ir.LocalApply(node.f, label="map"))
+        return
+
+    if isinstance(node, N.IMap):
+        _no_groups(splits, "imap")
+        out.append(ir.LocalApply(node.f, indexed=True, label="imap"))
+        return
+
+    if isinstance(node, N.Farm):
+        _no_groups(splits, "farm")
+        out.append(ir.LocalApply(node.f, farm_env=node.env, label="farm"))
+        return
+
+    if isinstance(node, N.RotateRow):
+        _require_grid(grid, "rotate_row")
+        rows, cols = grid
+        sends, recvs = [], []
+        for r in range(p):
+            i, j = divmod(r, cols)
+            k = node.df(i) % cols
+            if k == 0:
+                sends.append(())
+                recvs.append((r,))
+            else:
+                sends.append((i * cols + (j - k) % cols,))
+                recvs.append((i * cols + (j + k) % cols,))
+        out.append(ir.Exchange("replace", tuple(sends), tuple(recvs),
+                               label="rotate_row"))
+        return
+
+    if isinstance(node, N.RotateCol):
+        _require_grid(grid, "rotate_col")
+        rows, cols = grid
+        sends, recvs = [], []
+        for r in range(p):
+            i, j = divmod(r, cols)
+            k = node.df(j) % rows
+            if k == 0:
+                sends.append(())
+                recvs.append((r,))
+            else:
+                sends.append((((i - k) % rows) * cols + j,))
+                recvs.append((((i + k) % rows) * cols + j,))
+        out.append(ir.Exchange("replace", tuple(sends), tuple(recvs),
+                               label="rotate_col"))
+        return
+
+    if isinstance(node, N.Fold):
+        out.append(ir.Collective("fold", op=node.op, label="fold"))
+        return
+
+    if isinstance(node, N.Scan):
+        _no_grid(grid, "scan")
+        out.append(ir.Collective("scan", op=node.op, label="scan"))
+        return
+
+    if isinstance(node, N.Rotate):
+        _no_grid(grid, "rotate")
+        k = node.k % p
+        if k != 0:
+            out.append(ir.Rotate(k))
+        return
+
+    if isinstance(node, N.Fetch):
+        _no_grid(grid, "fetch")
+        srcs = []
+        for r in range(p):
+            src = node.f(r)
+            if not (0 <= src < p):
+                raise SkeletonError(
+                    f"fetch: source {src} out of range 0..{p - 1}")
+            srcs.append(src)
+        sends = tuple(tuple(j for j in range(p) if srcs[j] == r and j != r)
+                      for r in range(p))
+        recvs = tuple((srcs[r],) for r in range(p))
+        out.append(ir.Exchange("replace", sends, recvs, label="fetch"))
+        return
+
+    if isinstance(node, N.AlignFetch):
+        _no_grid(grid, "align-fetch")
+        srcs = []
+        for r in range(p):
+            src = node.f(r)
+            if not (0 <= src < p):
+                raise SkeletonError(
+                    f"align-fetch: source {src} out of range 0..{p - 1}")
+            srcs.append(src)
+        sends = tuple(tuple(j for j in range(p) if srcs[j] == r and j != r)
+                      for r in range(p))
+        recvs = tuple((srcs[r],) for r in range(p))
+        out.append(ir.Exchange("pair", sends, recvs, label="align-fetch"))
+        return
+
+    if isinstance(node, N.PermSend):
+        _no_grid(grid, "send")
+        dsts = []
+        for r in range(p):
+            dst = node.f(r)
+            if not (0 <= dst < p):
+                raise SkeletonError(
+                    f"send: destination {dst} out of range 0..{p - 1}")
+            dsts.append(dst)
+        for r in range(p):
+            sources = [k for k in range(p) if dsts[k] == r]
+            if len(sources) != 1:
+                raise SkeletonError(
+                    f"send: index {r} receives {len(sources)} elements — "
+                    f"the index map is not a permutation")
+        sends = tuple((dsts[r],) if dsts[r] != r else () for r in range(p))
+        recvs = tuple(tuple(k for k in range(p) if dsts[k] == r)
+                      for r in range(p))
+        out.append(ir.Exchange("replace", sends, recvs, label="send"))
+        return
+
+    if isinstance(node, N.SendNode):
+        _no_grid(grid, "send")
+        dst_lists = []
+        for r in range(p):
+            dsts = tuple(node.f(r))
+            for dst in dsts:
+                if not (0 <= dst < p):
+                    raise SkeletonError(
+                        f"send: destination {dst} out of range 0..{p - 1}")
+            dst_lists.append(dsts)
+        sends = tuple(tuple(d for d in dst_lists[r] if d != r)
+                      for r in range(p))
+        recvs = tuple(tuple(k for k in range(p) for d in dst_lists[k]
+                            if d == r)
+                      for r in range(p))
+        out.append(ir.Exchange("collect", sends, recvs, label="send*"))
+        return
+
+    if isinstance(node, N.Brdcast):
+        out.append(ir.Collective("bcast", value=node.a, label="brdcast"))
+        return
+
+    if isinstance(node, N.ApplyBrdcast):
+        if grid is not None and isinstance(node.i, tuple):
+            root = node.i[0] * grid[1] + node.i[1]
+        else:
+            root = node.i if isinstance(node.i, int) else node.i[0]
+        out.append(ir.Collective("apply_bcast", op=node.f, root=root,
+                                 label="applybrdcast"))
+        return
+
+    if isinstance(node, N.Split):
+        _no_grid(grid, "split")
+        if splits:
+            raise SkeletonError(
+                "split cannot be applied to a split configuration — "
+                "`combine` first")
+        raw = node.pattern.split(list(range(p)))
+        groups = [tuple(raw[idx]) for idx in raw.indices()]
+        group_of = []
+        for r in range(p):
+            for gi, members in enumerate(groups):
+                if r in members:
+                    group_of.append(gi)
+                    break
+            else:
+                raise SkeletonError(f"split pattern lost rank {r}")
+        instr = ir.GroupSplit(tuple(groups), tuple(group_of))
+        out.append(instr)
+        splits.append(instr)
+        return
+
+    if isinstance(node, N.Combine):
+        if not splits:
+            raise SkeletonError("combine without a preceding split")
+        splits.pop()
+        out.append(ir.GroupCombine())
+        return
+
+    if isinstance(node, N.Spmd):
+        _no_groups(splits, "SPMD")
+        for stage in node.stages:
+            if stage.local is not None:
+                out.append(ir.LocalApply(stage.local, indexed=stage.indexed,
+                                         label="spmd-local"))
+            if stage.global_ is not None:
+                _emit(stage.global_, p, grid, out, splits)
+        return
+
+    if isinstance(node, N.IterFor):
+        bodies = []
+        for i in range(node.n):
+            body: list[ir.Instr] = []
+            _emit(node.body(i), p, grid, body, splits)
+            bodies.append(tuple(body))
+        out.append(ir.Loop(tuple(bodies)))
+        return
+
+    raise SkeletonError(
+        f"the SCL compiler does not support {type(node).__name__} nodes")
+
+
+def _require_grid(grid, who: str) -> None:
+    if grid is None:
+        raise SkeletonError(
+            f"{who} requires a 2-D processor grid — run the expression over "
+            f"a 2-D ParArray")
+
+
+def _no_grid(grid, who: str) -> None:
+    if grid is not None:
+        raise SkeletonError(f"{who} requires a 1-D configuration, got a grid")
+
+
+def _no_groups(splits: list, who: str) -> None:
+    if splits:
+        raise SkeletonError(
+            f"{who} cannot be applied to a split configuration: the flat "
+            f"element semantics would diverge from the nested semantics — "
+            f"use `map (<sub-expression>)` or `combine` first")

@@ -15,7 +15,10 @@ uniformly in terms of skeletons".  This package mechanises that claim:
   composition chains, recursion into sub-expressions, fixpoint strategy),
 * :mod:`repro.scl.optimize` — cost-guided optimisation against a
   :class:`~repro.machine.cost.MachineSpec`,
-* :mod:`repro.scl.pretty` — human-readable rendering of expressions.
+* :mod:`repro.scl.pretty` — human-readable rendering of expressions,
+* :mod:`repro.scl.compile` — lowering to the :mod:`repro.plan` IR and
+  execution on the simulated machine,
+* :mod:`repro.scl.plan_pretty` — rendering of lowered plans.
 """
 
 from repro.scl.nodes import (
@@ -71,6 +74,7 @@ from repro.scl.rules import (
 from repro.scl.optimize import ExprCost, estimate_cost, optimize
 from repro.scl.graph import to_dot, to_networkx, node_count, communication_count
 from repro.scl.pretty import pretty
+from repro.scl.plan_pretty import pretty_plan
 
 __all__ = [
     "Node", "Id", "Map", "IMap", "Fold", "Scan", "FoldrFused",
@@ -86,5 +90,5 @@ __all__ = [
     "ALL_RULES", "default_engine",
     "ExprCost", "estimate_cost", "optimize",
     "to_dot", "to_networkx", "node_count", "communication_count",
-    "pretty",
+    "pretty", "pretty_plan",
 ]

@@ -1,85 +1,64 @@
-"""The SCL compiler: skeleton expressions → message-passing programs.
+"""The SCL compiler: skeleton expressions → plans → machine programs.
 
 The paper closes with "a prototype SCL compiler is currently under
 development"; this module is that compiler for the simulated machine.  A
 skeleton expression (one :class:`~repro.scl.nodes.Node`) over a ParArray
 with one component per processor — a 1-D vector, or a 2-D grid for the
-``rotate_row``/``rotate_col`` mesh operations — is compiled to an SPMD
-virtual-processor program and executed on a
-:class:`~repro.machine.simulator.Machine`:
+``rotate_row``/``rotate_col`` mesh operations — is compiled in two
+stages:
 
-* ``Map``/``IMap``/``Farm``/SPMD locals become local computation, charged
-  to the cost model through :func:`base_fragment` annotations,
-* ``Rotate``/``Fetch``/``PermSend``/``SendNode`` become point-to-point
-  messages (the receiver set of an index function is computed by
-  evaluating it over the index space — index functions are pure),
-* ``Fold``/``Scan``/``Brdcast``/``ApplyBrdcast`` become the tree /
-  doubling collectives of :mod:`repro.machine.collectives`,
-* ``Split P`` becomes a communicator split (processor groups), ``Map`` of
-  a sub-expression then runs *inside* each group, and ``Combine`` returns
-  to the parent group — nested parallelism mapped to MPI-style groups
-  exactly as §2.1 prescribes.
+1. **Lowering** (:func:`repro.plan.lower.lower`): the expression tree is
+   flattened once into a typed SPMD instruction sequence
+   (:class:`~repro.plan.ir.Plan`).  Index functions are evaluated over
+   the whole index space here — communication becomes static per-rank
+   send/receive tables — and shape errors (flat skeletons on split
+   configurations, grid mismatches, non-permutation sends) are raised
+   before anything runs.  Plans are cached per ``(expr, nprocs, grid)``.
+2. **Execution** (:func:`repro.machine.plan_exec.execute_plan`): every
+   virtual processor runs the same plan through one interpreter loop —
+   ``Map``/``IMap``/``Farm``/SPMD locals charge their
+   :func:`base_fragment` cost and apply, exchanges replay the tables as
+   point-to-point messages, ``Fold``/``Scan``/``Brdcast`` use the tree /
+   doubling collectives of :mod:`repro.machine.collectives`, and
+   ``split``/``combine`` map to communicator groups exactly as §2.1
+   prescribes.
 
-The compiled program carries real data, so
-:func:`run_expression`'s result can be (and in the test-suite, is)
-cross-checked against the pure interpreter — the compiler's correctness
-statement — while the run's makespan prices the program on the machine.
+The compiled program carries real data, so :func:`run_expression`'s
+result can be (and in the test-suite, is) cross-checked against the pure
+interpreter — the compiler's correctness statement — while the run's
+makespan prices the program on the machine.  The optimizer's
+:func:`~repro.scl.optimize.estimate_cost` prices the *same* plan the
+machine executes.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Callable
+from typing import Any
 
 from repro.core.pararray import ParArray
 from repro.errors import SkeletonError
-from repro.machine import collectives as C
-from repro.machine.api import Comm
-from repro.machine.cost import estimate_nbytes
-from repro.machine.simulator import Machine, ProcEnv, RunResult
+from repro.machine.simulator import Machine, RunResult
+from repro.plan.ir import (
+    DEFAULT_FRAGMENT_OPS,
+    Scalar as _Scalar,
+    base_fragment,
+    fragment_ops,
+)
+# Bind the lowering module through sys.modules: `repro.plan.lower` imports
+# `repro.scl.nodes`, whose package __init__ imports this module back, so the
+# `lower` *name* may not exist yet at either import order — and the package
+# attribute `repro.plan.lower` is shadowed by the function of the same name
+# once `repro.plan.__init__` finishes.  The sys.modules entry is always the
+# module itself.
+import repro.plan.lower  # noqa: F401  (registers the module in sys.modules)
+import sys
+
 from repro.scl import nodes as N
 
+_plan_lower = sys.modules["repro.plan.lower"]
+
 __all__ = ["base_fragment", "fragment_ops", "CompiledProgram", "run_expression"]
-
-#: Default operation count charged per opaque base-language application.
-DEFAULT_FRAGMENT_OPS = 10.0
-
-_EXCHANGE_TAG = 900_001
-
-
-def base_fragment(ops: float | Callable[[Any], float]):
-    """Annotate a base-language callable with its operation cost.
-
-    ``ops`` is either a constant or a function of the fragment's input
-    (e.g. ``lambda xs: len(xs) * 5`` for a linear pass).  The compiler
-    charges this to the machine's cost model at every application::
-
-        @base_fragment(ops=lambda block: block.size * 3)
-        def smooth(block): ...
-    """
-
-    def wrap(fn):
-        fn.scl_ops = ops
-        return fn
-
-    return wrap
-
-
-def fragment_ops(fn: Any, value: Any, default: float = DEFAULT_FRAGMENT_OPS) -> float:
-    """The operation count a fragment application charges for ``value``."""
-    ops = getattr(fn, "scl_ops", default)
-    if callable(ops):
-        return float(ops(value))
-    return float(ops)
-
-
-@dataclasses.dataclass
-class _Grouped:
-    """Marker value: this processor's slice of a split (nested) array."""
-
-    comm: Comm
-    parent: Comm
-    local: Any
 
 
 @dataclasses.dataclass(frozen=True)
@@ -100,6 +79,9 @@ class CompiledProgram:
         shape as the input), or the reduction scalar for expressions
         ending in ``Fold``.
         """
+        from repro.machine.api import Comm
+        from repro.machine.plan_exec import execute_plan
+
         if not isinstance(pa, ParArray) or pa.ndim not in (1, 2):
             raise SkeletonError("compiled programs take a 1-D or 2-D ParArray input")
         if pa.size != self.machine.nprocs:
@@ -109,13 +91,12 @@ class CompiledProgram:
         values = pa.to_list()  # row-major
         shape = pa.shape
         default = self.fragment_default_ops
-        expr = self.expr
+        plan = _plan_lower.lower(self.expr, self.machine.nprocs,
+                     shape if len(shape) == 2 else None)
 
-        def program(env: ProcEnv):
-            comm = Comm.world(env)
-            local = values[env.pid]
-            result = yield from _exec(expr, env, comm, local, default,
-                                      grid=shape if len(shape) == 2 else None)
+        def program(env):
+            result = yield from execute_plan(plan, env, Comm.world(env),
+                                             values[env.pid], default)
             return result
 
         res = self.machine.run(program)
@@ -135,270 +116,3 @@ def run_expression(expr: N.Node, pa: ParArray, machine: Machine, *,
     """Compile ``expr`` and run it on ``machine`` over ``pa`` (see
     :class:`CompiledProgram`)."""
     return CompiledProgram(expr, machine, fragment_default_ops).run(pa)
-
-
-@dataclasses.dataclass(frozen=True)
-class _Scalar:
-    """Wrapper distinguishing a reduction result from an array component."""
-
-    value: Any
-
-
-def _charge(env: ProcEnv, fn: Any, value: Any, default: float):
-    return env.work(fragment_ops(fn, value, default))
-
-
-def _exec(node: N.Node, env: ProcEnv, comm: Comm, local: Any, default: float,
-          grid: tuple[int, int] | None = None):
-    """Execute ``node`` on this processor; yields simulator requests and
-    returns the new local value.
-
-    ``grid`` carries the processor-grid shape for 2-D inputs; grid
-    communication nodes (``RotateRow``/``RotateCol``) require it, 1-D
-    communication nodes reject it.
-    """
-    if isinstance(node, N.Id):
-        return local
-
-    if isinstance(node, N.Compose):
-        for step in reversed(node.steps):
-            local = yield from _exec(step, env, comm, local, default, grid)
-        return local
-
-    if isinstance(node, N.Map):
-        if isinstance(node.f, N.Node):
-            if not isinstance(local, _Grouped):
-                raise SkeletonError(
-                    "map of a sub-expression requires a split (nested) "
-                    "configuration — compile `... . split P` first")
-            inner = yield from _exec(node.f, env, local.comm, local.local, default)
-            return _Grouped(local.comm, local.parent, inner)
-        _no_groups(local, "map of a base fragment")
-        yield _charge(env, node.f, local, default)
-        return node.f(local)
-
-    if isinstance(node, N.IMap):
-        _no_groups(local, "imap")
-        yield _charge(env, node.f, local, default)
-        if grid is not None:
-            return node.f(divmod(comm.rank, grid[1]), local)
-        return node.f(comm.rank, local)
-
-    if isinstance(node, N.RotateRow):
-        _require_grid(grid, "rotate_row")
-        rows, cols = grid
-        i, j = divmod(comm.rank, cols)
-        k = node.df(i) % cols
-        if k == 0:
-            return local
-        dst = i * cols + (j - k) % cols
-        src = i * cols + (j + k) % cols
-        yield comm.send(dst, local, tag=_EXCHANGE_TAG,
-                        nbytes=estimate_nbytes(local, env.spec.word_bytes))
-        msg = yield comm.recv(src, tag=_EXCHANGE_TAG)
-        return msg.payload
-
-    if isinstance(node, N.RotateCol):
-        _require_grid(grid, "rotate_col")
-        rows, cols = grid
-        i, j = divmod(comm.rank, cols)
-        k = node.df(j) % rows
-        if k == 0:
-            return local
-        dst = ((i - k) % rows) * cols + j
-        src = ((i + k) % rows) * cols + j
-        yield comm.send(dst, local, tag=_EXCHANGE_TAG,
-                        nbytes=estimate_nbytes(local, env.spec.word_bytes))
-        msg = yield comm.recv(src, tag=_EXCHANGE_TAG)
-        return msg.payload
-
-    if isinstance(node, N.Farm):
-        _no_groups(local, "farm")
-        yield _charge(env, node.f, local, default)
-        return node.f(node.env, local)
-
-    if isinstance(node, N.Fold):
-        acc = yield from C.reduce(comm, local, _charging_op(env, node.op, default))
-        acc = yield from C.bcast(comm, acc, root=0)
-        return _Scalar(acc)
-
-    if isinstance(node, N.Scan):
-        _no_grid(grid, "scan")
-        out = yield from C.scan(comm, local, _charging_op(env, node.op, default))
-        return out
-
-    if isinstance(node, N.Rotate):
-        _no_grid(grid, "rotate")
-        # out[i] = A[(i + k) mod p]: receive from rank+k, send to rank-k
-        p = comm.size
-        k = node.k % p
-        if k == 0:
-            return local
-        yield comm.send((comm.rank - k) % p, local, tag=_EXCHANGE_TAG,
-                        nbytes=estimate_nbytes(local, env.spec.word_bytes))
-        msg = yield comm.recv((comm.rank + k) % p, tag=_EXCHANGE_TAG)
-        return msg.payload
-
-    if isinstance(node, N.Fetch):
-        _no_grid(grid, "fetch")
-        p = comm.size
-        src = node.f(comm.rank)
-        if not (0 <= src < p):
-            raise SkeletonError(f"fetch: source {src} out of range 0..{p - 1}")
-        # who fetches from me? evaluate the (pure) index map over all ranks
-        readers = [j for j in range(p) if node.f(j) == comm.rank]
-        for j in readers:
-            if j != comm.rank:
-                yield comm.send(j, local, tag=_EXCHANGE_TAG,
-                                nbytes=estimate_nbytes(local, env.spec.word_bytes))
-        if src == comm.rank:
-            return local
-        msg = yield comm.recv(src, tag=_EXCHANGE_TAG)
-        return msg.payload
-
-    if isinstance(node, N.AlignFetch):
-        _no_grid(grid, "align-fetch")
-        p = comm.size
-        src = node.f(comm.rank)
-        if not (0 <= src < p):
-            raise SkeletonError(f"align-fetch: source {src} out of range 0..{p - 1}")
-        readers = [j for j in range(p) if node.f(j) == comm.rank and j != comm.rank]
-        for j in readers:
-            yield comm.send(j, local, tag=_EXCHANGE_TAG,
-                            nbytes=estimate_nbytes(local, env.spec.word_bytes))
-        if src == comm.rank:
-            return (local, local)
-        msg = yield comm.recv(src, tag=_EXCHANGE_TAG)
-        return (local, msg.payload)
-
-    if isinstance(node, N.PermSend):
-        _no_grid(grid, "send")
-        p = comm.size
-        dst = node.f(comm.rank)
-        if not (0 <= dst < p):
-            raise SkeletonError(f"send: destination {dst} out of range 0..{p - 1}")
-        sources = [k for k in range(p) if node.f(k) == comm.rank]
-        if len(sources) != 1:
-            raise SkeletonError(
-                f"send: index {comm.rank} receives {len(sources)} elements — "
-                f"the index map is not a permutation")
-        if dst != comm.rank:
-            yield comm.send(dst, local, tag=_EXCHANGE_TAG,
-                            nbytes=estimate_nbytes(local, env.spec.word_bytes))
-        (src,) = sources
-        if src == comm.rank:
-            return local
-        msg = yield comm.recv(src, tag=_EXCHANGE_TAG)
-        return msg.payload
-
-    if isinstance(node, N.SendNode):
-        _no_grid(grid, "send")
-        p = comm.size
-        for dst in node.f(comm.rank):
-            if not (0 <= dst < p):
-                raise SkeletonError(
-                    f"send: destination {dst} out of range 0..{p - 1}")
-            if dst == comm.rank:
-                continue
-            yield comm.send(dst, local, tag=_EXCHANGE_TAG,
-                            nbytes=estimate_nbytes(local, env.spec.word_bytes))
-        arrivals = []
-        for k in range(p):
-            for dst in node.f(k):
-                if dst == comm.rank:
-                    if k == comm.rank:
-                        arrivals.append((k, local))
-                    else:
-                        msg = yield comm.recv(k, tag=_EXCHANGE_TAG)
-                        arrivals.append((k, msg.payload))
-        arrivals.sort(key=lambda kv: kv[0])
-        return [v for _k, v in arrivals]
-
-    if isinstance(node, N.Brdcast):
-        value = yield from C.bcast(comm, node.a if comm.rank == 0 else None)
-        return (value, local)
-
-    if isinstance(node, N.ApplyBrdcast):
-        if grid is not None and isinstance(node.i, tuple):
-            root = node.i[0] * grid[1] + node.i[1]
-        else:
-            root = node.i if isinstance(node.i, int) else node.i[0]
-        if comm.rank == root:
-            yield _charge(env, node.f, local, default)
-            piece = node.f(local)
-        else:
-            piece = None
-        piece = yield from C.bcast(comm, piece, root=root)
-        return (piece, local)
-
-    if isinstance(node, N.Split):
-        _no_grid(grid, "split")
-        groups = node.pattern.split(list(range(comm.size)))
-        my_group = None
-        for idx in groups.indices():
-            if comm.rank in list(groups[idx]):
-                my_group = list(groups[idx])
-                break
-        if my_group is None:
-            raise SkeletonError(f"split pattern lost rank {comm.rank}")
-        sub = comm.subgroup(my_group)
-        return _Grouped(sub, comm, local)
-
-    if isinstance(node, N.Combine):
-        if not isinstance(local, _Grouped):
-            raise SkeletonError("combine without a preceding split")
-        return local.local
-
-    if isinstance(node, N.Spmd):
-        _no_groups(local, "SPMD")
-        for stage in node.stages:
-            if stage.local is not None:
-                yield _charge(env, stage.local, local, default)
-                if stage.indexed:
-                    idx = (divmod(comm.rank, grid[1])
-                           if grid is not None else comm.rank)
-                    local = stage.local(idx, local)
-                else:
-                    local = stage.local(local)
-            if stage.global_ is not None:
-                local = yield from _exec(stage.global_, env, comm, local,
-                                         default, grid)
-        return local
-
-    if isinstance(node, N.IterFor):
-        for i in range(node.n):
-            local = yield from _exec(node.body(i), env, comm, local,
-                                     default, grid)
-        return local
-
-    raise SkeletonError(
-        f"the SCL compiler does not support {type(node).__name__} nodes")
-
-
-def _require_grid(grid, who: str) -> None:
-    if grid is None:
-        raise SkeletonError(
-            f"{who} requires a 2-D processor grid — run the expression over "
-            f"a 2-D ParArray")
-
-
-def _no_grid(grid, who: str) -> None:
-    if grid is not None:
-        raise SkeletonError(f"{who} requires a 1-D configuration, got a grid")
-
-
-def _no_groups(local: Any, who: str) -> None:
-    if isinstance(local, _Grouped):
-        raise SkeletonError(
-            f"{who} cannot be applied to a split configuration: the flat "
-            f"element semantics would diverge from the nested semantics — "
-            f"use `map (<sub-expression>)` or `combine` first")
-
-
-def _charging_op(env: ProcEnv, op: Callable[[Any, Any], Any], default: float):
-    """Reduction operators run synchronously inside the collectives'
-    generator frames, so their CPU cost cannot be yielded from here; the
-    message rounds carry the synchronisation cost (estimate_cost prices
-    the combines analytically).  The operator is passed through unwrapped.
-    """
-    return op

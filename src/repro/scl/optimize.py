@@ -1,12 +1,22 @@
 """Cost-guided optimisation of skeleton expressions.
 
-:func:`estimate_cost` prices an expression against a
-:class:`~repro.machine.cost.MachineSpec` using the same latency/bandwidth
-model as the simulator: every skeleton application contributes per-element
-compute, per-message communication, and per-barrier synchronisation terms.
-:func:`optimize` runs the §4 rewrite rules and reports the predicted saving
-— the mechanised version of the paper's "compile time optimisation can be
-systematically realised based on a class of transformation rules".
+:func:`estimate_cost` prices an expression by **lowering it to the same
+plan the machine executes** (:mod:`repro.plan`) and walking that
+instruction stream with :func:`repro.plan.cost.plan_cost` — predicted
+and simulated cost describe the identical program, which is what lets
+the test-suite check the model's rankings against simulated makespans.
+:func:`optimize` runs the §4 rewrite rules and reports the predicted
+saving — the mechanised version of the paper's "compile time
+optimisation can be systematically realised based on a class of
+transformation rules".
+
+Expressions that have no plan form — ``FoldrFused`` (inherently
+sequential), ``Partition``/``Gather`` (data ingress/egress), grid
+skeletons priced without a grid — fall back to the original
+expression-level model, whose per-node formulas the plan model
+deliberately preserves, so comparisons *across* the two paths (e.g. the
+map-distribution crossover between ``foldr`` and ``fold . map``) remain
+meaningful.
 
 The model is deliberately coarse (it prices *structure*, not user code —
 each opaque function application costs ``fn_ops`` elementary operations).
@@ -19,31 +29,20 @@ from __future__ import annotations
 import dataclasses
 
 from repro.machine.cost import MachineSpec, PERFECT
+# sys.modules binding (see repro.scl.compile for why): survives both import
+# orders of the repro.plan <-> repro.scl cycle and the package-attribute
+# shadowing of the `lower` submodule by the `lower` function.
+import repro.plan.lower  # noqa: F401  (registers the module in sys.modules)
+import sys
+
+from repro.plan.cost import ExprCost, ceil_log2, plan_cost
 from repro.scl import nodes as N
+
+_plan_lower = sys.modules["repro.plan.lower"]
 
 __all__ = ["ExprCost", "estimate_cost", "optimize", "OptimizeReport"]
 
-
-@dataclasses.dataclass(frozen=True)
-class ExprCost:
-    """Predicted execution profile of an expression on ``n`` components."""
-
-    seconds: float
-    messages: int
-    barriers: int
-
-    def __add__(self, other: "ExprCost") -> "ExprCost":
-        return ExprCost(self.seconds + other.seconds,
-                        self.messages + other.messages,
-                        self.barriers + other.barriers)
-
-    def scaled(self, times: int) -> "ExprCost":
-        return ExprCost(self.seconds * times, self.messages * times,
-                        self.barriers * times)
-
-
-def _ceil_log2(n: int) -> int:
-    return (n - 1).bit_length() if n > 1 else 0
+_ceil_log2 = ceil_log2
 
 
 def estimate_cost(node: N.Node, *, n: int, spec: MachineSpec = PERFECT,
@@ -54,6 +53,18 @@ def estimate_cost(node: N.Node, *, n: int, spec: MachineSpec = PERFECT,
     each opaque function application; ``element_bytes`` the wire size of a
     component (defaults to one machine word).
     """
+    try:
+        plan = _plan_lower.lower(node, n, None)
+    except Exception:
+        return _legacy_estimate(node, n=n, spec=spec, fn_ops=fn_ops,
+                                element_bytes=element_bytes)
+    return plan_cost(plan, spec=spec, fn_ops=fn_ops,
+                     element_bytes=element_bytes)
+
+
+def _legacy_estimate(node: N.Node, *, n: int, spec: MachineSpec,
+                     fn_ops: float, element_bytes: int | None) -> ExprCost:
+    """Expression-level pricing for nodes with no plan form."""
     eb = spec.word_bytes if element_bytes is None else element_bytes
     barrier = (spec.latency + spec.send_overhead + spec.recv_overhead) * _ceil_log2(max(n, 1))
     msg = spec.transfer_time(eb) + spec.send_overhead + spec.recv_overhead

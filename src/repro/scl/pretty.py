@@ -81,6 +81,6 @@ def pretty(node: N.Node) -> str:
 
 def _pretty_stage(stage: N.Stage) -> str:
     g = pretty(stage.global_) if stage.global_ is not None else "id"
-    l = _fn_name(stage.local) if stage.local is not None else "id"
+    loc = _fn_name(stage.local) if stage.local is not None else "id"
     marker = "imap " if stage.indexed else ""
-    return f"({g}, {marker}{l})"
+    return f"({g}, {marker}{loc})"

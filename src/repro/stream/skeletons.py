@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import collections
 import concurrent.futures
-from typing import Any, Callable, Iterable, Iterator, TypeVar
+from typing import Callable, Iterable, Iterator, TypeVar
 
 from repro.errors import SkeletonError
 from repro.runtime.executor import Executor, SequentialExecutor, _PoolExecutor, get_executor

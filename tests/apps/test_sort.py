@@ -20,7 +20,7 @@ from repro.apps.sort import (
     sequential_sort_machine,
     split_by_pivot,
 )
-from repro.machine import AP1000, MODERN_CLUSTER
+from repro.machine import MODERN_CLUSTER
 
 
 class TestBaseFragments:

@@ -11,7 +11,7 @@ from hypothesis import strategies as st
 
 from repro.core import ParArray, fold, fold_map, imap, parmap, scan, scan_seq
 from repro.errors import SkeletonError
-from repro.runtime.executor import SequentialExecutor, ThreadExecutor
+from repro.runtime.executor import ThreadExecutor
 
 
 class TestParmap:

@@ -8,7 +8,6 @@ from repro.errors import FaultError, MachineError
 from repro.faults.models import FaultInjector, FaultSpec
 from repro.machine import AP1000, Machine, Comm, ReliableChannel
 from repro.machine import collectives_ft as cft
-from repro.machine.events import ANY
 
 
 def _run(nprocs, prog, spec=None, **machine_kw):

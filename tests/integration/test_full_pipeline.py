@@ -10,9 +10,7 @@ from __future__ import annotations
 import operator
 
 import numpy as np
-import pytest
-
-from repro.core import Block, ParArray
+from repro.core import ParArray
 from repro.lang import parse_scl
 from repro.machine import AP1000, Hypercube, Machine, PERFECT
 from repro.machine.metrics import comm_fraction, load_imbalance

@@ -15,7 +15,7 @@ import pytest
 
 from repro.apps.sort import hyperquicksort, hyperquicksort_flat, hyperquicksort_machine
 from repro.core import Block, ParArray, fold, gather, parmap, partition, scan
-from repro.machine import AP1000, Comm, Hypercube, Machine, PERFECT, collectives as C
+from repro.machine import AP1000, Comm, Machine, PERFECT, collectives as C
 
 
 class TestReductionAgreement:

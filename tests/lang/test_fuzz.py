@@ -7,20 +7,15 @@ must agree with the AST builders on every sentence of its language.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import Block, Cyclic, ParArray
+from repro.core import ParArray
 from repro.lang import parse_scl
 from repro.scl import (
-    Combine,
     Fetch,
-    Fold,
     Map,
     Rotate,
-    Scan,
-    Split,
     compose_nodes,
     evaluate,
 )

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import ParseError
-from repro.lang.lexer import Token, tokenize
+from repro.lang.lexer import tokenize
 
 
 def kinds(src):

@@ -7,7 +7,7 @@ import pytest
 from repro.errors import DeadlockError, MachineError
 from repro.machine.cost import PERFECT, MachineSpec
 from repro.machine.events import ANY
-from repro.machine.simulator import Machine, ProcEnv
+from repro.machine.simulator import Machine
 from repro.machine.topology import Hypercube, Ring
 
 

@@ -13,7 +13,6 @@ global invariants checked:
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,0 +1,1 @@
+# tests for repro.plan — the lowered program representation

@@ -1,0 +1,64 @@
+"""The ``python -m repro plan`` dumper: listing plus cost columns."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.plan import cli as plan_cli
+
+
+def run_cli(capsys, *argv):
+    code = plan_cli.main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestPlanCommand:
+    def test_hyperquicksort_dump(self, capsys):
+        code, out = run_cli(capsys, "hyperquicksort", "--dim", "2",
+                            "-n", "512")
+        assert code == 0
+        assert "plan over 4 ranks" in out
+        assert "exchange align-fetch" in out
+        assert "loop" in out
+        assert "predicted total" in out and "simulated run" in out
+
+    def test_predicted_messages_column_matches_simulated(self, capsys):
+        code, out = run_cli(capsys, "hyperquicksort", "--dim", "3",
+                            "-n", "1024")
+        assert code == 0
+        rows = {line.split()[0:2][0]: line.split()
+                for line in out.splitlines() if "total" in line or "run" in line}
+        predicted = next(line for line in out.splitlines()
+                         if "predicted total" in line).split()
+        simulated = next(line for line in out.splitlines()
+                         if "simulated run" in line).split()
+        assert predicted[-2] == simulated[-2]  # message column agrees
+        assert rows  # table rendered
+
+    def test_gauss_jordan_dump(self, capsys):
+        code, out = run_cli(capsys, "gauss-jordan", "-n", "8", "--procs", "2")
+        assert code == 0
+        assert "gauss-jordan expression" in out
+        assert "apply_bcast" in out
+
+    def test_tables_flag_prints_per_rank_rows(self, capsys):
+        code, out = run_cli(capsys, "hyperquicksort", "--dim", "2",
+                            "-n", "256", "--tables")
+        assert code == 0
+        assert "rank 0: send->" in out
+
+    def test_bad_dim_rejected(self, capsys):
+        assert plan_cli.main(["hyperquicksort", "--dim", "99"]) == 2
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            plan_cli.main(["quantumsort"])
+
+    def test_repro_cli_delegates(self, capsys):
+        from repro.cli import main as repro_main
+
+        code = repro_main(["plan", "hyperquicksort", "--dim", "2", "-n", "256"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "plan over 4 ranks" in out

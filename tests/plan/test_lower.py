@@ -1,0 +1,189 @@
+"""Lowering: expression trees become flat, statically-resolved plans.
+
+The structural half of the Plan IR contract — index functions evaluated
+once into per-rank tables, shape errors raised before anything runs, one
+cached plan per ``(expr, nprocs, grid)``.  The behavioural half (lowered
+plans compute what the interpreter computes) lives in
+``test_crosscheck.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.partition import Block
+from repro.errors import SkeletonError
+from repro.plan import ir
+from repro.plan.lower import clear_plan_cache, lower, plan_cache_stats
+from repro.scl import (
+    AlignFetch,
+    Brdcast,
+    Combine,
+    Fetch,
+    Fold,
+    Gather,
+    Id,
+    IMap,
+    IterFor,
+    Map,
+    PermSend,
+    Rotate,
+    RotateRow,
+    Scan,
+    SendNode,
+    Split,
+    compose_nodes,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_plan_cache()
+    yield
+    clear_plan_cache()
+
+
+class TestStructure:
+    def test_identity_lowers_to_the_empty_plan(self):
+        plan = lower(Id(), 8)
+        assert plan.instrs == ()
+        assert plan.nprocs == 8
+
+    def test_composition_reverses_into_execution_order(self):
+        f, g = (lambda x: x + 1), (lambda x: x * 2)
+        plan = lower(compose_nodes(Map(f), Map(g)), 4)
+        # `map f . map g` applies g first
+        assert [i.fn for i in plan.instrs] == [g, f]
+
+    def test_rotate_index_arithmetic_is_pre_reduced(self):
+        plan = lower(Rotate(-3), 8)
+        (instr,) = plan.instrs
+        assert isinstance(instr, ir.Rotate) and instr.k == 5
+
+    def test_full_turn_rotation_is_elided(self):
+        assert lower(Rotate(8), 8).instrs == ()
+        assert lower(Rotate(0), 8).instrs == ()
+
+    def test_fetch_tables_are_static(self):
+        plan = lower(Fetch(lambda r: 0), 4)
+        (instr,) = plan.instrs
+        assert isinstance(instr, ir.Exchange) and instr.mode == "replace"
+        assert instr.sends == ((1, 2, 3), (), (), ())
+        assert instr.recvs == ((0,), (0,), (0,), (0,))
+
+    def test_align_fetch_keeps_both_halves(self):
+        plan = lower(AlignFetch(lambda r: r ^ 1), 4)
+        (instr,) = plan.instrs
+        assert instr.mode == "pair"
+        assert instr.sends == ((1,), (0,), (3,), (2,))
+
+    def test_send_multicast_collects_in_source_order(self):
+        plan = lower(SendNode(lambda r: (0,)), 4)
+        (instr,) = plan.instrs
+        assert instr.mode == "collect"
+        assert instr.recvs[0] == (0, 1, 2, 3)
+
+    def test_fold_marks_the_plan_scalar(self):
+        plan = lower(Fold(lambda a, b: a + b), 8)
+        assert plan.returns_scalar
+
+    def test_iterfor_expands_each_iteration(self):
+        plan = lower(IterFor(3, lambda i: Rotate(i)), 8)
+        (loop,) = plan.instrs
+        assert isinstance(loop, ir.Loop) and len(loop.bodies) == 3
+        assert loop.bodies[0] == ()  # rotate 0 elided
+        assert loop.bodies[1][0].k == 1
+
+    def test_split_groups_and_subplans(self):
+        inner = compose_nodes(Rotate(1), Map(lambda x: -x))
+        plan = lower(compose_nodes(Combine(), Map(inner), Split(Block(2))), 8)
+        split, sub, comb = plan.instrs
+        assert isinstance(split, ir.GroupSplit)
+        assert split.groups == ((0, 1, 2, 3), (4, 5, 6, 7))
+        assert split.group_of == (0, 0, 0, 0, 1, 1, 1, 1)
+        assert isinstance(sub, ir.SubPlan) and len(sub.plans) == 2
+        assert all(p.nprocs == 4 for p in sub.plans)
+        assert isinstance(comb, ir.GroupCombine)
+
+
+class TestLoweringErrors:
+    def test_fetch_source_out_of_range(self):
+        with pytest.raises(SkeletonError, match="source 9 out of range 0..7"):
+            lower(Fetch(lambda r: 9), 8)
+
+    def test_send_must_be_a_permutation(self):
+        with pytest.raises(SkeletonError, match="not a permutation"):
+            lower(PermSend(lambda r: 0), 4)
+
+    def test_flat_skeleton_inside_split(self):
+        expr = compose_nodes(Combine(), Map(lambda x: x), Split(Block(2)))
+        with pytest.raises(SkeletonError,
+                           match="cannot be applied to a split configuration"):
+            lower(expr, 8)
+
+    def test_nested_split_rejected(self):
+        expr = compose_nodes(Combine(), Split(Block(2)), Split(Block(2)))
+        with pytest.raises(SkeletonError, match="`combine` first"):
+            lower(expr, 8)
+
+    def test_combine_without_split(self):
+        with pytest.raises(SkeletonError, match="without a preceding split"):
+            lower(Combine(), 8)
+
+    def test_map_of_subexpression_needs_a_split(self):
+        with pytest.raises(SkeletonError, match="requires a split"):
+            lower(Map(Rotate(1)), 8)
+
+    def test_grid_skeleton_without_a_grid(self):
+        with pytest.raises(SkeletonError, match="2-D processor grid"):
+            lower(RotateRow(lambda i: 1), 8)
+
+    def test_flat_skeleton_on_a_grid(self):
+        with pytest.raises(SkeletonError, match="1-D configuration"):
+            lower(Rotate(1), 8, (2, 4))
+
+    def test_unsupported_node(self):
+        with pytest.raises(SkeletonError, match="does not support Gather"):
+            lower(Gather(), 8)
+
+    def test_errors_are_raised_at_lowering_time_not_cached(self):
+        # A failing lowering must not poison the cache.
+        expr = Fetch(lambda r: 99)
+        for _ in range(2):
+            with pytest.raises(SkeletonError):
+                lower(expr, 8)
+        assert plan_cache_stats()["size"] == 0
+
+
+class TestPlanCache:
+    def test_same_key_returns_the_same_object(self):
+        expr = compose_nodes(Map(lambda x: x), Rotate(1))
+        assert lower(expr, 8) is lower(expr, 8)
+        stats = plan_cache_stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_different_nprocs_are_different_plans(self):
+        expr = Rotate(1)
+        assert lower(expr, 8) is not lower(expr, 16)
+        assert plan_cache_stats()["misses"] == 2
+
+    def test_grid_is_part_of_the_key(self):
+        expr = IMap(lambda i, x: (i, x))
+        assert lower(expr, 8, None) is not lower(expr, 8, (2, 4))
+
+    def test_clear_resets_everything(self):
+        lower(Rotate(1), 8)
+        clear_plan_cache()
+        assert plan_cache_stats() == {"size": 0, "hits": 0, "misses": 0,
+                                      "uncachable": 0}
+
+    def test_unhashable_expressions_still_lower(self):
+        # Brdcast of an unhashable value can't key the cache but must work.
+        plan = lower(Brdcast([1, 2, 3]), 4)
+        assert plan.instrs[0].value == [1, 2, 3]
+        stats = plan_cache_stats()
+        assert stats["uncachable"] == 1 and stats["size"] == 0
+
+    def test_scan_and_fold_cache_separately(self):
+        op = lambda a, b: a + b  # noqa: E731
+        assert lower(Scan(op), 8) is not lower(Fold(op), 8)

@@ -9,7 +9,6 @@ from repro.errors import RewriteError
 from repro.scl import (
     Compose,
     Fetch,
-    Fold,
     Id,
     Map,
     Rotate,

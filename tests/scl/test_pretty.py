@@ -9,7 +9,6 @@ from repro.scl import (
     ApplyBrdcast,
     Brdcast,
     Combine,
-    Compose,
     Farm,
     Fetch,
     Fold,

@@ -10,7 +10,6 @@ from __future__ import annotations
 import operator
 
 import numpy as np
-import pytest
 
 from repro.core import (
     Block,
@@ -55,14 +54,14 @@ class TestSection21ConfigurationDefinitions:
 
     def test_partition_row_block_definition(self):
         """partition row_block p A: B[i] holds rows [i*l/p, (i+1)*l/p)."""
-        l, m, p = 6, 4, 3
-        A = np.arange(l * m).reshape(l, m)
+        nrows, m, p = 6, 4, 3
+        A = np.arange(nrows * m).reshape(nrows, m)
         from repro.core import RowBlock
 
         pa = partition(RowBlock(p), A)
         for i in range(p):
             assert np.array_equal(np.asarray(pa[i]),
-                                  A[i * (l // p): (i + 1) * (l // p)])
+                                  A[i * (nrows // p): (i + 1) * (nrows // p)])
 
     def test_align_pairs_elementwise(self):
         """align pairs corresponding subarrays into tuples."""
@@ -72,7 +71,7 @@ class TestSection21ConfigurationDefinitions:
 
     def test_redistribution_definition(self):
         """redistribution [f1..fn] (DA1..DAn) = (f1 DA1 .. fn DAn)"""
-        from repro.core import redistribution, unalign
+        from repro.core import redistribution
 
         da = ParArray([1, 2, 3])
         db = ParArray([4, 5, 6])

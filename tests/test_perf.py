@@ -23,7 +23,7 @@ class TestRunSuite:
     def test_covers_all_workloads_and_sizes(self, quick_suite):
         expected = {f"{w}/p{p}"
                     for w in ("ring_sweep", "wildcard_funnel", "allreduce",
-                              "hyperquicksort")
+                              "hyperquicksort", "compiled_hyperquicksort")
                     for p in perf.QUICK_PROCS}
         assert set(quick_suite) == expected
 
