@@ -11,6 +11,7 @@
     python -m repro perf                 # simulator-core performance suite
     python -m repro chaos                # fault-injection survival sweep
     python -m repro plan hyperquicksort  # dump a lowered plan + its costs
+    python -m repro trace hyperquicksort # traced run: spans, critical path
     python -m repro table1 -n 20000 --seed 7   # smaller/quicker variants
 
 Each command prints the reproduced table to stdout; ``--spec`` switches the
@@ -173,7 +174,8 @@ def build_parser() -> argparse.ArgumentParser:
         description="Regenerate the evaluation of 'Parallel Skeletons for "
                     "Structured Composition' (PPoPP 1995).")
     parser.add_argument("command",
-                        choices=[*_COMMANDS, "all", "perf", "chaos", "plan"],
+                        choices=[*_COMMANDS, "all", "perf", "chaos", "plan",
+                                 "trace"],
                         help="which artefact to regenerate ('perf' runs the "
                              "simulator performance suite, 'chaos' the "
                              "fault-injection sweep, 'plan' dumps a lowered "
@@ -212,6 +214,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.plan import cli as plan_cli
 
         return plan_cli.main(argv[1:])
+    if argv[:1] == ["trace"]:
+        # And the traced-run reporter (<app>/--sink/--critical-path/...).
+        from repro.obs import cli as obs_cli
+
+        return obs_cli.main(argv[1:])
     args = build_parser().parse_args(argv)
     args.spec = _SPECS[args.spec]
     if args.max_dim < 1 or args.max_dim > 10:

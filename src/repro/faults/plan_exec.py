@@ -46,8 +46,18 @@ SCAN_TAG = tags.reserve("plan", "scan-chain", 1)
 
 
 def execute_plan_ft(plan: ir.Plan, env, comm: Comm, chan: ReliableChannel,
-                    local: Any, default: float = ir.DEFAULT_FRAGMENT_OPS):
-    """Run ``plan`` on this processor with all traffic on ``chan``."""
+                    local: Any, default: float = ir.DEFAULT_FRAGMENT_OPS,
+                    label: str = "plan"):
+    """Run ``plan`` on this processor with all traffic on ``chan``.
+
+    On a traced machine the same span stack as the raw interpreter is
+    pushed (``label → [i] instruction → iter k``), so chaos-run traces
+    attribute retransmits/drops/timeouts to plan instructions too.
+    """
+    if env.tracing:
+        with env.span(label):
+            return (yield from _run_seq_spanned(plan.instrs, plan, env, comm,
+                                                chan, local, default))
     return (yield from _run_seq(plan.instrs, plan, env, comm, chan, local,
                                 default))
 
@@ -56,6 +66,30 @@ def _run_seq(instrs, plan, env, comm, chan, local, default):
     for instr in instrs:
         local = yield from _step(instr, plan, env, comm, chan, local, default)
     return local
+
+
+def _run_seq_spanned(instrs, plan, env, comm, chan, local, default):
+    for i, instr in enumerate(instrs):
+        with env.span(ir.instr_title(instr), instr=i):
+            local = yield from _step_spanned(instr, plan, env, comm, chan,
+                                             local, default)
+    return local
+
+
+def _step_spanned(instr, plan, env, comm, chan, local, default):
+    if isinstance(instr, ir.Loop):
+        for it, body in enumerate(instr.bodies):
+            with env.span(f"iter {it}", iteration=it):
+                local = yield from _run_seq_spanned(body, plan, env, comm,
+                                                    chan, local, default)
+        return local
+    if isinstance(instr, ir.SubPlan):
+        subplan = instr.plans[local.gid]
+        inner = yield from _run_seq_spanned(subplan.instrs, subplan, env,
+                                            local.comm, chan, local.local,
+                                            default)
+        return Grouped(local.comm, local.parent, inner, local.gid)
+    return (yield from _step(instr, plan, env, comm, chan, local, default))
 
 
 def _is_pair_swap(instr: ir.Exchange, r: int) -> bool:
@@ -172,7 +206,8 @@ def _collective(instr, env, comm, chan, local, default):
 def run_expression_ft(expr, pa: ParArray, machine: Machine, *,
                       fragment_default_ops: float = ir.DEFAULT_FRAGMENT_OPS,
                       channel_timeout: float | None = None,
-                      max_retries: int = 8) -> tuple[Any, RunResult]:
+                      max_retries: int = 8,
+                      label: str = "program") -> tuple[Any, RunResult]:
     """Compile ``expr`` and run it fault-tolerantly on ``machine``.
 
     The plan-level counterpart of
@@ -195,10 +230,11 @@ def run_expression_ft(expr, pa: ParArray, machine: Machine, *,
                                max_retries=max_retries)
         result = yield from execute_plan_ft(plan, env, Comm.world(env), chan,
                                             values[env.pid],
-                                            fragment_default_ops)
+                                            fragment_default_ops, label)
         # Stay on the line until peers stop retransmitting: our last acks
         # may have been lost, and an exited program can't re-ack.
-        yield from chan.drain()
+        with env.span("drain"):
+            yield from chan.drain()
         return result
 
     res = machine.run(program)

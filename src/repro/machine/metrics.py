@@ -31,11 +31,19 @@ def load_imbalance(result: RunResult) -> float:
     The classic imbalance factor: the makespan of a bulk-synchronous phase
     is set by the busiest processor, so a value of 1.3 means ~23% of the
     machine-time is lost waiting for stragglers.
+
+    Raises :class:`MachineError` for runs where the ratio is undefined —
+    zero processors, or a run in which no processor did any work (an
+    all-idle run has no load to be imbalanced).
     """
     busy = [s.busy_seconds for s in result.stats]
+    if not busy:
+        raise MachineError("load_imbalance is undefined for a run with "
+                           "zero processors")
     mean = sum(busy) / len(busy)
     if mean == 0:
-        return 1.0
+        raise MachineError("load_imbalance is undefined for an all-idle "
+                           "run (no processor did any work)")
     return max(busy) / mean
 
 
@@ -44,16 +52,28 @@ def comm_fraction(result: RunResult) -> float:
 
     ``0.0`` = pure computation; values near ``1.0`` mean the run is
     communication-bound (where the paper's transformation rules pay off).
+
+    Raises :class:`MachineError` when the fraction is undefined — zero
+    processors or zero makespan (a run that consumed no machine-time has
+    no time to split into compute and communication).
     """
     total = result.nprocs * result.makespan
     if total == 0:
-        return 0.0
+        raise MachineError("comm_fraction is undefined for a run with no "
+                           "machine-time (zero processors or zero makespan)")
     compute = result.total_compute_seconds
     return max(0.0, min(1.0, 1.0 - compute / total))
 
 
 def per_proc_table(result: RunResult) -> str:
-    """An aligned text table of per-processor compute/overhead/idle times."""
+    """An aligned text table of per-processor activity.
+
+    Column units: ``compute``/``overhead``/``idle``/``finish`` are virtual
+    **seconds** (computation time, messaging software overhead, blocked
+    waiting, and the processor's finish timestamp); ``msgs out`` is a
+    **count** of messages sent; ``bytes out`` is payload **bytes** on the
+    wire.
+    """
     header = f"{'pid':>4}  {'compute':>10}  {'overhead':>10}  {'idle':>10}  " \
              f"{'msgs out':>8}  {'bytes out':>10}  {'finish':>10}"
     lines = [header, "-" * len(header)]

@@ -43,8 +43,20 @@ class Grouped:
 
 
 def execute_plan(plan: ir.Plan, env: ProcEnv, comm: Comm, local: Any,
-                 default: float = ir.DEFAULT_FRAGMENT_OPS):
-    """Run ``plan`` on this processor; returns the new local value."""
+                 default: float = ir.DEFAULT_FRAGMENT_OPS,
+                 label: str = "plan"):
+    """Run ``plan`` on this processor; returns the new local value.
+
+    On a traced machine every simulator request executes inside a span
+    stack ``label → [i] instruction → iter k → …`` (see
+    :mod:`repro.machine.trace`), so each trace event is attributed to the
+    plan instruction that produced it.  Untraced runs take the original
+    span-free path — tracing off costs nothing.
+    """
+    if env.tracing:
+        with env.span(label):
+            return (yield from _run_seq_spanned(plan.instrs, plan, env, comm,
+                                                local, default))
     return (yield from _run_seq(plan.instrs, plan, env, comm, local, default))
 
 
@@ -53,6 +65,33 @@ def _run_seq(instrs, plan: ir.Plan, env: ProcEnv, comm: Comm, local: Any,
     for instr in instrs:
         local = yield from _step(instr, plan, env, comm, local, default)
     return local
+
+
+def _run_seq_spanned(instrs, plan: ir.Plan, env: ProcEnv, comm: Comm,
+                     local: Any, default: float):
+    for i, instr in enumerate(instrs):
+        with env.span(ir.instr_title(instr), instr=i):
+            local = yield from _step_spanned(instr, plan, env, comm, local,
+                                             default)
+    return local
+
+
+def _step_spanned(instr: ir.Instr, plan: ir.Plan, env: ProcEnv, comm: Comm,
+                  local: Any, default: float):
+    """Like :func:`_step`, but loop iterations and nested plans keep
+    pushing span frames (all leaf instructions delegate to ``_step``)."""
+    if isinstance(instr, ir.Loop):
+        for it, body in enumerate(instr.bodies):
+            with env.span(f"iter {it}", iteration=it):
+                local = yield from _run_seq_spanned(body, plan, env, comm,
+                                                    local, default)
+        return local
+    if isinstance(instr, ir.SubPlan):
+        subplan = instr.plans[local.gid]
+        inner = yield from _run_seq_spanned(subplan.instrs, subplan, env,
+                                            local.comm, local.local, default)
+        return Grouped(local.comm, local.parent, inner, local.gid)
+    return (yield from _step(instr, plan, env, comm, local, default))
 
 
 def _step(instr: ir.Instr, plan: ir.Plan, env: ProcEnv, comm: Comm,

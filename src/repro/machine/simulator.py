@@ -95,7 +95,7 @@ from repro.errors import DeadlockError, MachineError
 from repro.machine.cost import MachineSpec, estimate_nbytes, PERFECT
 from repro.machine.events import ANY, Compute, Message, Recv, Send
 from repro.machine.topology import FullyConnected, Topology
-from repro.machine.trace import Trace
+from repro.machine.trace import Span, Trace
 
 __all__ = ["Machine", "ProcEnv", "ProcStats", "RunResult"]
 
@@ -206,6 +206,46 @@ class RunResult:
         )
 
 
+class _SpanScope:
+    """Context manager pushing one :class:`Span` frame for one processor."""
+
+    __slots__ = ("_spans", "_pid", "_label", "_instr", "_iter", "_saved")
+
+    def __init__(self, spans: list, pid: int, label: str,
+                 instr: int | None, iteration: int | None):
+        self._spans = spans
+        self._pid = pid
+        self._label = label
+        self._instr = instr
+        self._iter = iteration
+
+    def __enter__(self) -> Span:
+        spans, pid = self._spans, self._pid
+        parent = spans[pid]
+        self._saved = parent
+        span = Span(self._label, self._instr, self._iter, parent)
+        spans[pid] = span
+        return span
+
+    def __exit__(self, *exc: Any) -> None:
+        self._spans[self._pid] = self._saved
+
+
+class _NullSpanScope:
+    """Shared no-op scope returned when tracing is off (zero allocation)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+
+_NULL_SPAN_SCOPE = _NullSpanScope()
+
+
 class ProcEnv:
     """Handle given to each virtual-processor program.
 
@@ -267,6 +307,30 @@ class ProcEnv:
         if nothing matching arrives by the deadline.
         """
         return Recv(src, tag, timeout)
+
+    @property
+    def tracing(self) -> bool:
+        """True when this run records a trace (so spans are being kept)."""
+        return self._machine._span is not None
+
+    def span(self, label: str, *, instr: int | None = None,
+             iteration: int | None = None):
+        """Context manager attributing trace events to a named span.
+
+        Everything this processor records while the scope is active —
+        including receives completed for it by a remote send — carries a
+        :class:`~repro.machine.trace.Span` frame with this label (nested
+        scopes chain via ``parent``).  When the run records no trace the
+        returned scope is a shared no-op, so instrumented programs cost
+        nothing un-traced::
+
+            with env.span("scatter"):
+                local = yield from collectives.scatter(comm, blocks, root=0)
+        """
+        spans = self._machine._span
+        if spans is None:
+            return _NULL_SPAN_SCOPE
+        return _SpanScope(spans, self.pid, label, instr, iteration)
 
     @property
     def crashed_pids(self) -> frozenset[int]:
@@ -409,7 +473,8 @@ class Machine:
 
     def __init__(self, topology: Topology | int, *,
                  spec: MachineSpec = PERFECT, record_trace: bool = False,
-                 single_port: bool = False, faults: Any = None):
+                 single_port: bool = False, faults: Any = None,
+                 trace_sink: Any = None, trace_limit: int | None = None):
         if isinstance(topology, int):
             topology = FullyConnected(topology)
         if not isinstance(topology, Topology):
@@ -417,7 +482,16 @@ class Machine:
                 f"topology must be a Topology or int, got {type(topology).__name__}")
         self.topology = topology
         self.spec = spec
-        self.record_trace = record_trace
+        #: Streaming trace sink (``emit(event)``/``close()``; see
+        #: :mod:`repro.obs.sinks`) and in-memory ring-buffer bound.
+        #: Supplying either implies ``record_trace=True``.
+        self.trace_sink = trace_sink
+        self.trace_limit = trace_limit
+        self.record_trace = (record_trace or trace_sink is not None
+                             or trace_limit is not None)
+        #: Per-pid span-context stack tops for the current traced run
+        #: (``None`` outside traced runs — the ``env.span`` fast-path guard).
+        self._span: list[Span | None] | None = None
         #: Deterministic fault injector (see module docstring), or ``None``
         #: for the perfect machine.  ``None`` keeps the fault-free fast
         #: path bit-for-bit identical to the reference engine.
@@ -464,8 +538,21 @@ class Machine:
         self._clock = [0.0] * n
         self._tx_free = [0.0] * n
         self._rx_free = [0.0] * n
-        trace = Trace() if self.record_trace else None
-        trace_record = None if trace is None else trace.record
+        trace = (Trace(sink=self.trace_sink, max_events=self.trace_limit)
+                 if self.record_trace else None)
+        if trace is None:
+            self._span = None
+            trace_record = None
+        else:
+            # Span-tagged recording: one closure layer, one list index per
+            # event — paid only on traced runs (untraced hot path unchanged).
+            spans: list[Span | None] = [None] * n
+            self._span = spans
+            raw_record = trace.record
+
+            def trace_record(pid: int, kind: str, start: float, end: float,
+                             **detail: Any) -> None:
+                raw_record(pid, kind, start, end, span=spans[pid], **detail)
         stats = [ProcStats(pid=p) for p in range(n)]
         procs = []
         for pid in range(n):

@@ -15,15 +15,108 @@ Fault-injected runs (``Machine(..., faults=...)``) add four more kinds:
   had crashed or finished),
 * ``"timeout"`` — a ``Recv`` whose deadline expired; spans the wait,
 * ``"crash"`` — the zero-length instant a processor died.
+
+Span attribution
+----------------
+
+Every event carries a :class:`Span` — a linked stack frame answering
+"which skeleton, which plan instruction, which loop iteration produced
+this interval?".  Plan executors push spans automatically (one per
+instruction, one per loop iteration); raw machine programs can attribute
+their own phases with the public context manager
+:meth:`repro.machine.simulator.ProcEnv.span`::
+
+    def program(env):
+        with env.span("scatter"):
+            local = yield from collectives.scatter(comm, blocks, root=0)
+
+Spans are ``None`` when no frame is active (and always in runs recorded
+before this layer existed), so untagged traces keep working unchanged.
+
+Streaming and bounded traces
+----------------------------
+
+``Trace`` accepts an optional *sink* (any object with ``emit(event)`` /
+``close()`` — see :mod:`repro.obs.sinks`) that observes every event as it
+is recorded, enabling JSONL / Chrome-trace streaming without holding the
+run in memory twice; and an optional ``max_events`` bound that turns the
+in-memory store into a ring buffer (oldest events evicted, eviction count
+kept in :attr:`Trace.dropped`) so million-event chaos runs cannot OOM.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from collections import Counter
+from collections import Counter, deque
 from typing import Any, Iterator
 
-__all__ = ["TraceEvent", "Trace"]
+__all__ = ["Span", "TraceEvent", "Trace", "frozendetail"]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Span:
+    """One frame of the span-context stack (linked via ``parent``).
+
+    ``label`` is the human name of the frame (skeleton name, instruction
+    title, ``"iter 3"``); ``instr`` the position of a plan instruction in
+    its instruction sequence; ``iteration`` the loop-iteration number.
+    The root frame (``parent is None``) names the program/skeleton.
+    """
+
+    label: str
+    instr: int | None = None
+    iteration: int | None = None
+    parent: "Span | None" = None
+
+    def frames(self) -> tuple["Span", ...]:
+        """The full stack, root first."""
+        out: list[Span] = []
+        node: Span | None = self
+        while node is not None:
+            out.append(node)
+            node = node.parent
+        out.reverse()
+        return tuple(out)
+
+    @property
+    def root(self) -> "Span":
+        """The outermost frame (the skeleton/program name)."""
+        node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    def path(self) -> str:
+        """Human-readable root-to-leaf path, e.g. ``hqs/[2] exchange/iter 0``."""
+        return "/".join(f.label for f in self.frames())
+
+    def __str__(self) -> str:
+        return self.path()
+
+
+class frozendetail(dict):
+    """An immutable, hashable mapping holding a :class:`TraceEvent`'s detail.
+
+    Construction copies the source mapping, so events never alias a
+    caller's (possibly reused) dict; all mutators raise ``TypeError``.
+    """
+
+    __slots__ = ()
+
+    def _immutable(self, *args: Any, **kwargs: Any) -> Any:
+        raise TypeError("TraceEvent.detail is immutable")
+
+    __setitem__ = _immutable
+    __delitem__ = _immutable
+    clear = _immutable
+    pop = _immutable
+    popitem = _immutable
+    setdefault = _immutable
+    update = _immutable
+    __ior__ = _immutable
+
+    def __hash__(self) -> int:  # type: ignore[override]
+        return hash(frozenset(self.items()))
 
 
 @dataclasses.dataclass(frozen=True)
@@ -37,6 +130,14 @@ class TraceEvent:
     start: float
     end: float
     detail: dict[str, Any] = dataclasses.field(default_factory=dict)
+    #: Innermost span frame active when the event was recorded (or None).
+    span: Span | None = None
+
+    def __post_init__(self) -> None:
+        # Freeze (and defensively copy) the detail mapping so events are
+        # hashable, shareable and never alias the recorder's dict.
+        if type(self.detail) is not frozendetail:
+            object.__setattr__(self, "detail", frozendetail(self.detail))
 
     @property
     def duration(self) -> float:
@@ -44,15 +145,38 @@ class TraceEvent:
 
 
 class Trace:
-    """An append-only sequence of :class:`TraceEvent` with query helpers."""
+    """An append-only sequence of :class:`TraceEvent` with query helpers.
 
-    def __init__(self) -> None:
-        self._events: list[TraceEvent] = []
+    ``sink`` (optional) observes every event as it is recorded; see the
+    module docstring.  ``max_events`` (optional) bounds the in-memory
+    store as a ring buffer — evicted-event count in :attr:`dropped` —
+    while a streaming sink still sees the complete event stream.
+    """
+
+    def __init__(self, *, sink: Any = None,
+                 max_events: int | None = None) -> None:
+        if max_events is not None and max_events <= 0:
+            raise ValueError(f"max_events must be positive, got {max_events}")
+        self._events: deque[TraceEvent] | list[TraceEvent]
+        if max_events is None:
+            self._events = []
+        else:
+            self._events = deque(maxlen=max_events)
+        self._maxlen = max_events
+        self._sink = sink
+        #: Events evicted from the ring buffer (0 in unbounded mode).
+        self.dropped = 0
 
     def record(self, pid: int, kind: str, start: float, end: float,
-               **detail: Any) -> None:
+               *, span: Span | None = None, **detail: Any) -> None:
         """Append one event (called by the simulator)."""
-        self._events.append(TraceEvent(pid, kind, start, end, detail))
+        event = TraceEvent(pid, kind, start, end, detail, span)
+        events = self._events
+        if self._maxlen is not None and len(events) == self._maxlen:
+            self.dropped += 1
+        events.append(event)
+        if self._sink is not None:
+            self._sink.emit(event)
 
     def __len__(self) -> int:
         return len(self._events)

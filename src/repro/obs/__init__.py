@@ -1,0 +1,51 @@
+"""repro.obs — observability: span-attributed tracing, sinks, analysis.
+
+The simulator records :class:`~repro.machine.trace.TraceEvent` s; the
+plan executors attribute each one to a span stack
+(``skeleton → [i] instruction → iter k``).  This package consumes those
+traces:
+
+* :mod:`repro.obs.sinks` — streaming exporters (JSONL, Chrome
+  trace-event / Perfetto) and the :class:`TraceSink` protocol the
+  machine accepts via ``Machine(..., trace_sink=...)``,
+* :mod:`repro.obs.analyze` — critical path, per-span rollups, idle
+  attribution,
+* :mod:`repro.obs.report` — the analyses as aligned text tables,
+* :mod:`repro.obs.cli` — ``python -m repro trace <app>``.
+"""
+
+from repro.obs.analyze import (
+    CriticalPath,
+    PathStep,
+    Rollup,
+    by_instruction,
+    by_iteration,
+    by_skeleton,
+    critical_path,
+    idle_attribution,
+)
+from repro.obs.sinks import (
+    ChromeTraceSink,
+    JsonlSink,
+    MemorySink,
+    TraceSink,
+    event_to_dict,
+    span_to_list,
+)
+
+__all__ = [
+    "CriticalPath",
+    "PathStep",
+    "Rollup",
+    "by_instruction",
+    "by_iteration",
+    "by_skeleton",
+    "critical_path",
+    "idle_attribution",
+    "ChromeTraceSink",
+    "JsonlSink",
+    "MemorySink",
+    "TraceSink",
+    "event_to_dict",
+    "span_to_list",
+]

@@ -1,0 +1,342 @@
+"""Trace analysis: critical path, per-span rollups, idle attribution.
+
+Works on any recorded :class:`~repro.machine.trace.Trace`.  Three
+questions, three entry points:
+
+* *Where did the makespan go?* — :func:`critical_path` walks the run's
+  event graph (per-processor sequencing plus send→receive edges)
+  backwards from the last-finishing event, producing a chain of
+  determining constraints whose segment times telescope exactly to the
+  makespan.
+* *What did each part of the program cost?* — :func:`by_skeleton`,
+  :func:`by_instruction` and :func:`by_iteration` aggregate time,
+  messages and bytes over the span frames the executors attach
+  (:mod:`repro.machine.plan_exec` tags every event with
+  ``skeleton → [i] instruction → iter k``).
+* *Who was everyone waiting for?* — :func:`idle_attribution` charges
+  each receive's blocked time to the processor it was waiting on.
+
+Critical-path semantics
+-----------------------
+
+Each event's finish is pinned by exactly one predecessor: a receive
+whose message arrived *after* the wait started is pinned by the matching
+send (a **network** edge); every other event is pinned by the previous
+event on its own processor (a **local** edge); a processor's first event
+is pinned by time zero (**start**).  Walking these pins backwards from
+the event that ends at the makespan yields a chain whose per-step
+segments ``event.end - predecessor.end`` sum — telescoping — to the
+makespan exactly, so ``CriticalPath.length == RunResult.makespan`` is an
+invariant, not an approximation.
+
+Send→receive matching pairs events per ``(src, dst, tag)`` channel in
+record order — exact for concrete receives (the simulator's documented
+FIFO rule) and a best-effort attribution under ``ANY`` wildcards or
+fault-injected duplicate/dropped deliveries (the *segment arithmetic*
+never depends on the match, only the blame does).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from collections import defaultdict, deque
+from typing import Any, Iterable
+
+from repro.errors import MachineError
+from repro.machine.cost import MachineSpec
+from repro.machine.trace import Span, Trace, TraceEvent
+
+__all__ = [
+    "Rollup",
+    "PathStep",
+    "CriticalPath",
+    "critical_path",
+    "by_skeleton",
+    "by_instruction",
+    "by_iteration",
+    "idle_attribution",
+    "top_instruction_frame",
+    "iteration_frame",
+]
+
+#: Trace kinds that represent wire traffic leaving a processor.
+_SEND_KINDS = frozenset({"send", "retransmit"})
+
+#: Label used for events recorded outside any span.
+UNTAGGED = "(untagged)"
+
+
+# --------------------------------------------------------------------------
+# Span-frame helpers
+# --------------------------------------------------------------------------
+
+def top_instruction_frame(span: Span | None) -> Span | None:
+    """The outermost frame of ``span`` carrying a plan-instruction index.
+
+    For executor-tagged events this is the frame directly below the
+    skeleton root: the *top-level* instruction of the plan.  ``None``
+    for untagged events or spans without instruction frames.
+    """
+    if span is None:
+        return None
+    for frame in span.frames():
+        if frame.instr is not None:
+            return frame
+    return None
+
+
+def iteration_frame(span: Span | None) -> Span | None:
+    """The outermost loop-iteration frame of ``span`` (or ``None``)."""
+    if span is None:
+        return None
+    for frame in span.frames():
+        if frame.iteration is not None:
+            return frame
+    return None
+
+
+# --------------------------------------------------------------------------
+# Rollups
+# --------------------------------------------------------------------------
+
+@dataclasses.dataclass
+class Rollup:
+    """Aggregate of the events grouped under one span key.
+
+    ``seconds`` sums event durations (busy *and* in-event waiting);
+    ``elapsed`` is the wall-clock window ``t_end - t_start`` the group
+    spanned across all processors — the number comparable to a predicted
+    per-instruction elapsed time.  ``messages``/``bytes`` count sends
+    (including retransmits) issued inside the group.
+    """
+
+    label: str
+    events: int = 0
+    seconds: float = 0.0
+    messages: int = 0
+    bytes: int = 0
+    t_start: float = math.inf
+    t_end: float = -math.inf
+    seconds_by_kind: dict[str, float] = dataclasses.field(default_factory=dict)
+
+    @property
+    def elapsed(self) -> float:
+        """Wall-clock window of the group (0 for an empty rollup)."""
+        if self.events == 0:
+            return 0.0
+        return self.t_end - self.t_start
+
+    def add(self, event: TraceEvent) -> None:
+        self.events += 1
+        d = event.duration
+        self.seconds += d
+        kinds = self.seconds_by_kind
+        kinds[event.kind] = kinds.get(event.kind, 0.0) + d
+        if event.kind in _SEND_KINDS:
+            self.messages += 1
+            self.bytes += event.detail.get("nbytes", 0)
+        if event.start < self.t_start:
+            self.t_start = event.start
+        if event.end > self.t_end:
+            self.t_end = event.end
+
+
+def _rollup(events: Iterable[TraceEvent], key_label) -> dict[Any, Rollup]:
+    out: dict[Any, Rollup] = {}
+    for event in events:
+        key, label = key_label(event)
+        r = out.get(key)
+        if r is None:
+            r = out[key] = Rollup(label)
+        r.add(event)
+    return out
+
+
+def by_skeleton(trace: Iterable[TraceEvent]) -> dict[str, Rollup]:
+    """Rollups keyed by the root span label (the skeleton/program name)."""
+
+    def key_label(event: TraceEvent):
+        span = event.span
+        label = span.root.label if span is not None else UNTAGGED
+        return label, label
+
+    return _rollup(trace, key_label)
+
+
+def by_instruction(trace: Iterable[TraceEvent]) -> dict[int | None, Rollup]:
+    """Rollups keyed by *top-level* plan-instruction index.
+
+    Events without an instruction frame (untagged programs, channel
+    drains) land under key ``None``.
+    """
+
+    def key_label(event: TraceEvent):
+        frame = top_instruction_frame(event.span)
+        if frame is None:
+            return None, UNTAGGED
+        return frame.instr, frame.label
+
+    return _rollup(trace, key_label)
+
+
+def by_iteration(trace: Iterable[TraceEvent],
+                 instr: int | None = None) -> dict[int | None, Rollup]:
+    """Rollups keyed by loop-iteration number.
+
+    ``instr`` restricts to events whose top-level instruction index
+    matches (pass the index of the ``Loop``); events outside any
+    iteration land under ``None``.
+    """
+
+    def key_label(event: TraceEvent):
+        frame = iteration_frame(event.span)
+        if frame is None:
+            return None, "(no iteration)"
+        return frame.iteration, frame.label
+
+    events = trace
+    if instr is not None:
+        events = [e for e in trace
+                  if (f := top_instruction_frame(e.span)) is not None
+                  and f.instr == instr]
+    return _rollup(events, key_label)
+
+
+# --------------------------------------------------------------------------
+# Critical path
+# --------------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class PathStep:
+    """One link of the critical path.
+
+    ``edge`` says what pinned this event's finish: ``"local"`` (previous
+    event on the same processor), ``"network"`` (the matching send on
+    another processor), or ``"start"`` (time zero).  ``seconds`` is the
+    makespan segment this link accounts for
+    (``event.end - predecessor.end``).
+    """
+
+    event: TraceEvent
+    edge: str
+    seconds: float
+
+    @property
+    def category(self) -> str:
+        """Reporting bucket: the network edge, else the event kind."""
+        return "network+recv" if self.edge == "network" else self.event.kind
+
+
+@dataclasses.dataclass(frozen=True)
+class CriticalPath:
+    """The chain of determining constraints behind a run's makespan."""
+
+    steps: tuple[PathStep, ...]  # chronological, first → last
+
+    @property
+    def length(self) -> float:
+        """Sum of segment times — equals the traced makespan exactly."""
+        return sum(s.seconds for s in self.steps)
+
+    def by_category(self) -> dict[str, float]:
+        """Seconds of makespan per category, largest first."""
+        out: dict[str, float] = defaultdict(float)
+        for s in self.steps:
+            out[s.category] += s.seconds
+        return dict(sorted(out.items(), key=lambda kv: -kv[1]))
+
+    def top_segments(self, n: int = 10) -> list[PathStep]:
+        """The ``n`` longest individual segments, longest first."""
+        return sorted(self.steps, key=lambda s: -s.seconds)[:n]
+
+
+def _match_sends(events: list[TraceEvent]) -> dict[int, int]:
+    """Map recv-event index → matching send-event index (per-channel FIFO)."""
+    pending: dict[tuple[Any, int, Any], deque[int]] = defaultdict(deque)
+    match: dict[int, int] = {}
+    for i, e in enumerate(events):
+        if e.kind in _SEND_KINDS:
+            pending[(e.pid, e.detail.get("dst"), e.detail.get("tag"))].append(i)
+        elif e.kind == "recv":
+            q = pending.get((e.detail.get("src"), e.pid, e.detail.get("tag")))
+            if q:
+                match[i] = q.popleft()
+    return match
+
+
+def critical_path(trace: Trace | Iterable[TraceEvent], *,
+                  spec: MachineSpec) -> CriticalPath:
+    """The critical path through a traced run (see module docstring).
+
+    ``spec`` must be the machine spec the run used — its
+    ``recv_overhead`` separates a receive's arrival instant from its
+    completion, which decides local-vs-network pinning.
+    """
+    events = list(trace)
+    if not events:
+        raise MachineError("critical_path needs a non-empty trace")
+    if isinstance(trace, Trace) and trace.dropped:
+        raise MachineError(
+            f"critical_path needs the complete event graph, but this "
+            f"ring-buffered trace evicted {trace.dropped} events "
+            f"(raise trace_limit or use a streaming sink)")
+    recv_ovh = spec.recv_overhead
+    per_pid_pos: dict[int, list[int]] = defaultdict(list)
+    pos_of: dict[int, int] = {}
+    for i, e in enumerate(events):
+        lst = per_pid_pos[e.pid]
+        pos_of[i] = len(lst)
+        lst.append(i)
+    match = _match_sends(events)
+
+    # Start from the event that ends at the makespan (ties: last recorded).
+    cur = max(range(len(events)), key=lambda i: (events[i].end, i))
+    steps: list[PathStep] = []
+    tol = 1e-12
+    while cur is not None:
+        e = events[cur]
+        pred: int | None = None
+        edge = "start"
+        if e.kind == "recv":
+            arrival = e.end - recv_ovh
+            sent = match.get(cur)
+            if sent is not None and arrival > e.start + tol:
+                pred, edge = sent, "network"
+        if pred is None:
+            pos = pos_of[cur]
+            if pos > 0:
+                pred, edge = per_pid_pos[e.pid][pos - 1], "local"
+            else:
+                pred, edge = None, "start"
+        anchor = events[pred].end if pred is not None else 0.0
+        steps.append(PathStep(e, edge, e.end - anchor))
+        cur = pred
+    steps.reverse()
+    return CriticalPath(tuple(steps))
+
+
+# --------------------------------------------------------------------------
+# Idle attribution
+# --------------------------------------------------------------------------
+
+def idle_attribution(trace: Iterable[TraceEvent], *,
+                     spec: MachineSpec) -> dict[tuple[int, Any], float]:
+    """Blocked-waiting seconds per ``(waiter_pid, waited_on)`` pair.
+
+    A receive's wait is ``arrival - wait_start`` (clamped at zero),
+    charged to the source processor recorded on the event; a timeout's
+    whole interval is charged to the source the receive named (which may
+    be the ``ANY`` wildcard).  Sorted by descending wait.
+    """
+    recv_ovh = spec.recv_overhead
+    out: dict[tuple[int, Any], float] = defaultdict(float)
+    for e in trace:
+        if e.kind == "recv":
+            idle = (e.end - recv_ovh) - e.start
+            if idle > 0:
+                out[(e.pid, e.detail.get("src"))] += idle
+        elif e.kind == "timeout":
+            if e.duration > 0:
+                out[(e.pid, e.detail.get("src"))] += e.duration
+    return dict(sorted(out.items(), key=lambda kv: -kv[1]))

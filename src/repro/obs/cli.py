@@ -1,0 +1,188 @@
+"""``python -m repro trace`` — run an app traced and explain its makespan.
+
+Runs one of the compiled example applications on a traced machine, then
+prints the observability report: per-skeleton and per-instruction
+rollups (with the plan cost model's *predicted* seconds next to each
+*observed* window), the critical path through the event graph, and the
+who-waited-on-whom idle table.  ``--sink`` additionally streams every
+event to an artifact as it is recorded:
+
+* ``jsonl`` — one JSON object per line (``span`` as a root-to-leaf frame
+  list), the machine-readable interchange format,
+* ``chrome`` — the Chrome trace-event JSON array; open the file in
+  ``chrome://tracing`` or https://ui.perfetto.dev to see one timeline
+  track per virtual processor.
+
+::
+
+    python -m repro trace hyperquicksort
+    python -m repro trace hyperquicksort --sink chrome --out hq.trace.json
+    python -m repro trace gauss-jordan -n 24 --procs 6 --critical-path
+    python -m repro trace hyperquicksort --limit 10000   # bounded memory
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.machine import AP1000, MODERN_CLUSTER, PERFECT
+from repro.obs import analyze, report
+from repro.obs.sinks import ChromeTraceSink, JsonlSink
+from repro.plan.lower import lower
+
+__all__ = ["main"]
+
+_SPECS = {"ap1000": AP1000, "modern": MODERN_CLUSTER, "perfect": PERFECT}
+
+_DEFAULT_OUT = {"jsonl": "trace.jsonl", "chrome": "trace.json"}
+
+
+def _run_hyperquicksort(args, machine_kw):
+    from repro.apps.sort import hyperquicksort_expression, seq_quicksort
+    from repro.core import parmap, partition
+    from repro.core.partition import Block
+    from repro.machine import Hypercube, Machine
+    from repro.scl.compile import run_expression
+
+    d = args.dim
+    p = 1 << d
+    expr = hyperquicksort_expression(d)
+    plan = lower(expr, p)
+    rng = np.random.default_rng(args.seed)
+    values = rng.integers(0, 2**31, size=args.n).astype(np.int32)
+    blocks = parmap(seq_quicksort, partition(Block(p), values))
+    machine = Machine(Hypercube(d), spec=args.spec, **machine_kw)
+    out, res = run_expression(expr, blocks, machine, label="hyperquicksort")
+    merged = np.concatenate([np.asarray(b) for b in out])
+    assert np.array_equal(merged, np.sort(values)), "traced sort incorrect"
+    title = (f"traced hyperquicksort, d={d} (p={p}), {args.n} keys, "
+             f"{args.spec.name}")
+    eb = int(np.ceil(args.n / p)) * 4  # one block of int32 keys on the wire
+    return plan, res, title, eb
+
+
+def _run_gauss_jordan(args, machine_kw):
+    from repro.apps.linalg import gauss_jordan_expression
+    from repro.core import ColBlock, ParArray, gather, partition
+    from repro.machine import Machine
+    from repro.machine.topology import FullyConnected
+    from repro.scl.compile import run_expression
+
+    n, p = args.n, args.procs
+    rng = np.random.default_rng(args.seed)
+    A = rng.normal(size=(n, n)) + n * np.eye(n)
+    b = rng.normal(size=n)
+    aug = np.hstack([A, b.reshape(n, -1)])
+    pattern = ColBlock(p)
+    expr = gauss_jordan_expression(n, p, aug.shape)
+    plan = lower(expr, p)
+    machine = Machine(FullyConnected(p), spec=args.spec, **machine_kw)
+    out, res = run_expression(expr, partition(pattern, aug), machine,
+                              label="gauss-jordan")
+    solved = np.asarray(gather(ParArray(out.to_list(), dist=pattern)))
+    x = solved[:, n:].reshape(b.shape)
+    assert np.allclose(A @ x, b), "traced solve incorrect"
+    title = f"traced gauss-jordan, n={n}, p={p}, {args.spec.name}"
+    eb = n * int(np.ceil((n + 1) / p)) * 8  # one float64 column block
+    return plan, res, title, eb
+
+
+_APPS = {
+    "hyperquicksort": _run_hyperquicksort,
+    "gauss-jordan": _run_gauss_jordan,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="Run a compiled example app with span tracing on and "
+                    "print per-instruction predicted-vs-observed costs, "
+                    "rollups and the critical path.")
+    parser.add_argument("app", choices=sorted(_APPS))
+    parser.add_argument("-n", type=int, default=None,
+                        help="workload size (keys to sort / matrix order; "
+                             "defaults: 4096 keys, n=24 system)")
+    parser.add_argument("--dim", type=int, default=3,
+                        help="hypercube dimension for hyperquicksort (p=2^dim)")
+    parser.add_argument("--procs", type=int, default=6,
+                        help="processor count for gauss-jordan")
+    parser.add_argument("--seed", type=int, default=19950701)
+    parser.add_argument("--spec", choices=sorted(_SPECS), default="ap1000",
+                        help="machine cost model")
+    parser.add_argument("--fn-ops", type=float, default=50.0,
+                        help="assumed ops per opaque function application "
+                             "in the predicted column")
+    parser.add_argument("--sink", choices=sorted(_DEFAULT_OUT), default=None,
+                        help="also stream every event to an export artifact")
+    parser.add_argument("--out", default=None,
+                        help="artifact path (defaults: trace.jsonl / "
+                             "trace.json per --sink)")
+    parser.add_argument("--top", type=int, default=10,
+                        help="rows in the top-segments and idle tables")
+    parser.add_argument("--critical-path", action="store_true",
+                        help="print the full critical-path breakdown "
+                             "(the summary line is always printed)")
+    parser.add_argument("--limit", type=int, default=None,
+                        help="bound the in-memory trace to the last N events "
+                             "(ring buffer; analysis needing the full event "
+                             "graph is skipped when events were evicted)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    args.spec = _SPECS[args.spec]
+    if args.n is None:
+        args.n = 4096 if args.app == "hyperquicksort" else 24
+    if args.app == "hyperquicksort" and not (1 <= args.dim <= 10):
+        print("error: --dim must be between 1 and 10", file=sys.stderr)
+        return 2
+
+    sink = None
+    out_path = None
+    if args.sink is not None:
+        out_path = args.out or _DEFAULT_OUT[args.sink]
+        sink = (JsonlSink(out_path) if args.sink == "jsonl"
+                else ChromeTraceSink(out_path))
+    machine_kw = {"record_trace": True, "trace_sink": sink,
+                  "trace_limit": args.limit}
+
+    try:
+        plan, res, title, eb = _APPS[args.app](args, machine_kw)
+    finally:
+        if sink is not None:
+            sink.close()
+
+    trace = res.trace
+    print(title)
+    print("=" * len(title))
+    print()
+    print(report.skeleton_report(trace))
+    print(report.instruction_report(trace, plan, spec=args.spec,
+                                    fn_ops=args.fn_ops, element_bytes=eb,
+                                    makespan=res.makespan))
+    if trace.dropped:
+        print(f"[ring buffer kept the last {len(trace.events())} of "
+              f"{len(trace.events()) + trace.dropped} events; critical path "
+              "and idle analysis need the full graph — rerun without "
+              "--limit]")
+    else:
+        cp = analyze.critical_path(trace, spec=args.spec)
+        print(f"critical path: {len(cp.steps)} events, length "
+              f"{cp.length:.6e} s (makespan {res.makespan:.6e} s)")
+        print()
+        if args.critical_path:
+            print(report.critical_path_report(cp, top=args.top))
+        print(report.idle_report(trace, spec=args.spec, top=args.top))
+    if sink is not None:
+        print(f"wrote {sink.count} {args.sink} records to {out_path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -33,6 +33,12 @@ reports.  Three workload families are measured at several machine sizes:
     recursive tree-walking compiler this path replaced — so the lowering
     refactor's host cost stays visible.
 
+``trace_overhead``
+    The compiled sort three ways: tracing off, traced into memory, traced
+    through a streaming JSONL sink.  The off/traced ratios are the price
+    of observability — the "tracing disabled costs nothing" claim of
+    :mod:`repro.obs`, measured rather than asserted.
+
 ``run_suite`` executes all of them and ``write_bench_json`` persists the
 results to ``BENCH_simulator.json`` at the repository root, next to the
 frozen pre-rewrite ``SEED_BASELINE`` numbers, so every future PR can be
@@ -45,6 +51,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -64,6 +71,7 @@ __all__ = [
     "bench_compiled_hyperquicksort",
     "bench_hyperquicksort",
     "bench_ring_sweep",
+    "bench_trace_overhead",
     "bench_wildcard_funnel",
     "main",
     "render_report",
@@ -270,6 +278,58 @@ def bench_compiled_hyperquicksort(p: int, *, n: int = 100_000,
     return rec
 
 
+def bench_trace_overhead(p: int, *, n: int = 100_000, seed: int = 19950701,
+                         repeats: int = 3) -> dict[str, Any]:
+    """The compiled sort untraced vs memory-traced vs JSONL-streamed.
+
+    ``host_seconds`` is the untraced run (comparable with
+    ``compiled_hyperquicksort``); ``host_seconds_memory_trace`` /
+    ``host_seconds_jsonl_sink`` time the identical workload with span
+    tracing into memory and through a streaming
+    :class:`~repro.obs.sinks.JsonlSink` (to the null device, so the
+    figure is serialisation cost, not disk luck).  The ``overhead_*``
+    ratios are traced/untraced host time.
+    """
+    from repro.apps.sort import hyperquicksort_expression, seq_quicksort
+    from repro.core import parmap, partition
+    from repro.core.partition import Block
+    from repro.obs.sinks import JsonlSink
+    from repro.scl.compile import run_expression
+
+    d = int(p).bit_length() - 1
+    if 1 << d != p:
+        raise ValueError(f"hyperquicksort needs a power-of-two p, got {p}")
+    values = np.random.default_rng(seed).integers(0, 2**31, size=n).astype(np.int32)
+    expr = hyperquicksort_expression(d)
+    blocks = parmap(seq_quicksort, partition(Block(p), values))
+
+    def run_with(**machine_kw: Any) -> RunResult:
+        machine = Machine(Hypercube(d), spec=AP1000, **machine_kw)
+        _out, result = run_expression(expr, blocks, machine,
+                                      label="hyperquicksort")
+        return result
+
+    def run_jsonl() -> RunResult:
+        with open(os.devnull, "w", encoding="utf-8") as fh:
+            sink = JsonlSink(fh)
+            try:
+                return run_with(trace_sink=sink)
+            finally:
+                sink.close()
+
+    host_off, result = _timed(run_with, repeats=repeats)
+    host_mem, _ = _timed(lambda: run_with(record_trace=True), repeats=repeats)
+    host_jsonl, _ = _timed(run_jsonl, repeats=repeats)
+    return _record(
+        "trace_overhead", p, host_off, result, n=n,
+        host_seconds_memory_trace=round(host_mem, 6),
+        host_seconds_jsonl_sink=round(host_jsonl, 6),
+        overhead_memory_trace=(round(host_mem / host_off, 2)
+                               if host_off > 0 else 0.0),
+        overhead_jsonl_sink=(round(host_jsonl / host_off, 2)
+                             if host_off > 0 else 0.0))
+
+
 def run_suite(*, procs: tuple[int, ...] = DEFAULT_PROCS,
               quick: bool = False) -> dict[str, dict[str, Any]]:
     """Run every workload at every machine size; returns ``{key: record}``.
@@ -289,6 +349,8 @@ def run_suite(*, procs: tuple[int, ...] = DEFAULT_PROCS,
         out[f"hyperquicksort/p{p}"] = bench_hyperquicksort(
             p, n=20_000 if quick else 100_000)
         out[f"compiled_hyperquicksort/p{p}"] = bench_compiled_hyperquicksort(
+            p, n=20_000 if quick else 100_000)
+        out[f"trace_overhead/p{p}"] = bench_trace_overhead(
             p, n=20_000 if quick else 100_000)
     return out
 

@@ -41,26 +41,6 @@ __all__ = ["main"]
 _SPECS = {"ap1000": AP1000, "modern": MODERN_CLUSTER, "perfect": PERFECT}
 
 
-def _instr_title(instr: ir.Instr) -> str:
-    if isinstance(instr, ir.LocalApply):
-        return f"local {instr.label}"
-    if isinstance(instr, ir.Rotate):
-        return f"rotate k={instr.k}"
-    if isinstance(instr, ir.Exchange):
-        return f"exchange {instr.label}"
-    if isinstance(instr, ir.Collective):
-        return f"coll {instr.kind}"
-    if isinstance(instr, ir.GroupSplit):
-        return "group split"
-    if isinstance(instr, ir.GroupCombine):
-        return "group combine"
-    if isinstance(instr, ir.SubPlan):
-        return "subplan"
-    if isinstance(instr, ir.Loop):
-        return f"loop x{len(instr.bodies)}"
-    return type(instr).__name__
-
-
 def _cost_rows(plan: ir.Plan, spec, fn_ops: float, element_bytes: int | None):
     """Predicted cost per top-level instruction plus the predicted total."""
     rows = []
@@ -69,7 +49,7 @@ def _cost_rows(plan: ir.Plan, spec, fn_ops: float, element_bytes: int | None):
     for i, instr in enumerate(plan.instrs):
         one = plan_cost(ir.Plan((instr,), plan.nprocs, plan.grid, False),
                         spec=spec, fn_ops=fn_ops, element_bytes=element_bytes)
-        rows.append([f"[{i:>2}] {_instr_title(instr)}",
+        rows.append([f"[{i:>2}] {ir.instr_title(instr)}",
                      f"{one.seconds:.3e}", one.messages, one.barriers])
         if isinstance(instr, ir.Loop):
             for it, body in enumerate(instr.bodies):

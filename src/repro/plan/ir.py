@@ -40,7 +40,7 @@ __all__ = [
     "DEFAULT_FRAGMENT_OPS", "base_fragment", "fragment_ops",
     "Instr", "LocalApply", "Rotate", "Exchange", "Collective",
     "GroupSplit", "SubPlan", "GroupCombine", "Loop",
-    "Plan", "Scalar", "NO_ENV",
+    "Plan", "Scalar", "NO_ENV", "instr_title",
 ]
 
 #: Default operation count charged per opaque base-language application.
@@ -218,3 +218,26 @@ class Scalar:
     """Wrapper distinguishing a reduction result from an array component."""
 
     value: Any
+
+
+def instr_title(instr: Instr) -> str:
+    """Short human name of an instruction — the shared display/span label
+    used by the plan dumper, the span-tagged executors and the trace
+    reports (so an instruction is called the same thing everywhere)."""
+    if isinstance(instr, LocalApply):
+        return f"local {instr.label}"
+    if isinstance(instr, Rotate):
+        return f"rotate k={instr.k}"
+    if isinstance(instr, Exchange):
+        return f"exchange {instr.label}"
+    if isinstance(instr, Collective):
+        return f"coll {instr.kind}"
+    if isinstance(instr, GroupSplit):
+        return "group split"
+    if isinstance(instr, GroupCombine):
+        return "group combine"
+    if isinstance(instr, SubPlan):
+        return "subplan"
+    if isinstance(instr, Loop):
+        return f"loop x{len(instr.bodies)}"
+    return type(instr).__name__

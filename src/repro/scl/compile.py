@@ -68,6 +68,9 @@ class CompiledProgram:
     expr: N.Node
     machine: Machine
     fragment_default_ops: float = DEFAULT_FRAGMENT_OPS
+    #: Root span label on traced machines (the skeleton/program name the
+    #: observability layer attributes every event to).
+    label: str = "program"
 
     def run(self, pa: ParArray) -> tuple[Any, RunResult]:
         """Execute on the machine; returns (result, run statistics).
@@ -94,9 +97,11 @@ class CompiledProgram:
         plan = _plan_lower.lower(self.expr, self.machine.nprocs,
                      shape if len(shape) == 2 else None)
 
+        label = self.label
+
         def program(env):
             result = yield from execute_plan(plan, env, Comm.world(env),
-                                             values[env.pid], default)
+                                             values[env.pid], default, label)
             return result
 
         res = self.machine.run(program)
@@ -112,7 +117,7 @@ class CompiledProgram:
 
 def run_expression(expr: N.Node, pa: ParArray, machine: Machine, *,
                    fragment_default_ops: float = DEFAULT_FRAGMENT_OPS,
-                   ) -> tuple[Any, RunResult]:
+                   label: str = "program") -> tuple[Any, RunResult]:
     """Compile ``expr`` and run it on ``machine`` over ``pa`` (see
     :class:`CompiledProgram`)."""
-    return CompiledProgram(expr, machine, fragment_default_ops).run(pa)
+    return CompiledProgram(expr, machine, fragment_default_ops, label).run(pa)

@@ -9,6 +9,7 @@ from repro.machine import Machine, PERFECT, AP1000
 from repro.machine.metrics import (
     ScalingPoint,
     comm_fraction,
+    fault_counters,
     load_imbalance,
     per_proc_table,
     scaling_series,
@@ -31,9 +32,10 @@ class TestLoadImbalance:
         res = run_with_work([1.0, 1.0, 1.0, 5.0])
         assert load_imbalance(res) == pytest.approx(5.0 / 2.0)
 
-    def test_all_idle_is_one(self):
+    def test_all_idle_is_undefined(self):
         res = run_with_work([0.0, 0.0])
-        assert load_imbalance(res) == 1.0
+        with pytest.raises(MachineError, match="all-idle"):
+            load_imbalance(res)
 
 
 class TestCommFraction:
@@ -53,9 +55,10 @@ class TestCommFraction:
         res = Machine(2, spec=AP1000).run(prog)
         assert comm_fraction(res) > 0.5
 
-    def test_empty_run(self):
+    def test_zero_makespan_run_is_undefined(self):
         res = run_with_work([0.0])
-        assert comm_fraction(res) == 0.0
+        with pytest.raises(MachineError, match="undefined"):
+            comm_fraction(res)
 
 
 class TestPerProcTable:
@@ -68,6 +71,35 @@ class TestPerProcTable:
     def test_has_header(self):
         table = per_proc_table(run_with_work([0.1]))
         assert "compute" in table and "idle" in table
+
+
+class TestFaultCounters:
+    def test_fault_free_run_is_all_zero(self):
+        counters = fault_counters(run_with_work([1.0, 2.0]))
+        assert counters == {"retransmits": 0, "timeouts": 0,
+                            "dropped": 0, "crashed": 0}
+
+    def test_chaos_run_counts_drops_and_retransmits(self):
+        from repro.faults.models import FaultInjector, FaultSpec
+        from repro.machine import ReliableChannel
+
+        def prog(env):
+            chan = ReliableChannel(env)
+            if env.pid == 0:
+                for i in range(5):
+                    yield from chan.send(1, i, tag=1)
+                return None
+            got = []
+            for _ in range(5):
+                got.append((yield from chan.recv(0, tag=1)))
+            return got
+
+        faults = FaultInjector(FaultSpec(seed=3, drop_rate=0.3))
+        res = Machine(2, spec=AP1000, faults=faults).run(prog)
+        counters = fault_counters(res)
+        assert counters["dropped"] > 0
+        assert counters["retransmits"] > 0
+        assert counters["crashed"] == 0
 
 
 class TestScalingSeries:
@@ -97,3 +129,23 @@ class TestScalingSeries:
             scaling_series({1: -1.0})
         with pytest.raises(MachineError):
             scaling_series({})
+
+    def test_speedup_monotone_when_times_shrink(self):
+        # strictly improving runtimes -> strictly increasing speedup,
+        # sorted by processor count regardless of input order
+        pts = scaling_series({8: 2.0, 1: 10.0, 4: 3.5, 2: 6.0})
+        assert [p.procs for p in pts] == [1, 2, 4, 8]
+        speedups = [p.speedup for p in pts]
+        assert speedups == sorted(speedups)
+        assert all(b > a for a, b in zip(speedups, speedups[1:]))
+
+    def test_efficiency_never_exceeds_one_for_sublinear(self):
+        pts = scaling_series({1: 10.0, 2: 6.0, 4: 4.0, 8: 3.0})
+        assert all(0.0 < p.efficiency <= 1.0 for p in pts)
+        # sub-linear scaling: efficiency decays as p grows
+        effs = [p.efficiency for p in pts]
+        assert all(b < a for a, b in zip(effs, effs[1:]))
+
+    def test_single_point_baseline_is_itself(self):
+        (pt,) = scaling_series({1: 7.5})
+        assert pt == ScalingPoint(1, 7.5, 1.0, 1.0)

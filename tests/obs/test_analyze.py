@@ -1,0 +1,176 @@
+"""Critical path, rollups and idle attribution over traced runs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineError
+from repro.machine import AP1000, Hypercube, Machine
+from repro.machine.trace import Trace
+from repro.obs import analyze
+from repro.obs.report import (
+    critical_path_report,
+    idle_report,
+    instruction_report,
+    skeleton_report,
+)
+
+
+def traced_run(d=2, n=256):
+    from repro.apps.sort import hyperquicksort_expression, seq_quicksort
+    from repro.core import parmap, partition
+    from repro.core.partition import Block
+    from repro.plan.lower import lower
+    from repro.scl.compile import run_expression
+
+    p = 1 << d
+    expr = hyperquicksort_expression(d)
+    rng = np.random.default_rng(11)
+    values = rng.integers(0, 2**31, size=n).astype(np.int32)
+    blocks = parmap(seq_quicksort, partition(Block(p), values))
+    machine = Machine(Hypercube(d), spec=AP1000, record_trace=True)
+    _out, res = run_expression(expr, blocks, machine, label="hyperquicksort")
+    return res, lower(expr, p)
+
+
+class TestCriticalPath:
+    def test_length_equals_makespan(self):
+        res, _plan = traced_run()
+        cp = analyze.critical_path(res.trace, spec=AP1000)
+        assert cp.length == pytest.approx(res.makespan, rel=1e-12)
+
+    def test_categories_partition_the_length(self):
+        res, _plan = traced_run()
+        cp = analyze.critical_path(res.trace, spec=AP1000)
+        assert sum(cp.by_category().values()) == pytest.approx(cp.length)
+
+    def test_path_is_chronological_and_connected(self):
+        res, _plan = traced_run()
+        cp = analyze.critical_path(res.trace, spec=AP1000)
+        ends = [s.event.end for s in cp.steps]
+        assert ends == sorted(ends)
+        assert cp.steps[0].edge == "start"
+        assert all(s.edge in ("local", "network") for s in cp.steps[1:])
+        assert cp.steps[-1].event.end == pytest.approx(res.makespan)
+
+    def test_network_edge_hops_processors(self):
+        # two procs, receiver blocks on a late sender: the path must cross
+        machine = Machine(2, spec=AP1000, record_trace=True)
+
+        def prog(env):
+            if env.pid == 0:
+                yield env.work(ops=100_000)
+                yield env.send(1, "x", tag=1, nbytes=8)
+            else:
+                yield env.recv(0, tag=1)
+                yield env.work(ops=10)
+            return None
+
+        res = machine.run(prog)
+        cp = analyze.critical_path(res.trace, spec=AP1000)
+        assert cp.length == pytest.approx(res.makespan, rel=1e-12)
+        edges = [s.edge for s in cp.steps]
+        assert "network" in edges
+        pids = {s.event.pid for s in cp.steps}
+        assert pids == {0, 1}
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(MachineError):
+            analyze.critical_path(Trace(), spec=AP1000)
+
+    def test_ring_buffered_trace_rejected(self):
+        t = Trace(max_events=1)
+        t.record(0, "compute", 0.0, 1.0)
+        t.record(0, "compute", 1.0, 2.0)
+        with pytest.raises(MachineError, match="evicted"):
+            analyze.critical_path(t, spec=AP1000)
+
+
+class TestRollups:
+    def test_by_skeleton_buckets_all_events(self):
+        res, _plan = traced_run()
+        rolls = analyze.by_skeleton(res.trace)
+        assert set(rolls) == {"hyperquicksort"}
+        assert rolls["hyperquicksort"].events == len(res.trace)
+
+    def test_by_instruction_covers_plan(self):
+        res, plan = traced_run()
+        rolls = analyze.by_instruction(res.trace)
+        assert None not in rolls  # every event attributed
+        assert set(rolls) <= set(range(len(plan.instrs)))
+        assert sum(r.events for r in rolls.values()) == len(res.trace)
+
+    def test_rollup_counts_messages_and_bytes(self):
+        res, _plan = traced_run()
+        (roll,) = analyze.by_skeleton(res.trace).values()
+        assert roll.messages == res.total_messages
+        assert roll.bytes == res.trace.bytes_sent()
+        assert roll.elapsed == pytest.approx(res.makespan, rel=1e-9)
+
+    def test_by_iteration(self):
+        res, plan = traced_run(d=2)
+        loop_idx = 0  # the whole compiled sort is one top-level Loop
+        iters = analyze.by_iteration(res.trace, instr=loop_idx)
+        assert set(iters) <= {0, 1}
+        assert all(r.events > 0 for r in iters.values())
+
+    def test_untagged_events_grouped_separately(self):
+        t = Trace()
+        t.record(0, "compute", 0.0, 1.0)  # no span
+        rolls = analyze.by_skeleton(t)
+        assert set(rolls) == {analyze.UNTAGGED}
+        assert analyze.by_instruction(t)[None].events == 1
+
+
+class TestIdleAttribution:
+    def test_blames_the_late_sender(self):
+        machine = Machine(2, spec=AP1000, record_trace=True)
+
+        def prog(env):
+            if env.pid == 0:
+                yield env.work(ops=100_000)
+                yield env.send(1, "x", tag=1, nbytes=8)
+            else:
+                yield env.recv(0, tag=1)
+            return None
+
+        res = machine.run(prog)
+        idle = analyze.idle_attribution(res.trace, spec=AP1000)
+        assert (1, 0) in idle
+        assert idle[(1, 0)] > 0
+        assert (0, 1) not in idle  # the sender never waited
+
+    def test_no_idle_on_compute_only_run(self):
+        machine = Machine(2, spec=AP1000, record_trace=True)
+
+        def prog(env):
+            yield env.work(ops=100)
+            return None
+
+        res = machine.run(prog)
+        assert analyze.idle_attribution(res.trace, spec=AP1000) == {}
+
+
+class TestReports:
+    def test_instruction_report_has_predicted_and_observed(self):
+        res, plan = traced_run()
+        text = instruction_report(res.trace, plan, spec=AP1000,
+                                  element_bytes=256, makespan=res.makespan)
+        assert "predicted s" in text and "elapsed s" in text
+        assert "loop x2" in text
+        assert "iter 0" in text and "iter 1" in text
+        assert "whole run (makespan)" in text
+
+    def test_instruction_report_without_plan(self):
+        res, _plan = traced_run()
+        text = instruction_report(res.trace)
+        assert "observed costs" in text
+        assert "predicted" not in text.split("\n")[0]
+
+    def test_other_reports_render(self):
+        res, _plan = traced_run()
+        cp = analyze.critical_path(res.trace, spec=AP1000)
+        assert "telescope" in critical_path_report(cp)
+        assert "hyperquicksort" in skeleton_report(res.trace)
+        assert "waiting on whom" in idle_report(res.trace, spec=AP1000)

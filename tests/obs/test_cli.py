@@ -1,0 +1,86 @@
+"""``python -m repro trace`` end-to-end: report contents and artifacts."""
+
+from __future__ import annotations
+
+import json
+import re
+
+import pytest
+
+from repro.obs.cli import main
+from tests.obs.test_sinks import validate_chrome_trace
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    assert code == 0, out
+    return out
+
+
+class TestHyperquicksort:
+    def test_report_structure(self, capsys):
+        out = run_cli(capsys, "hyperquicksort", "-n", "512", "--dim", "2")
+        assert "traced hyperquicksort" in out
+        assert "per-instruction observed vs predicted" in out
+        assert "predicted s" in out and "elapsed s" in out
+        assert "iter 0" in out
+        assert "idle time: waiting on whom" in out
+
+    def test_critical_path_equals_makespan(self, capsys):
+        out = run_cli(capsys, "hyperquicksort", "-n", "512", "--dim", "2",
+                      "--critical-path")
+        m = re.search(r"length (\S+) s \(makespan (\S+) s\)", out)
+        assert m, out
+        assert float(m.group(1)) == pytest.approx(float(m.group(2)),
+                                                  rel=1e-12)
+        assert "critical path by category" in out
+        assert "critical-path segments" in out
+
+    def test_chrome_artifact_valid(self, capsys, tmp_path):
+        path = tmp_path / "hq.trace.json"
+        out = run_cli(capsys, "hyperquicksort", "-n", "512", "--dim", "2",
+                      "--sink", "chrome", "--out", str(path))
+        assert "wrote" in out and str(path) in out
+        recs = json.loads(path.read_text())
+        validate_chrome_trace(recs)
+        spans = [r["args"]["span"] for r in recs
+                 if r["ph"] == "X" and "span" in r.get("args", {})]
+        assert spans and all(s.startswith("hyperquicksort") for s in spans)
+
+    def test_jsonl_artifact(self, capsys, tmp_path):
+        path = tmp_path / "hq.jsonl"
+        run_cli(capsys, "hyperquicksort", "-n", "512", "--dim", "2",
+                "--sink", "jsonl", "--out", str(path))
+        recs = [json.loads(line) for line in path.read_text().splitlines()]
+        assert recs
+        assert all(rec["span"][0]["label"] == "hyperquicksort"
+                   for rec in recs)
+
+    def test_ring_buffer_limit_skips_graph_analysis(self, capsys):
+        out = run_cli(capsys, "hyperquicksort", "-n", "512", "--dim", "2",
+                      "--limit", "10")
+        assert "ring buffer kept the last 10" in out
+        assert "critical path by category" not in out
+
+    def test_bad_dim_rejected(self, capsys):
+        assert main(["hyperquicksort", "--dim", "0"]) == 2
+
+
+class TestGaussJordan:
+    def test_report_structure(self, capsys):
+        out = run_cli(capsys, "gauss-jordan", "-n", "8", "--procs", "4")
+        assert "traced gauss-jordan" in out
+        assert "per-instruction observed vs predicted" in out
+        assert "whole run (makespan)" in out
+
+
+class TestDispatch:
+    def test_top_level_cli_routes_trace(self, capsys):
+        from repro.cli import main as top_main
+
+        code = top_main(["trace", "hyperquicksort", "-n", "512",
+                         "--dim", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "traced hyperquicksort" in out

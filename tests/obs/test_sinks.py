@@ -1,0 +1,220 @@
+"""Streaming sinks: JSONL / Chrome exporters, ring buffer, frozen detail."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.machine import AP1000, Machine
+from repro.machine.trace import Span, Trace, TraceEvent, frozendetail
+from repro.obs.sinks import (
+    ChromeTraceSink,
+    JsonlSink,
+    MemorySink,
+    TraceSink,
+    event_to_dict,
+    span_to_list,
+)
+
+# ---------------------------------------------------------------------------
+# Minimal structural validator for the Chrome trace-event JSON Array Format
+# (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+# shared by these tests and the CI trace-smoke artifact check.
+# ---------------------------------------------------------------------------
+
+_COMMON_REQUIRED = {"name", "ph", "pid", "tid"}
+
+
+def validate_chrome_trace(records) -> None:
+    assert isinstance(records, list) and records, "expected a JSON array"
+    for rec in records:
+        missing = _COMMON_REQUIRED - set(rec)
+        assert not missing, f"record missing {missing}: {rec}"
+        ph = rec["ph"]
+        assert ph in {"X", "i", "M"}, f"unexpected phase {ph!r}"
+        if ph == "X":
+            assert isinstance(rec["ts"], (int, float)) and rec["ts"] >= 0
+            assert isinstance(rec["dur"], (int, float)) and rec["dur"] >= 0
+        elif ph == "i":
+            assert isinstance(rec["ts"], (int, float))
+            assert rec.get("s") in {"g", "p", "t"}
+        else:  # metadata
+            assert rec["name"] in {"process_name", "thread_name"}
+            assert "name" in rec.get("args", {})
+        if "args" in rec:
+            assert isinstance(rec["args"], dict)
+
+
+def sample_trace(sink=None, max_events=None):
+    t = Trace(sink=sink, max_events=max_events)
+    root = Span("prog")
+    loop = Span("loop", instr=0, parent=root)
+    t.record(0, "compute", 0.0, 1.0, span=loop)
+    t.record(0, "send", 1.0, 1.1, span=loop, dst=1, tag=3, nbytes=64)
+    t.record(1, "recv", 0.0, 1.5, span=loop, src=0, tag=3, nbytes=64)
+    t.record(1, "crash", 2.0, 2.0, span=root)
+    return t
+
+
+class TestFrozenDetail:
+    def test_detail_is_immutable(self):
+        e = TraceEvent(0, "send", 0.0, 1.0, {"dst": 1})
+        for mutate in (lambda: e.detail.__setitem__("x", 1),
+                       lambda: e.detail.pop("dst"),
+                       lambda: e.detail.clear(),
+                       lambda: e.detail.update({"x": 1}),
+                       lambda: e.detail.setdefault("x", 1)):
+            with pytest.raises(TypeError):
+                mutate()
+        assert e.detail["dst"] == 1
+
+    def test_detail_does_not_alias_caller_dict(self):
+        d = {"dst": 1}
+        e = TraceEvent(0, "send", 0.0, 1.0, d)
+        d["dst"] = 99
+        assert e.detail["dst"] == 1
+
+    def test_detail_is_hashable_and_reads_like_a_dict(self):
+        e = TraceEvent(0, "send", 0.0, 1.0, {"dst": 1, "tag": 2})
+        assert hash(e.detail) == hash(frozendetail({"tag": 2, "dst": 1}))
+        assert e.detail.get("missing") is None
+        assert dict(e.detail) == {"dst": 1, "tag": 2}
+
+
+class TestRingBuffer:
+    def test_keeps_last_n_and_counts_dropped(self):
+        t = Trace(max_events=2)
+        for i in range(5):
+            t.record(0, "compute", float(i), float(i) + 0.5)
+        assert len(t) == 2
+        assert t.dropped == 3
+        assert [e.start for e in t] == [3.0, 4.0]
+
+    def test_invalid_limit_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(max_events=0)
+
+    def test_unbounded_trace_never_drops(self):
+        t = sample_trace()
+        assert t.dropped == 0
+
+
+class TestSerialisers:
+    def test_span_to_list_root_first(self):
+        leaf = Span("iter 0", iteration=0,
+                    parent=Span("loop", instr=2, parent=Span("prog")))
+        assert span_to_list(leaf) == [
+            {"label": "prog"},
+            {"label": "loop", "instr": 2},
+            {"label": "iter 0", "iter": 0},
+        ]
+        assert span_to_list(None) is None
+
+    def test_event_to_dict_omits_empty_fields(self):
+        e = TraceEvent(3, "compute", 0.0, 1.0)
+        assert event_to_dict(e) == {"pid": 3, "kind": "compute",
+                                    "start": 0.0, "end": 1.0}
+
+
+class TestMemorySink:
+    def test_collects_in_record_order(self):
+        sink = MemorySink()
+        t = sample_trace(sink=sink)
+        assert sink.events == list(t)
+        sink.close()
+        assert sink.closed
+        assert isinstance(sink, TraceSink)
+
+
+class TestJsonlSink:
+    def test_roundtrip(self):
+        buf = io.StringIO()
+        sink = JsonlSink(buf)
+        sample_trace(sink=sink)
+        sink.close()
+        lines = buf.getvalue().splitlines()
+        assert len(lines) == 4 == sink.count
+        recs = [json.loads(line) for line in lines]
+        assert recs[0]["span"] == [{"label": "prog"},
+                                   {"label": "loop", "instr": 0}]
+        assert recs[1]["detail"] == {"dst": 1, "tag": 3, "nbytes": 64}
+
+    def test_path_target(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(str(path))
+        sample_trace(sink=sink)
+        sink.close()
+        assert len(path.read_text().splitlines()) == 4
+
+    def test_unserialisable_payload_falls_back_to_repr(self):
+        buf = io.StringIO()
+        sink = JsonlSink(buf)
+        sink.emit(TraceEvent(0, "send", 0.0, 1.0, {"payload": object()}))
+        sink.close()
+        rec = json.loads(buf.getvalue())
+        assert "object object" in rec["detail"]["payload"]
+
+
+class TestChromeTraceSink:
+    def test_valid_schema_and_content(self):
+        buf = io.StringIO()
+        sink = ChromeTraceSink(buf)
+        sample_trace(sink=sink)
+        sink.close()
+        recs = json.loads(buf.getvalue())
+        validate_chrome_trace(recs)
+        slices = [r for r in recs if r["ph"] == "X"]
+        assert len(slices) == 3
+        first = slices[0]
+        assert first["name"] == "loop"
+        assert first["cat"] == "compute"
+        assert first["tid"] == 0
+        assert first["ts"] == 0.0 and first["dur"] == pytest.approx(1e6)
+        assert first["args"]["span"] == "prog/loop"
+        # zero-length crash renders as an instant mark
+        instants = [r for r in recs if r["ph"] == "i"]
+        assert len(instants) == 1 and instants[0]["cat"] == "crash"
+        # metadata names the process and both threads
+        metas = [r for r in recs if r["ph"] == "M"]
+        assert {m["name"] for m in metas} == {"process_name", "thread_name"}
+        assert {m["tid"] for m in metas if m["name"] == "thread_name"} == {0, 1}
+
+    def test_close_is_idempotent(self):
+        buf = io.StringIO()
+        sink = ChromeTraceSink(buf)
+        sink.close()
+        sink.close()
+        validate_chrome_trace(json.loads(buf.getvalue()) or
+                              [{"name": "process_name", "ph": "M", "pid": 0,
+                                "tid": 0, "args": {"name": "x"}}])
+
+
+class TestMachineIntegration:
+    def test_machine_streams_to_sink_while_ring_bounded(self):
+        sink = MemorySink()
+        machine = Machine(2, spec=AP1000, trace_sink=sink, trace_limit=3)
+
+        def prog(env):
+            for i in range(5):
+                yield env.work(ops=10)
+            return None
+
+        res = machine.run(prog)
+        # sink saw every event; the in-memory trace kept only the last 3
+        assert len(sink.events) == 10
+        assert len(res.trace) == 3
+        assert res.trace.dropped == 7
+
+    def test_supplying_sink_implies_tracing(self):
+        sink = MemorySink()
+        machine = Machine(1, spec=AP1000, trace_sink=sink)
+        assert machine.record_trace
+
+        def prog(env):
+            yield env.work(ops=1)
+            return None
+
+        machine.run(prog)
+        assert sink.events

@@ -23,7 +23,8 @@ class TestRunSuite:
     def test_covers_all_workloads_and_sizes(self, quick_suite):
         expected = {f"{w}/p{p}"
                     for w in ("ring_sweep", "wildcard_funnel", "allreduce",
-                              "hyperquicksort", "compiled_hyperquicksort")
+                              "hyperquicksort", "compiled_hyperquicksort",
+                              "trace_overhead")
                     for p in perf.QUICK_PROCS}
         assert set(quick_suite) == expected
 
@@ -43,6 +44,21 @@ class TestRunSuite:
         # ring sweep: every proc sends and receives `rounds` messages
         rec = quick_suite["ring_sweep/p32"]
         assert rec["events"] == 2 * 32 * 30
+
+
+class TestTraceOverhead:
+    def test_reports_all_three_modes(self, quick_suite):
+        rec = quick_suite["trace_overhead/p32"]
+        assert rec["host_seconds"] > 0  # untraced
+        assert rec["host_seconds_memory_trace"] > 0
+        assert rec["host_seconds_jsonl_sink"] > 0
+        assert rec["overhead_memory_trace"] > 0
+        assert rec["overhead_jsonl_sink"] > 0
+
+    def test_untraced_makespan_matches_compiled_workload(self, quick_suite):
+        # identical workload and seed: the virtual run must be the same
+        assert (quick_suite["trace_overhead/p32"]["makespan"]
+                == quick_suite["compiled_hyperquicksort/p32"]["makespan"])
 
 
 class TestBenchJson:
