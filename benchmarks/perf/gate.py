@@ -1,0 +1,114 @@
+"""CI perf-regression gate: paired medians vs a frozen quick baseline.
+
+Reads two ``BENCH_simulator.json`` documents — the smoke artifact the CI
+job just produced (``--current``, run with ``--quick --repeat 3`` so every
+row is a paired median) and the frozen ``baseline_quick.json`` checked in
+next to this script — and fails when any tracked row regressed more than
+the threshold **after normalising for host speed**.
+
+CI machines differ run to run, so raw host-time ratios mix two signals:
+the code got slower, or the runner is slower.  The gate separates them
+with a robust normaliser: the per-row ratio ``current / baseline`` is
+divided by the *median* ratio across all shared rows (the host-speed
+estimate — a genuine regression in one or two rows barely moves the
+median of a dozen).  A row fails when its normalised ratio exceeds
+``--threshold`` (default 1.20, i.e. >20% slower than the fleet of rows
+says this host is).
+
+Rows whose ``events`` count differs between the two documents are skipped
+with a notice: the event count is engine-invariant for a fixed workload,
+so a mismatch means the workload itself changed and the frozen baseline
+is stale for that row (regenerate it with
+``python -m repro perf --quick --repeat 3 --output
+benchmarks/perf/baseline_quick.json``).
+
+Exit status: 0 clean, 1 regression, 2 usage/schema error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load_rows(path: str) -> dict[str, dict]:
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"error: cannot read {path}: {exc}")
+    rows = doc.get("current")
+    if not isinstance(rows, dict) or not rows:
+        raise SystemExit(f"error: {path} has no 'current' workload table")
+    return rows
+
+
+def gate(current: dict[str, dict], baseline: dict[str, dict],
+         threshold: float) -> int:
+    shared, skipped = [], []
+    for key in sorted(baseline):
+        cur, base = current.get(key), baseline[key]
+        if cur is None:
+            skipped.append((key, "missing from current run"))
+        elif cur.get("events") != base.get("events"):
+            skipped.append((key, f"workload changed (events "
+                                 f"{base.get('events')} -> {cur.get('events')}); "
+                                 "baseline stale"))
+        elif not base.get("host_seconds") or not cur.get("host_seconds"):
+            skipped.append((key, "no host timing"))
+        else:
+            shared.append((key, cur["host_seconds"] / base["host_seconds"]))
+    if len(shared) < 3:
+        print("error: fewer than 3 comparable rows; cannot estimate host "
+              "speed — regenerate the baseline", file=sys.stderr)
+        return 2
+
+    host_speed = statistics.median(r for _, r in shared)
+    failures = []
+    print(f"host-speed normaliser (median ratio over {len(shared)} rows): "
+          f"{host_speed:.3f}")
+    for key, ratio in shared:
+        norm = ratio / host_speed
+        verdict = "FAIL" if norm > threshold else "ok"
+        print(f"  {verdict:>4}  {key:<38} raw {ratio:5.2f}x  "
+              f"normalised {norm:5.2f}x")
+        if norm > threshold:
+            failures.append(key)
+    for key, why in skipped:
+        print(f"  skip  {key:<38} {why}")
+
+    if failures:
+        print(f"\nperf gate FAILED: {len(failures)} row(s) regressed more "
+              f"than {(threshold - 1):.0%} beyond host speed: "
+              + ", ".join(failures), file=sys.stderr)
+        return 1
+    print(f"\nperf gate passed: no row more than {(threshold - 1):.0%} "
+          "slower (host-normalised)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail CI when tracked perf rows regress beyond a "
+                    "host-normalised threshold.")
+    parser.add_argument("--current", required=True,
+                        help="BENCH_simulator.json from this CI run "
+                             "(produced with --quick --repeat 3)")
+    parser.add_argument("--baseline",
+                        default="benchmarks/perf/baseline_quick.json",
+                        help="frozen quick-mode baseline document")
+    parser.add_argument("--threshold", type=float, default=1.20,
+                        help="max normalised slowdown per row (default 1.20 "
+                             "= 20%% over the host-speed median)")
+    args = parser.parse_args(argv)
+    if args.threshold <= 1.0:
+        print("error: --threshold must be > 1.0", file=sys.stderr)
+        return 2
+    return gate(load_rows(args.current), load_rows(args.baseline),
+                args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -128,6 +128,7 @@ def gauss_jordan_expression(n: int, p: int, aug_shape: tuple[int, int]):
     processor), with base-fragment cost annotations for the machine's
     clock.
     """
+    from repro.plan.kernels import stack_uniform, vectorize_fragment
     from repro.scl import ApplyBrdcast, IterFor, Map, compose_nodes
     from repro.scl.compile import base_fragment
 
@@ -146,6 +147,28 @@ def gauss_jordan_expression(n: int, p: int, aug_shape: tuple[int, int]):
         def update(pv_blk):
             return _update(i, pv_blk[0], pv_blk[1])
 
+        def update_batched(vals):
+            # Every rank's value is ``(pivot, block)`` with the *same*
+            # broadcast pivot object; the swap/normalise/annihilate
+            # arithmetic is elementwise per block, so all p updates run
+            # as one broadcasted numpy pass over the stacked blocks.
+            first = vals[0][0]
+            if not all(v[0] is first for v in vals[1:]):
+                return [update(v) for v in vals]  # pragma: no cover
+            r, c = first
+            mult = c.copy()
+            mult[i] = 0.0
+
+            def xform(stacked):
+                B = np.array(stacked, dtype=float)
+                B[:, [i, r], :] = B[:, [r, i], :]
+                B[:, i, :] /= c[i]
+                B -= mult[None, :, None] * B[:, i, :][:, None, :]
+                return B
+
+            return stack_uniform([v[1] for v in vals], xform)
+
+        vectorize_fragment(update, update_batched)
         return compose_nodes(Map(update), ApplyBrdcast(partial_pivot, owner))
 
     return IterFor(n, body)
@@ -157,11 +180,13 @@ def gauss_jordan_compiled(
     p: int,
     *,
     spec: MachineSpec = AP1000,
+    opt="auto",
 ) -> tuple[np.ndarray, RunResult]:
     """Run the §3 expression through the SCL compiler on the simulator.
 
     The column-block partition and the final gather bracket the compiled
-    iteration, exactly as in :func:`gauss_jordan_solve`.
+    iteration, exactly as in :func:`gauss_jordan_solve`.  ``opt`` is the
+    plan-optimizer switch of :class:`repro.scl.compile.CompiledProgram`.
     """
     from repro.core import parmap, partition
     from repro.core import gather as cfg_gather
@@ -177,7 +202,7 @@ def gauss_jordan_compiled(
     blocks = partition(pattern, aug)
     machine = Machine(FullyConnected(p), spec=spec)
     expr = gauss_jordan_expression(n, p, aug.shape)
-    out, result = run_expression(expr, blocks, machine)
+    out, result = run_expression(expr, blocks, machine, opt=opt)
     solved = np.asarray(cfg_gather(ParArray(out.to_list(), dist=pattern)))
     return solved[:, A.shape[1]:].reshape(b.shape), result
 

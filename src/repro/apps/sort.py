@@ -544,13 +544,15 @@ def hyperquicksort_compiled(
     *,
     spec: MachineSpec = AP1000,
     params: SortCostParams = SortCostParams(),
+    opt="auto",
 ) -> tuple[np.ndarray, RunResult]:
     """Run the §5 expression through the SCL compiler on the simulator.
 
     Local pre-sorting and the final gather are outside the expression (as
     in the paper's program, where ``map SEQ_QUICKSORT . partition`` and
     ``gather`` bracket the ``iterfor``); the iterations themselves execute
-    as compiled skeleton code.
+    as compiled skeleton code.  ``opt`` is the plan-optimizer switch of
+    :class:`repro.scl.compile.CompiledProgram`.
     """
     from repro.scl.compile import run_expression
 
@@ -559,7 +561,7 @@ def hyperquicksort_compiled(
     machine = Machine(Hypercube(d), spec=spec)
     blocks = parmap(seq_quicksort, partition(Block(p), values))
     expr = hyperquicksort_expression(d)
-    out, result = run_expression(expr, blocks, machine)
+    out, result = run_expression(expr, blocks, machine, opt=opt)
     return np.concatenate([np.asarray(b) for b in out]), result
 
 

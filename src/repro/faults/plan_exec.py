@@ -104,6 +104,12 @@ def _is_pair_swap(instr: ir.Exchange, r: int) -> bool:
 
 def _step(instr, plan, env, comm, chan, local, default):
     if isinstance(instr, ir.LocalApply):
+        if isinstance(instr.fn, ir.FusedKernel):
+            idx = (divmod(comm.rank, plan.grid[1])
+                   if plan.grid is not None else comm.rank)
+            result, ops = ir.apply_fused(instr.fn, idx, local, default)
+            yield env.work(ops)
+            return result
         yield env.work(ir.fragment_ops(instr.fn, local, default))
         if instr.indexed:
             idx = (divmod(comm.rank, plan.grid[1])
@@ -174,6 +180,12 @@ def _step(instr, plan, env, comm, chan, local, default):
 
 
 def _collective(instr, env, comm, chan, local, default):
+    # ``instr.algo`` is deliberately ignored here: the resilient
+    # collectives of :mod:`repro.machine.collectives_ft` are crash-aware
+    # linear patterns with their own message schedules — an optimizer
+    # algo choice priced for the fault-free interpreter has no meaning on
+    # this channel.  Optimized plans still run correctly (fusion and
+    # coalescing apply unchanged); only the schedule hint is dropped.
     if instr.kind == "fold":
         acc = yield from ft_reduce(chan, comm, local, instr.op, root=0)
         acc = yield from ft_bcast(chan, comm, acc, root=0)
@@ -207,14 +219,21 @@ def run_expression_ft(expr, pa: ParArray, machine: Machine, *,
                       fragment_default_ops: float = ir.DEFAULT_FRAGMENT_OPS,
                       channel_timeout: float | None = None,
                       max_retries: int = 8,
-                      label: str = "program") -> tuple[Any, RunResult]:
+                      label: str = "program",
+                      opt: Any = "auto") -> tuple[Any, RunResult]:
     """Compile ``expr`` and run it fault-tolerantly on ``machine``.
 
     The plan-level counterpart of
-    :func:`repro.scl.compile.run_expression`: the same lowering and cache,
-    but execution over a :class:`ReliableChannel` per processor — use with
-    a machine constructed with a fault injector.
+    :func:`repro.scl.compile.run_expression`: the same lowering, cache
+    and plan optimizer (``opt`` as in
+    :class:`~repro.scl.compile.CompiledProgram` — fusion and coalescing
+    apply to the resilient run too; collective ``algo`` hints and the
+    scripted data plane do not, since traffic here is retransmitted and
+    timing-dependent), but execution over a :class:`ReliableChannel` per
+    processor — use with a machine constructed with a fault injector.
     """
+    from repro.scl.compile import resolve_opt
+
     if not isinstance(pa, ParArray) or pa.ndim not in (1, 2):
         raise SkeletonError("compiled programs take a 1-D or 2-D ParArray input")
     if pa.size != machine.nprocs:
@@ -223,7 +242,8 @@ def run_expression_ft(expr, pa: ParArray, machine: Machine, *,
             f"has {machine.nprocs} processors")
     values = pa.to_list()
     shape = pa.shape
-    plan = lower(expr, machine.nprocs, shape if len(shape) == 2 else None)
+    plan = lower(expr, machine.nprocs, shape if len(shape) == 2 else None,
+                 opt=resolve_opt(opt, machine))
 
     def program(env):
         chan = ReliableChannel(env, timeout=channel_timeout,

@@ -20,6 +20,7 @@ import dataclasses
 from typing import Any
 
 from repro.machine import collectives as C
+from repro.machine import collectives_ext as CX
 from repro.machine import tags
 from repro.machine.api import Comm
 from repro.machine.cost import estimate_nbytes
@@ -97,6 +98,14 @@ def _step_spanned(instr: ir.Instr, plan: ir.Plan, env: ProcEnv, comm: Comm,
 def _step(instr: ir.Instr, plan: ir.Plan, env: ProcEnv, comm: Comm,
           local: Any, default: float):
     if isinstance(instr, ir.LocalApply):
+        if isinstance(instr.fn, ir.FusedKernel):
+            # each constituent charges on its actual input, so the single
+            # Compute below equals the sum the unfused run would charge
+            idx = (divmod(comm.rank, plan.grid[1])
+                   if plan.grid is not None else comm.rank)
+            result, ops = ir.apply_fused(instr.fn, idx, local, default)
+            yield env.work(ops)
+            return result
         yield env.work(ir.fragment_ops(instr.fn, local, default))
         if instr.indexed:
             idx = (divmod(comm.rank, plan.grid[1])
@@ -164,21 +173,39 @@ def _step(instr: ir.Instr, plan: ir.Plan, env: ProcEnv, comm: Comm,
     raise AssertionError(f"unknown plan instruction {instr!r}")
 
 
+def _bcast_algo(algo: str, comm: Comm, value: Any, root: int = 0):
+    """The broadcast generator for a :class:`~repro.plan.ir.Collective`
+    ``algo`` — binomial tree by default, flat/chain when the optimizer's
+    collective selection rewrote the schedule."""
+    if algo == "flat":
+        return CX.flat_bcast(comm, value, root=root)
+    if algo == "ring":
+        return CX.chain_bcast(comm, value, root=root)
+    return C.bcast(comm, value, root=root)
+
+
 def _collective(instr: ir.Collective, env: ProcEnv, comm: Comm, local: Any,
                 default: float):
     # Reduction operators run synchronously inside the collectives'
     # generator frames, so their CPU cost cannot be yielded from here; the
     # message rounds carry the synchronisation cost (plan_cost prices the
     # combines analytically).
+    algo = instr.algo
     if instr.kind == "fold":
-        acc = yield from C.reduce(comm, local, instr.op)
-        acc = yield from C.bcast(comm, acc, root=0)
+        if algo == "flat":
+            acc = yield from CX.flat_reduce(comm, local, instr.op)
+            acc = yield from CX.flat_bcast(comm, acc, root=0)
+        else:
+            acc = yield from C.reduce(comm, local, instr.op)
+            acc = yield from C.bcast(comm, acc, root=0)
         return ir.Scalar(acc)
     if instr.kind == "scan":
+        if algo == "ring":
+            return (yield from CX.chain_scan(comm, local, instr.op))
         return (yield from C.scan(comm, local, instr.op))
     if instr.kind == "bcast":
-        value = yield from C.bcast(
-            comm, instr.value if comm.rank == 0 else None)
+        value = yield from _bcast_algo(
+            algo, comm, instr.value if comm.rank == 0 else None)
         return (value, local)
     if instr.kind == "apply_bcast":
         if comm.rank == instr.root:
@@ -186,6 +213,6 @@ def _collective(instr: ir.Collective, env: ProcEnv, comm: Comm, local: Any,
             piece = instr.op(local)
         else:
             piece = None
-        piece = yield from C.bcast(comm, piece, root=instr.root)
+        piece = yield from _bcast_algo(algo, comm, piece, root=instr.root)
         return (piece, local)
     raise AssertionError(f"unknown collective kind {instr.kind!r}")

@@ -26,12 +26,21 @@ reports.  Three workload families are measured at several machine sizes:
     at p processors — the headline workload the ROADMAP's perf trajectory
     is tracked against.
 
-``compiled_hyperquicksort``
+``compiled_hyperquicksort`` / ``compiled_hyperquicksort_noopt``
     The same sort through the SCL compiler: the §5 expression lowered once
-    to the Plan IR (cache hit on every repeat) and executed by the plan
-    interpreter.  Tracked against ``TREEWALK_BASELINE`` — the per-processor
-    recursive tree-walking compiler this path replaced — so the lowering
-    refactor's host cost stays visible.
+    to the Plan IR (cache hit on every repeat) and executed with the plan
+    optimizer on (the default) or forced off.  The opt row is tracked
+    against two frozen anchors: ``TREEWALK_BASELINE`` — the per-processor
+    recursive tree-walking compiler the Plan IR replaced — and
+    ``PLAN_INTERP_BASELINE`` — the PR-4 plan interpreter before the
+    optimizer and the vectorized data plane.  ``speedup_vs_noopt`` pairs
+    the two rows measured in the same process, so the figure is free of
+    host-speed drift.
+
+``compiled_gauss_jordan`` / ``compiled_gauss_jordan_noopt``
+    The §3 solver through the same compiler at one fixed small (n, p) —
+    the second optimized-vs-unoptimized tracked pair, exercising the
+    vectorized elementwise kernel rather than opaque fragments.
 
 ``trace_overhead``
     The compiled sort three ways: tracing off, traced into memory, traced
@@ -65,15 +74,19 @@ from repro.machine.simulator import RunResult
 from repro.machine.topology import FullyConnected, Hypercube, Ring
 
 __all__ = [
+    "PLAN_INTERP_BASELINE",
     "SEED_BASELINE",
     "TREEWALK_BASELINE",
+    "annotate_speedups",
     "bench_allreduce",
+    "bench_compiled_gauss_jordan",
     "bench_compiled_hyperquicksort",
     "bench_hyperquicksort",
     "bench_ring_sweep",
     "bench_trace_overhead",
     "bench_wildcard_funnel",
     "main",
+    "median_merge",
     "render_report",
     "run_suite",
     "write_bench_json",
@@ -122,6 +135,20 @@ TREEWALK_BASELINE: dict[str, dict[str, float]] = {
     "compiled_hyperquicksort/p64": {"host_seconds": 0.051609, "events": 1410, "events_per_sec": 27321},
     "compiled_hyperquicksort/p128": {"host_seconds": 0.070219, "events": 3330, "events_per_sec": 47423},
     "compiled_hyperquicksort/p256": {"host_seconds": 0.183219, "events": 7682, "events_per_sec": 41928},
+}
+
+#: Host-time results of the compiled hyperquicksort under the PR-4 *plan
+#: interpreter* — per-rank generator programs stepping the Plan IR one
+#: instruction at a time, before the optimizer passes and the scripted
+#: (vectorized) data plane of PR 5.  Frozen from the PR-4
+#: ``BENCH_simulator.json`` so ``speedup_vs_interp`` tracks what the
+#: optimizer+vexec stack buys over straight interpretation.  Same workload:
+#: 100,000 int32 keys, seed 19950701, best of 3.
+PLAN_INTERP_BASELINE: dict[str, dict[str, float]] = {
+    "compiled_hyperquicksort/p32": {"host_seconds": 0.008663, "events": 578, "events_per_sec": 66720},
+    "compiled_hyperquicksort/p64": {"host_seconds": 0.018008, "events": 1410, "events_per_sec": 78299},
+    "compiled_hyperquicksort/p128": {"host_seconds": 0.040285, "events": 3330, "events_per_sec": 82661},
+    "compiled_hyperquicksort/p256": {"host_seconds": 0.082541, "events": 7682, "events_per_sec": 93069},
 }
 
 
@@ -243,13 +270,17 @@ def bench_hyperquicksort(p: int, *, n: int = 100_000, seed: int = 19950701,
 
 def bench_compiled_hyperquicksort(p: int, *, n: int = 100_000,
                                   seed: int = 19950701,
-                                  repeats: int = 3) -> dict[str, Any]:
+                                  repeats: int = 3,
+                                  opt: str = "auto") -> dict[str, Any]:
     """The §5 expression through the SCL compiler (plan-cached repeats).
 
     The first run lowers the expression to a plan; later runs (including
     every ``repeats`` iteration here, since best-of timing is used) hit
-    the plan cache, so the figure tracks interpretation speed with
-    amortised lowering — the production profile of a compiled program.
+    the plan cache, so the figure tracks execution speed with amortised
+    lowering — the production profile of a compiled program.  ``opt``
+    is the plan-optimizer switch (``"auto"`` = passes + vectorized data
+    plane, ``"off"`` = the raw lowering through the plan interpreter);
+    the off variant is recorded as ``compiled_hyperquicksort_noopt``.
     """
     from repro.apps.sort import hyperquicksort_compiled
 
@@ -260,14 +291,16 @@ def bench_compiled_hyperquicksort(p: int, *, n: int = 100_000,
     expected = np.sort(values)
 
     def run() -> RunResult:
-        out, result = hyperquicksort_compiled(values, d)
+        out, result = hyperquicksort_compiled(values, d, opt=opt)
         if not np.array_equal(out, expected):
             raise AssertionError(f"compiled sort produced a wrong sort at p={p}")
         return result
 
     host, result = _timed(run, repeats=repeats)
-    rec = _record("compiled_hyperquicksort", p, host, result, n=n)
-    base = TREEWALK_BASELINE.get(f"compiled_hyperquicksort/p{p}")
+    name = ("compiled_hyperquicksort" if opt != "off"
+            else "compiled_hyperquicksort_noopt")
+    rec = _record(name, p, host, result, n=n)
+    base = TREEWALK_BASELINE.get(f"{name}/p{p}")
     # Only ratio against the frozen tree-walk numbers when this run is the
     # same workload they were measured on.  The event count alone can't
     # tell: the compiled program exchanges one message per rank per step
@@ -276,6 +309,35 @@ def bench_compiled_hyperquicksort(p: int, *, n: int = 100_000,
     if base and host > 0 and n == 100_000 and rec["events"] == base["events"]:
         rec["speedup_vs_treewalk"] = round(base["host_seconds"] / host, 2)
     return rec
+
+
+def bench_compiled_gauss_jordan(p: int, *, n: int = 48, seed: int = 19950701,
+                                repeats: int = 3,
+                                opt: str = "auto") -> dict[str, Any]:
+    """The §3 solver through the SCL compiler at one small (n, p).
+
+    The gauss-jordan elimination fragment has a registered batched kernel
+    (:func:`repro.plan.kernels.vectorize_fragment`), so the opt variant
+    exercises the SoA data plane on a real numerical workload; ``opt="off"``
+    times the same plan through the per-rank interpreter
+    (``compiled_gauss_jordan_noopt``).
+    """
+    from repro.apps.linalg import gauss_jordan_compiled
+
+    rng = np.random.default_rng(seed)
+    A = rng.normal(size=(n, n)) + n * np.eye(n)
+    b = rng.normal(size=n)
+
+    def run() -> RunResult:
+        x, result = gauss_jordan_compiled(A, b, p, opt=opt)
+        if not np.allclose(A @ x, b):
+            raise AssertionError(f"compiled solve incorrect at n={n}, p={p}")
+        return result
+
+    host, result = _timed(run, repeats=repeats)
+    name = ("compiled_gauss_jordan" if opt != "off"
+            else "compiled_gauss_jordan_noopt")
+    return _record(name, p, host, result, n=n)
 
 
 def bench_trace_overhead(p: int, *, n: int = 100_000, seed: int = 19950701,
@@ -330,29 +392,100 @@ def bench_trace_overhead(p: int, *, n: int = 100_000, seed: int = 19950701,
                              if host_off > 0 else 0.0))
 
 
-def run_suite(*, procs: tuple[int, ...] = DEFAULT_PROCS,
-              quick: bool = False) -> dict[str, dict[str, Any]]:
+#: Fixed machine size of the gauss-jordan tracked pair (one row, not a
+#: per-p sweep: the pair tracks the data plane, not scaling).
+GAUSS_PROCS = 8
+
+
+def run_suite(*, procs: tuple[int, ...] = DEFAULT_PROCS, quick: bool = False,
+              only: str | None = None) -> dict[str, dict[str, Any]]:
     """Run every workload at every machine size; returns ``{key: record}``.
 
     Keys look like ``"hyperquicksort/p128"``.  ``quick=True`` shrinks both
     the size list and the per-workload iteration counts for CI smoke runs.
+    ``only`` keeps just the workloads whose key contains the substring
+    (the ``--filter`` flag), e.g. ``only="compiled"`` for the optimizer
+    pairs alone.
     """
     if quick:
         procs = QUICK_PROCS
     out: dict[str, dict[str, Any]] = {}
+
+    def run(key: str, thunk: Callable[[], dict[str, Any]]) -> None:
+        if only is None or only in key:
+            out[key] = thunk()
+
     for p in procs:
-        out[f"ring_sweep/p{p}"] = bench_ring_sweep(
-            p, rounds=30 if quick else 150)
-        out[f"wildcard_funnel/p{p}"] = bench_wildcard_funnel(
-            p, per_src=10 if quick else 40)
-        out[f"allreduce/p{p}"] = bench_allreduce(p, reps=5 if quick else 25)
-        out[f"hyperquicksort/p{p}"] = bench_hyperquicksort(
-            p, n=20_000 if quick else 100_000)
-        out[f"compiled_hyperquicksort/p{p}"] = bench_compiled_hyperquicksort(
-            p, n=20_000 if quick else 100_000)
-        out[f"trace_overhead/p{p}"] = bench_trace_overhead(
-            p, n=20_000 if quick else 100_000)
+        run(f"ring_sweep/p{p}",
+            lambda p=p: bench_ring_sweep(p, rounds=30 if quick else 150))
+        run(f"wildcard_funnel/p{p}",
+            lambda p=p: bench_wildcard_funnel(p, per_src=10 if quick else 40))
+        run(f"allreduce/p{p}",
+            lambda p=p: bench_allreduce(p, reps=5 if quick else 25))
+        run(f"hyperquicksort/p{p}",
+            lambda p=p: bench_hyperquicksort(p, n=20_000 if quick else 100_000))
+        run(f"compiled_hyperquicksort/p{p}",
+            lambda p=p: bench_compiled_hyperquicksort(
+                p, n=20_000 if quick else 100_000))
+        run(f"compiled_hyperquicksort_noopt/p{p}",
+            lambda p=p: bench_compiled_hyperquicksort(
+                p, n=20_000 if quick else 100_000, opt="off"))
+        run(f"trace_overhead/p{p}",
+            lambda p=p: bench_trace_overhead(p, n=20_000 if quick else 100_000))
+    gp = GAUSS_PROCS
+    gn = 24 if quick else 48
+    run(f"compiled_gauss_jordan/p{gp}",
+        lambda: bench_compiled_gauss_jordan(gp, n=gn))
+    run(f"compiled_gauss_jordan_noopt/p{gp}",
+        lambda: bench_compiled_gauss_jordan(gp, n=gn, opt="off"))
+    annotate_speedups(out)
     return out
+
+
+def annotate_speedups(current: dict[str, dict[str, Any]]) -> None:
+    """(Re)compute the derived speedup columns of the optimizer pairs.
+
+    ``speedup_vs_noopt`` pairs each optimized compiled row with its
+    ``_noopt`` twin from the same suite — both measured in this process,
+    so the ratio cancels host speed.  ``speedup_vs_interp`` ratios the
+    full-size compiled_hyperquicksort rows against the frozen PR-4 plan
+    interpreter (``PLAN_INTERP_BASELINE``).  Idempotent: safe to call
+    again after :func:`median_merge` recombines repeats.
+    """
+    for key, rec in current.items():
+        workload, _, psuffix = key.partition("/")
+        if workload not in ("compiled_hyperquicksort", "compiled_gauss_jordan"):
+            continue
+        twin = current.get(f"{workload}_noopt/{psuffix}")
+        if twin and rec.get("host_seconds"):
+            rec["speedup_vs_noopt"] = round(
+                twin["host_seconds"] / rec["host_seconds"], 2)
+        base = PLAN_INTERP_BASELINE.get(key)
+        if (base and rec.get("host_seconds") and rec.get("n") == 100_000
+                and rec["events"] == base["events"]):
+            rec["speedup_vs_interp"] = round(
+                base["host_seconds"] / rec["host_seconds"], 2)
+
+
+def median_merge(runs: list[dict[str, dict[str, Any]]]
+                 ) -> dict[str, dict[str, Any]]:
+    """Combine repeated suite runs into one: per key, the median-host run.
+
+    Picks, for every workload key, the whole record whose ``host_seconds``
+    is the (lower) median across the repeats — keeping each record's
+    fields mutually consistent — then recomputes the paired speedup
+    columns across the merged set.
+    """
+    import statistics
+
+    merged: dict[str, dict[str, Any]] = {}
+    for key in runs[0]:
+        recs = [r[key] for r in runs if key in r]
+        med = statistics.median_low([rec["host_seconds"] for rec in recs])
+        merged[key] = dict(next(rec for rec in recs
+                                if rec["host_seconds"] == med))
+    annotate_speedups(merged)
+    return merged
 
 
 def _speedups(current: dict[str, dict[str, Any]]) -> dict[str, float]:
@@ -404,20 +537,24 @@ def render_report(doc: dict[str, Any]) -> str:
         base = doc["baseline"]["workloads"].get(key) or treewalk.get(key, {})
         speedup = (doc["speedup_vs_seed"].get(key)
                    or rec.get("speedup_vs_treewalk"))
+        vs_noopt = rec.get("speedup_vs_noopt")
         rows.append([
             key,
             f"{rec['host_seconds']:.3f}",
             f"{rec['events_per_sec']:,}",
             f"{base['host_seconds']:.3f}" if base else "-",
             f"{speedup:.2f}x" if speedup else "-",
+            f"{vs_noopt:.2f}x" if vs_noopt else "-",
         ])
     return render_table(
         "Simulator performance (host time; baseline = seed implementation, "
         "or the tree-walk compiler for compiled workloads)",
-        ["workload", "host (s)", "events/sec", "base host (s)", "speedup"],
+        ["workload", "host (s)", "events/sec", "base host (s)", "speedup",
+         "vs noopt"],
         rows,
         notes="Virtual-time results are engine-invariant; see tests/machine/"
-              "test_equivalence.py.")
+              "test_equivalence.py.  'vs noopt' pairs an optimized compiled "
+              "row with its passes-off twin from the same run.")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -430,11 +567,27 @@ def main(argv: list[str] | None = None) -> int:
                         help="reduced sizes for CI smoke runs")
     parser.add_argument("--output", default="BENCH_simulator.json",
                         help="where to write the JSON report")
+    parser.add_argument("--filter", default=None, metavar="SUBSTR",
+                        help="only run workloads whose key contains SUBSTR "
+                             "(e.g. 'compiled' for the optimizer pairs)")
+    parser.add_argument("--repeat", type=int, default=1, metavar="N",
+                        help="run the whole suite N times and report "
+                             "per-workload paired medians (noise control "
+                             "for the CI perf gate)")
     parser.add_argument("--emit-baseline", action="store_true",
                         help="print the suite results as a SEED_BASELINE "
                              "python literal (maintenance tool)")
     args = parser.parse_args(argv)
-    current = run_suite(quick=args.quick)
+    if args.repeat < 1:
+        print("error: --repeat must be >= 1", file=sys.stderr)
+        return 2
+    runs = [run_suite(quick=args.quick, only=args.filter)
+            for _ in range(args.repeat)]
+    if not runs[0]:
+        print(f"error: --filter {args.filter!r} matches no workload",
+              file=sys.stderr)
+        return 2
+    current = runs[0] if args.repeat == 1 else median_merge(runs)
     if args.emit_baseline:
         slim = {k: {"host_seconds": v["host_seconds"],
                     "events": v["events"],

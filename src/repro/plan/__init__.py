@@ -6,9 +6,13 @@ and then hand-compile (§5).  This package mechanises the hand-off: an
 expression is *lowered once* into a flat, typed SPMD instruction
 sequence (:mod:`repro.plan.ir`), and that one representation is then
 executed (:mod:`repro.machine.plan_exec`), executed fault-tolerantly
-(:mod:`repro.faults.plan_exec`), priced (:mod:`repro.plan.cost`) and
-pretty-printed (:mod:`repro.scl.plan_pretty`).  ``python -m repro plan``
-dumps lowered programs with predicted-vs-simulated cost columns.
+(:mod:`repro.faults.plan_exec`), priced (:mod:`repro.plan.cost`),
+optimized (:mod:`repro.plan.opt` — §4's transformation rules applied
+post-lowering, with the SoA data plane of :mod:`repro.plan.vexec` and
+the kernel registry of :mod:`repro.plan.kernels`) and pretty-printed
+(:mod:`repro.scl.plan_pretty`).  ``python -m repro plan`` dumps lowered
+programs with predicted-vs-simulated cost columns and ``--no-opt`` /
+``--diff`` views of what the optimizer did.
 """
 
 from repro.plan.cost import ExprCost, plan_cost
@@ -16,6 +20,7 @@ from repro.plan.ir import (
     DEFAULT_FRAGMENT_OPS,
     Collective,
     Exchange,
+    FusedKernel,
     GroupCombine,
     GroupSplit,
     Instr,
@@ -25,15 +30,26 @@ from repro.plan.ir import (
     Rotate,
     Scalar,
     SubPlan,
+    apply_fused,
     base_fragment,
     fragment_ops,
 )
 from repro.plan.lower import clear_plan_cache, lower, plan_cache_stats
+from repro.plan.opt import (
+    OptConfig,
+    PassNote,
+    optimize_plan,
+    optimize_plan_report,
+    topology_signature,
+)
 
 __all__ = [
     "Plan", "Instr", "LocalApply", "Rotate", "Exchange", "Collective",
     "GroupSplit", "SubPlan", "GroupCombine", "Loop", "Scalar",
+    "FusedKernel", "apply_fused",
     "base_fragment", "fragment_ops", "DEFAULT_FRAGMENT_OPS",
     "lower", "clear_plan_cache", "plan_cache_stats",
     "plan_cost", "ExprCost",
+    "OptConfig", "PassNote", "optimize_plan", "optimize_plan_report",
+    "topology_signature",
 ]

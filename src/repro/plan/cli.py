@@ -15,12 +15,20 @@ Because prediction and simulation consume the identical program, the two
 columns are directly comparable — the gap *is* the model error, not a
 compilation difference.
 
+Since PR 5 the dump reflects the plan *optimizer* (:mod:`repro.plan.opt`):
+the listing, prediction and simulation all use the same optimization
+setting, so the three stay comparable.  ``--no-opt`` shows the raw
+lowering; ``--diff`` prints the unoptimised listing, the pass notes
+(which rule fired where), and the optimised listing side by side.
+
 ::
 
     python -m repro plan hyperquicksort            # d=3 rounds, 4096 keys
     python -m repro plan hyperquicksort --dim 5
     python -m repro plan gauss-jordan -n 24 --procs 6
     python -m repro plan hyperquicksort --tables   # full send/recv tables
+    python -m repro plan hyperquicksort --diff     # before/after the passes
+    python -m repro plan hyperquicksort --no-opt   # raw lowering only
 """
 
 from __future__ import annotations
@@ -33,7 +41,8 @@ import numpy as np
 from repro.machine import AP1000, MODERN_CLUSTER, PERFECT
 from repro.plan import ir
 from repro.plan.cost import plan_cost
-from repro.plan.lower import lower
+from repro.plan.lower import lower, plan_cache_stats
+from repro.plan.opt import OptConfig, optimize_plan_report
 from repro.util.tables import render_table
 
 __all__ = ["main"]
@@ -74,17 +83,19 @@ def _run_hyperquicksort(args):
     d = args.dim
     p = 1 << d
     expr = hyperquicksort_expression(d)
-    plan = lower(expr, p)
+    plan = lower(expr, p, opt=args.opt_cfg)
     rng = np.random.default_rng(args.seed)
     values = rng.integers(0, 2**31, size=args.n).astype(np.int32)
     blocks = parmap(seq_quicksort, partition(Block(p), values))
-    out, res = run_expression(expr, blocks, Machine(Hypercube(d), spec=args.spec))
+    out, res = run_expression(expr, blocks,
+                              Machine(Hypercube(d), spec=args.spec),
+                              opt=args.opt_cfg)
     merged = np.concatenate([np.asarray(b) for b in out])
     assert np.array_equal(merged, np.sort(values)), "compiled sort incorrect"
     title = (f"hyperquicksort expression, d={d} (p={p}), "
              f"{args.n} keys, {args.spec.name}")
     eb = int(np.ceil(args.n / p)) * 4  # one block of int32 keys on the wire
-    return plan, res, title, eb
+    return expr, plan, res, title, eb
 
 
 def _run_gauss_jordan(args):
@@ -94,15 +105,16 @@ def _run_gauss_jordan(args):
     rng = np.random.default_rng(args.seed)
     A = rng.normal(size=(n, n)) + n * np.eye(n)
     b = rng.normal(size=n)
-    x, res = gauss_jordan_compiled(A, b, p, spec=args.spec)
+    x, res = gauss_jordan_compiled(A, b, p, spec=args.spec, opt=args.opt_cfg)
     assert np.allclose(A @ x, b), "compiled solve incorrect"
     from repro.apps.linalg import gauss_jordan_expression
 
     aug_shape = (n, n + 1)
-    plan = lower(gauss_jordan_expression(n, p, aug_shape), p)
+    expr = gauss_jordan_expression(n, p, aug_shape)
+    plan = lower(expr, p, opt=args.opt_cfg)
     title = f"gauss-jordan expression, n={n}, p={p}, {args.spec.name}"
     eb = n * int(np.ceil((n + 1) / p)) * 8  # one float64 column block
-    return plan, res, title, eb
+    return expr, plan, res, title, eb
 
 
 _APPS = {
@@ -132,6 +144,15 @@ def build_parser() -> argparse.ArgumentParser:
                              "in the predicted column")
     parser.add_argument("--tables", action="store_true",
                         help="print full per-rank send/recv tables")
+    opt_group = parser.add_mutually_exclusive_group()
+    opt_group.add_argument("--opt", dest="opt", action="store_true",
+                           default=True,
+                           help="run the plan optimizer passes (default)")
+    opt_group.add_argument("--no-opt", dest="opt", action="store_false",
+                           help="dump the raw lowering, passes disabled")
+    parser.add_argument("--diff", action="store_true",
+                        help="print the unoptimised listing, the pass notes, "
+                             "and the optimised listing")
     return parser
 
 
@@ -144,24 +165,47 @@ def main(argv: list[str] | None = None) -> int:
     if args.app == "hyperquicksort" and not (1 <= args.dim <= 10):
         print("error: --dim must be between 1 and 10", file=sys.stderr)
         return 2
+    args.opt_cfg = OptConfig(spec=args.spec) if args.opt else None
 
     from repro.scl.plan_pretty import pretty_plan
 
-    plan, res, title, eb = _APPS[args.app](args)
-    print(title)
+    expr, plan, res, title, eb = _APPS[args.app](args)
+    print(title + ("" if args.opt else "  [passes disabled]"))
     print("=" * len(title))
     print()
-    print(pretty_plan(plan, tables=args.tables))
+    if args.diff:
+        raw = lower(expr, plan.nprocs, plan.grid)
+        opt_plan, notes = optimize_plan_report(
+            raw, args.opt_cfg or OptConfig(spec=args.spec))
+        print("--- unoptimised plan " + "-" * 30)
+        print(pretty_plan(raw, tables=args.tables))
+        print()
+        print("--- optimizer passes " + "-" * 30)
+        if notes:
+            for note in notes:
+                print(f"[{note.pass_name}] {note.detail}")
+        else:
+            print("(no pass fired)")
+        print()
+        print("--- optimised plan " + "-" * 32)
+        print(pretty_plan(opt_plan, tables=args.tables))
+    else:
+        print(pretty_plan(plan, tables=args.tables))
     print()
     rows, _total = _cost_rows(plan, args.spec, args.fn_ops, eb)
     rows.append(["simulated run", f"{res.makespan:.3e}",
                  res.total_messages, "-"])
     print(render_table(
-        "predicted (plan cost model) vs simulated (machine run)",
+        "predicted (plan cost model) vs simulated (machine run)"
+        + ("" if args.opt else " — passes disabled"),
         ["instruction", "seconds", "messages", "barriers"], rows,
         notes="Predicted rows price the plan structurally "
               f"(fn_ops={args.fn_ops:g}, element_bytes={eb}); the simulated "
               "row is the same plan executed on real data."))
+    stats = plan_cache_stats()
+    print(f"plan cache: size={stats['size']} hits={stats['hits']} "
+          f"misses={stats['misses']} uncachable={stats['uncachable']} "
+          f"optimized={stats['optimized']}")
     return 0
 
 

@@ -41,6 +41,7 @@ __all__ = [
     "Instr", "LocalApply", "Rotate", "Exchange", "Collective",
     "GroupSplit", "SubPlan", "GroupCombine", "Loop",
     "Plan", "Scalar", "NO_ENV", "instr_title",
+    "FusedKernel", "apply_fused",
 ]
 
 #: Default operation count charged per opaque base-language application.
@@ -96,12 +97,68 @@ class LocalApply(Instr):
     ``indexed=True`` applies ``fn(index, local)`` where ``index`` is the
     rank (or the ``(row, col)`` grid coordinate); a non-``NO_ENV``
     ``farm_env`` applies ``fn(farm_env, local)``.
+
+    ``fn`` may also be a :class:`FusedKernel` — the optimizer's merged
+    form of a run of adjacent ``LocalApply`` s (§4 map fusion); executors
+    handle it through :func:`apply_fused`.
     """
 
     fn: Callable[..., Any]
     indexed: bool = False
     farm_env: Any = NO_ENV
     label: str = "map"
+
+
+class FusedKernel:
+    """A run of adjacent :class:`LocalApply` s merged into one instruction.
+
+    ``applies`` holds the original instructions in execution order — each
+    keeps its own calling convention (plain / indexed / farm) and its own
+    cost tag, so provenance and charging are exact.  ``parts`` is the flat
+    tuple of constituent fragment callables (``Composed`` fragments are
+    expanded), which is what :func:`repro.plan.cost.plan_cost` counts to
+    price one pass per constituent — the fused instruction predicts and
+    simulates the same compute cost as the run it replaced, minus the
+    per-instruction dispatch.
+    """
+
+    __slots__ = ("applies", "parts")
+
+    def __init__(self, applies: tuple["LocalApply", ...]):
+        self.applies = tuple(applies)
+        flat: list = []
+        for a in self.applies:
+            sub = getattr(a.fn, "parts", None)
+            flat.extend(sub if sub is not None else (a.fn,))
+        self.parts = tuple(flat)
+
+    @property
+    def __name__(self) -> str:
+        return "(" + " ; ".join(
+            getattr(a.fn, "__name__", "<fn>") for a in self.applies) + ")"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FusedKernel({'+'.join(a.label for a in self.applies)})"
+
+
+def apply_fused(fk: FusedKernel, idx: Any, local: Any,
+                default: float = DEFAULT_FRAGMENT_OPS) -> tuple[Any, float]:
+    """Run every constituent of a fused kernel; returns ``(result, ops)``.
+
+    Each part charges :func:`fragment_ops` on its *actual* input (the
+    previous part's output), so the summed charge equals what the unfused
+    instruction run would have charged step by step.
+    """
+    total = 0.0
+    for a in fk.applies:
+        total += fragment_ops(a.fn, local, default)
+        if a.indexed:
+            local = a.fn(idx, local)
+        elif a.farm_env is not NO_ENV:
+            local = a.fn(a.farm_env, local)
+        else:
+            local = a.fn(local)
+    return local, total
 
 
 @dataclasses.dataclass(frozen=True)
@@ -147,6 +204,13 @@ class Collective(Instr):
     (broadcast the constant ``value``, result ``(value, local)``) or
     ``"apply_bcast"`` (root applies ``op`` to its local value and
     broadcasts, result ``(piece, local)``).
+
+    ``algo`` names the message schedule: ``"tree"`` (the binomial /
+    doubling defaults of :mod:`repro.machine.collectives`), ``"flat"``
+    (direct root↔member messages) or ``"ring"`` (a rank-order chain).
+    Lowering always emits ``"tree"``; the plan optimizer's collective
+    selection swaps it when the cost model predicts a strictly cheaper
+    schedule on the target machine.
     """
 
     kind: str
@@ -154,6 +218,7 @@ class Collective(Instr):
     value: Any = None
     root: int = 0
     label: str = "collective"
+    algo: str = "tree"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -231,6 +296,8 @@ def instr_title(instr: Instr) -> str:
     if isinstance(instr, Exchange):
         return f"exchange {instr.label}"
     if isinstance(instr, Collective):
+        if instr.algo != "tree":
+            return f"coll {instr.kind}/{instr.algo}"
         return f"coll {instr.kind}"
     if isinstance(instr, GroupSplit):
         return "group split"

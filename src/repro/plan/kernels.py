@@ -1,0 +1,118 @@
+"""SoA kernel registry: one numpy op across all p virtual processors.
+
+The plan interpreter applies a :class:`~repro.plan.ir.LocalApply` as p
+separate Python calls — one per virtual processor.  For *known*
+elementwise/reduction kernels that is pure dispatch overhead: the same
+fragment applied to every rank's value is one vectorised numpy operation
+over the ranks' values stacked structure-of-arrays style.  This module is
+the registry that makes a fragment "known":
+
+* :func:`vectorize_fragment` attaches a batched implementation to a
+  fragment (``batched(values) -> values``, one call for all ranks).  The
+  attribute travels with the callable, so registration survives lowering,
+  fusion and caching.
+* :func:`batched_apply` is what the data plane
+  (:mod:`repro.plan.vexec`) calls: the batched implementation when one is
+  registered, a transparent per-rank fallback for opaque fragments.
+* :func:`elementwise` builds a registered elementwise fragment from a
+  numpy ufunc-like callable in one line (with its :func:`base_fragment`
+  cost tag), and :func:`stack_uniform` is the SoA helper batched
+  implementations share — it groups per-rank values by shape/dtype so
+  ragged distributions (e.g. column blocks differing by one column) still
+  vectorise within each uniform group.
+
+Virtual cost and results are unchanged by construction: the batched
+implementation must compute the same elementwise arithmetic, and the
+executor still charges each rank's :func:`~repro.plan.ir.fragment_ops`
+on its own value.  Only host time changes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.plan.ir import base_fragment
+
+__all__ = ["vectorize_fragment", "batched_apply", "has_batched",
+           "elementwise", "stack_uniform"]
+
+#: Attribute carrying the batched implementation on a fragment callable.
+_ATTR = "scl_batched"
+
+
+def vectorize_fragment(fn: Callable[..., Any],
+                       batched: Callable[[Sequence[Any]], Sequence[Any]]):
+    """Register ``batched`` as the all-ranks implementation of ``fn``.
+
+    ``batched(values)`` receives the per-rank values in rank order and
+    must return the per-rank results in the same order, computing exactly
+    what ``[fn(v) for v in values]`` would — bit-identical results are
+    part of the executor's contract.  Returns ``fn`` (decorator-friendly).
+    """
+    setattr(fn, _ATTR, batched)
+    return fn
+
+
+def has_batched(fn: Any) -> bool:
+    """True when ``fn`` carries a registered batched implementation."""
+    return getattr(fn, _ATTR, None) is not None
+
+
+def batched_apply(fn: Any, values: Sequence[Any]) -> list:
+    """Apply ``fn`` to every rank's value — SoA when registered.
+
+    The vectorized backend's single entry point: registered kernels run
+    as one batched call, opaque fragments fall back to the per-rank loop
+    transparently.
+    """
+    batched = getattr(fn, _ATTR, None)
+    if batched is not None:
+        out = list(batched(values))
+        if len(out) != len(values):
+            raise ValueError(
+                f"batched kernel {getattr(fn, '__name__', fn)!r} returned "
+                f"{len(out)} values for {len(values)} ranks")
+        return out
+    return [fn(v) for v in values]
+
+
+def stack_uniform(values: Sequence[Any],
+                  transform: Callable[[np.ndarray], np.ndarray]) -> list:
+    """Apply one array ``transform`` over rank values stacked SoA.
+
+    Values are grouped by ``(shape, dtype)``; each uniform group stacks
+    into a single ``(g, ...)`` ndarray, ``transform`` runs once per group
+    (vectorised over axis 0), and the results scatter back to rank order.
+    Non-array values raise — callers registering kernels via this helper
+    guarantee array-valued fragments.
+    """
+    out: list = [None] * len(values)
+    groups: dict[tuple, list[int]] = {}
+    arrays = [np.asarray(v) for v in values]
+    for k, a in enumerate(arrays):
+        groups.setdefault((a.shape, a.dtype), []).append(k)
+    for idxs in groups.values():
+        batch = transform(np.stack([arrays[k] for k in idxs]))
+        for j, k in enumerate(idxs):
+            out[k] = batch[j]
+    return out
+
+
+def elementwise(ufunc: Callable[[np.ndarray], np.ndarray], *,
+                ops_per_elem: float = 1.0,
+                name: str | None = None) -> Callable[[Any], np.ndarray]:
+    """A registered elementwise fragment from a numpy-vectorisable callable.
+
+    The per-rank form applies ``ufunc`` to one value; the batched form
+    applies it once to the SoA stack.  Elementwise numpy arithmetic is
+    positionwise-identical either way, so the results are bit-identical.
+    """
+
+    @base_fragment(ops=lambda v: ops_per_elem * np.size(v))
+    def frag(value):
+        return ufunc(np.asarray(value))
+
+    frag.__name__ = name or getattr(ufunc, "__name__", "elementwise")
+    return vectorize_fragment(frag, lambda vals: stack_uniform(vals, ufunc))

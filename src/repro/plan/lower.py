@@ -30,43 +30,62 @@ __all__ = ["lower", "clear_plan_cache", "plan_cache_stats"]
 
 _CACHE: OrderedDict[tuple, ir.Plan] = OrderedDict()
 _CACHE_CAP = 512
-_STATS = {"hits": 0, "misses": 0, "uncachable": 0}
+_STATS = {"hits": 0, "misses": 0, "uncachable": 0, "optimized": 0}
 
 
 def lower(expr: N.Node, nprocs: int,
-          grid: tuple[int, int] | None = None) -> ir.Plan:
+          grid: tuple[int, int] | None = None,
+          opt=None) -> ir.Plan:
     """Lower ``expr`` for ``nprocs`` ranks (row-major over ``grid`` if 2-D).
 
-    Cached per ``(expr, nprocs, grid)``.  Expressions whose nodes are not
-    hashable (e.g. a ``Brdcast`` of a numpy array) are lowered fresh each
-    time.
+    ``opt`` is an :class:`~repro.plan.opt.OptConfig` to run the plan
+    optimizer's passes over the lowered program, or ``None`` for the raw
+    plan.  Cached per ``(expr, nprocs, grid, opt)`` — the config is part
+    of the key, so a ``--no-opt`` run is never served an optimized entry
+    (and vice versa), and plans optimized for different machine specs
+    never alias.  Expressions whose nodes are not hashable (e.g. a
+    ``Brdcast`` of a numpy array) are lowered fresh each time.
     """
-    key = (expr, nprocs, grid)
+    key = (expr, nprocs, grid, opt)
     try:
         cached = _CACHE.get(key)
     except TypeError:
         _STATS["uncachable"] += 1
-        return _lower(expr, nprocs, grid)
+        plan = _lower(expr, nprocs, grid)
+        return plan if opt is None else _optimize(plan, opt)
     if cached is not None:
         _STATS["hits"] += 1
         _CACHE.move_to_end(key)
         return cached
     _STATS["misses"] += 1
-    plan = _lower(expr, nprocs, grid)
+    if opt is None:
+        plan = _lower(expr, nprocs, grid)
+    else:
+        # build on the raw plan's cache entry, then run the passes once
+        plan = _optimize(lower(expr, nprocs, grid), opt)
+        _STATS["optimized"] += 1
     _CACHE[key] = plan
     while len(_CACHE) > _CACHE_CAP:
         _CACHE.popitem(last=False)
     return plan
 
 
+def _optimize(plan: ir.Plan, opt) -> ir.Plan:
+    from repro.plan.opt import optimize_plan
+
+    return optimize_plan(plan, opt)
+
+
 def clear_plan_cache() -> None:
     """Drop all cached plans (and reset the hit/miss counters)."""
     _CACHE.clear()
-    _STATS.update(hits=0, misses=0, uncachable=0)
+    _STATS.update(hits=0, misses=0, uncachable=0, optimized=0)
 
 
 def plan_cache_stats() -> dict[str, int]:
-    """Cache metrics: ``{"size", "hits", "misses", "uncachable"}``."""
+    """Cache metrics: ``{"size", "hits", "misses", "uncachable",
+    "optimized"}`` — ``optimized`` counts cache misses that ran the
+    optimizer pipeline (raw lowerings they built on count separately)."""
     return {"size": len(_CACHE), **_STATS}
 
 

@@ -23,6 +23,16 @@ stages:
    ``split``/``combine`` map to communicator groups exactly as §2.1
    prescribes.
 
+Between the two stages sits the plan optimizer (:mod:`repro.plan.opt`),
+on by default: lowering is asked for the plan optimized for this
+machine's spec and topology (fusion, exchange coalescing, collective
+selection — all cost-guarded to never predict worse), and eligible
+fault-free, untraced runs execute through the scripted SoA data plane of
+:mod:`repro.plan.vexec` instead of the per-instruction interpreter.
+``opt="off"`` (or a hand-built :class:`~repro.plan.opt.OptConfig`)
+restores the raw path — the cache keys raw and optimized plans
+separately, so the two never alias.
+
 The compiled program carries real data, so :func:`run_expression`'s
 result can be (and in the test-suite, is) cross-checked against the pure
 interpreter — the compiler's correctness statement — while the run's
@@ -58,7 +68,25 @@ from repro.scl import nodes as N
 
 _plan_lower = sys.modules["repro.plan.lower"]
 
-__all__ = ["base_fragment", "fragment_ops", "CompiledProgram", "run_expression"]
+__all__ = ["base_fragment", "fragment_ops", "CompiledProgram",
+           "run_expression", "resolve_opt"]
+
+
+def resolve_opt(opt: Any, machine: Machine):
+    """Normalise an ``opt`` argument to an OptConfig (or ``None``).
+
+    ``"auto"`` builds the machine's default config (all passes on, priced
+    on its spec/topology); ``"off"``/``None``/``False`` disables the
+    optimizer; anything else must already be an
+    :class:`~repro.plan.opt.OptConfig` and passes through.
+    """
+    if opt == "auto":
+        from repro.plan.opt import OptConfig
+
+        return OptConfig.for_machine(machine)
+    if opt in ("off", None, False):
+        return None
+    return opt
 
 
 @dataclasses.dataclass(frozen=True)
@@ -71,6 +99,10 @@ class CompiledProgram:
     #: Root span label on traced machines (the skeleton/program name the
     #: observability layer attributes every event to).
     label: str = "program"
+    #: Plan-optimizer switch: ``"auto"`` (optimize for this machine),
+    #: ``"off"`` / ``None`` (raw plan), or a prebuilt
+    #: :class:`~repro.plan.opt.OptConfig`.
+    opt: Any = "auto"
 
     def run(self, pa: ParArray) -> tuple[Any, RunResult]:
         """Execute on the machine; returns (result, run statistics).
@@ -81,6 +113,11 @@ class CompiledProgram:
         The result is a ParArray of the final per-processor values (same
         shape as the input), or the reduction scalar for expressions
         ending in ``Fold``.
+
+        Fault-free, untraced runs of flat optimized plans go through the
+        scripted data plane (:mod:`repro.plan.vexec`) — bit-identical
+        request stream, so the returned statistics match the interpreter.
+        Traced or fault-injected machines always interpret.
         """
         from repro.machine.api import Comm
         from repro.machine.plan_exec import execute_plan
@@ -94,17 +131,29 @@ class CompiledProgram:
         values = pa.to_list()  # row-major
         shape = pa.shape
         default = self.fragment_default_ops
+        config = resolve_opt(self.opt, self.machine)
         plan = _plan_lower.lower(self.expr, self.machine.nprocs,
-                     shape if len(shape) == 2 else None)
+                     shape if len(shape) == 2 else None, opt=config)
 
-        label = self.label
+        res: RunResult | None = None
+        if config is not None and config.vectorize \
+                and self.machine.faults is None \
+                and not self.machine.record_trace:
+            from repro.plan import vexec
 
-        def program(env):
-            result = yield from execute_plan(plan, env, Comm.world(env),
-                                             values[env.pid], default, label)
-            return result
+            pre = vexec.precompute(plan, values, self.machine.spec, default)
+            if pre is not None:
+                res = self.machine.run(vexec.replay_program(*pre))
+        if res is None:
+            label = self.label
 
-        res = self.machine.run(program)
+            def program(env):
+                result = yield from execute_plan(plan, env, Comm.world(env),
+                                                 values[env.pid], default,
+                                                 label)
+                return result
+
+            res = self.machine.run(program)
         if res.values and isinstance(res.values[0], _Scalar):
             return res.values[0].value, res
         if len(shape) == 2:
@@ -117,7 +166,9 @@ class CompiledProgram:
 
 def run_expression(expr: N.Node, pa: ParArray, machine: Machine, *,
                    fragment_default_ops: float = DEFAULT_FRAGMENT_OPS,
-                   label: str = "program") -> tuple[Any, RunResult]:
+                   label: str = "program",
+                   opt: Any = "auto") -> tuple[Any, RunResult]:
     """Compile ``expr`` and run it on ``machine`` over ``pa`` (see
     :class:`CompiledProgram`)."""
-    return CompiledProgram(expr, machine, fragment_default_ops, label).run(pa)
+    return CompiledProgram(expr, machine, fragment_default_ops, label,
+                           opt).run(pa)

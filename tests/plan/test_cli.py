@@ -48,6 +48,31 @@ class TestPlanCommand:
         assert code == 0
         assert "rank 0: send->" in out
 
+    def test_diff_prints_before_after_and_pass_notes(self, capsys):
+        code, out = run_cli(capsys, "hyperquicksort", "--dim", "2",
+                            "-n", "256", "--diff")
+        assert code == 0
+        assert "--- unoptimised plan " in out
+        assert "--- optimizer passes " in out
+        assert "--- optimised plan " in out
+        assert "fuse" in out  # the sort's per-iteration chains merge
+
+    def test_no_opt_skips_the_passes(self, capsys):
+        code, out = run_cli(capsys, "hyperquicksort", "--dim", "2",
+                            "-n", "256", "--no-opt")
+        assert code == 0
+        assert "optimizer passes" not in out
+
+    def test_opt_and_no_opt_are_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            plan_cli.main(["hyperquicksort", "--opt", "--no-opt"])
+
+    def test_cache_stats_line_rendered(self, capsys):
+        code, out = run_cli(capsys, "hyperquicksort", "--dim", "2",
+                            "-n", "256")
+        assert code == 0
+        assert "plan cache: size=" in out and "hits=" in out
+
     def test_bad_dim_rejected(self, capsys):
         assert plan_cli.main(["hyperquicksort", "--dim", "99"]) == 2
 

@@ -46,9 +46,12 @@ def rewrite_candidates(draw):
 
 
 def _simulate(expr) -> tuple[list, float]:
+    # opt="off" throughout this module: these tests compare the
+    # *expression-level* model against the raw compiled execution; the
+    # plan optimizer would rewrite the program underneath the comparison.
     pa = ParArray(list(range(P)))
     machine = Machine(FullyConnected(P), spec=AP1000)
-    out, res = run_expression(expr, pa, machine)
+    out, res = run_expression(expr, pa, machine, opt="off")
     return list(out), res.makespan
 
 
@@ -75,7 +78,8 @@ def test_predicted_message_counts_match_simulation(expr):
                        (report.optimized, report.cost_after)):
         _out, _ = _simulate(node)
         machine = Machine(FullyConnected(P), spec=AP1000)
-        _o, res = run_expression(node, ParArray(list(range(P))), machine)
+        _o, res = run_expression(node, ParArray(list(range(P))), machine,
+                                 opt="off")
         assert cost.messages == res.total_messages
 
 

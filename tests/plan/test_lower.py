@@ -175,7 +175,7 @@ class TestPlanCache:
         lower(Rotate(1), 8)
         clear_plan_cache()
         assert plan_cache_stats() == {"size": 0, "hits": 0, "misses": 0,
-                                      "uncachable": 0}
+                                      "uncachable": 0, "optimized": 0}
 
     def test_unhashable_expressions_still_lower(self):
         # Brdcast of an unhashable value can't key the cache but must work.

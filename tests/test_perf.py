@@ -24,9 +24,39 @@ class TestRunSuite:
         expected = {f"{w}/p{p}"
                     for w in ("ring_sweep", "wildcard_funnel", "allreduce",
                               "hyperquicksort", "compiled_hyperquicksort",
+                              "compiled_hyperquicksort_noopt",
                               "trace_overhead")
                     for p in perf.QUICK_PROCS}
+        expected |= {f"compiled_gauss_jordan/p{perf.GAUSS_PROCS}",
+                     f"compiled_gauss_jordan_noopt/p{perf.GAUSS_PROCS}"}
         assert set(quick_suite) == expected
+
+    def test_filter_restricts_the_suite(self):
+        only = perf.run_suite(quick=True, only="allreduce")
+        assert set(only) == {f"allreduce/p{p}" for p in perf.QUICK_PROCS}
+
+    def test_optimized_rows_pair_with_their_noopt_twins(self, quick_suite):
+        for key, rec in quick_suite.items():
+            if key.startswith(("compiled_hyperquicksort/",
+                               "compiled_gauss_jordan/")):
+                twin = quick_suite[key.replace("/", "_noopt/")]
+                assert rec["speedup_vs_noopt"] == round(
+                    twin["host_seconds"] / rec["host_seconds"], 2)
+                # optimization must not change the simulated run
+                assert rec["makespan"] == twin["makespan"]
+                assert rec["messages"] == twin["messages"]
+
+    def test_median_merge_picks_consistent_records(self, quick_suite):
+        import copy
+
+        other = copy.deepcopy(quick_suite)
+        for rec in other.values():
+            rec["host_seconds"] *= 3  # a uniformly slower repeat
+        merged = perf.median_merge([quick_suite, other])
+        assert set(merged) == set(quick_suite)
+        key = f"ring_sweep/p{perf.QUICK_PROCS[0]}"
+        # median_low of two values is the lower one
+        assert merged[key]["host_seconds"] == quick_suite[key]["host_seconds"]
 
     def test_records_have_the_tracked_fields(self, quick_suite):
         for key, rec in quick_suite.items():
