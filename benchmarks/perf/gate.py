@@ -20,9 +20,19 @@ with a notice: the event count is engine-invariant for a fixed workload,
 so a mismatch means the workload itself changed and the frozen baseline
 is stale for that row (regenerate it with
 ``python -m repro perf --quick --repeat 3 --output
-benchmarks/perf/baseline_quick.json``).
+benchmarks/perf/baseline_quick.json``).  Every skipped row is listed with
+the reason; when more than half the baseline rows skip, the gate itself
+fails — a mostly-skipped comparison silently passing is how a stale
+baseline stops gating anything.
 
-Exit status: 0 clean, 1 regression, 2 usage/schema error.
+``--budget KEY=SECONDS`` (repeatable) additionally enforces hard
+wall-clock ceilings on individual rows — raw host seconds, deliberately
+*not* host-normalised: the budget is a scaling canary (a large-p row
+whose cost explodes should fail even on a fast runner), so pick generous
+ceilings that only trip on complexity regressions, not host jitter.
+
+Exit status: 0 clean, 1 regression/budget breach, 2 usage/schema error
+(including a majority-skipped comparison).
 """
 
 from __future__ import annotations
@@ -46,7 +56,7 @@ def load_rows(path: str) -> dict[str, dict]:
 
 
 def gate(current: dict[str, dict], baseline: dict[str, dict],
-         threshold: float) -> int:
+         threshold: float, budgets: dict[str, float] | None = None) -> int:
     shared, skipped = [], []
     for key in sorted(baseline):
         cur, base = current.get(key), baseline[key]
@@ -79,13 +89,35 @@ def gate(current: dict[str, dict], baseline: dict[str, dict],
     for key, why in skipped:
         print(f"  skip  {key:<38} {why}")
 
+    for key, budget in sorted((budgets or {}).items()):
+        cur = current.get(key)
+        host = cur.get("host_seconds") if cur else None
+        if host is None:
+            print(f"  FAIL  {key:<38} budget row missing from current run")
+            failures.append(key)
+        elif host > budget:
+            print(f"  FAIL  {key:<38} host {host:.3f}s over wall-clock "
+                  f"budget {budget:.3f}s")
+            failures.append(key)
+        else:
+            print(f"    ok  {key:<38} host {host:.3f}s within budget "
+                  f"{budget:.3f}s")
+
+    if len(skipped) * 2 > len(baseline):
+        print(f"\nperf gate FAILED: {len(skipped)} of {len(baseline)} "
+              "baseline rows skipped — the frozen baseline is stale; "
+              "regenerate it with 'python -m repro perf --quick --repeat 3 "
+              "--output benchmarks/perf/baseline_quick.json'",
+              file=sys.stderr)
+        return 2
     if failures:
         print(f"\nperf gate FAILED: {len(failures)} row(s) regressed more "
-              f"than {(threshold - 1):.0%} beyond host speed: "
-              + ", ".join(failures), file=sys.stderr)
+              f"than {(threshold - 1):.0%} beyond host speed or breached "
+              "a wall-clock budget: " + ", ".join(failures), file=sys.stderr)
         return 1
     print(f"\nperf gate passed: no row more than {(threshold - 1):.0%} "
-          "slower (host-normalised)")
+          "slower (host-normalised)"
+          + (f", {len(budgets)} wall-clock budget(s) met" if budgets else ""))
     return 0
 
 
@@ -102,12 +134,28 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--threshold", type=float, default=1.20,
                         help="max normalised slowdown per row (default 1.20 "
                              "= 20%% over the host-speed median)")
+    parser.add_argument("--budget", action="append", default=[],
+                        metavar="KEY=SECONDS",
+                        help="hard wall-clock ceiling for one row, e.g. "
+                             "ring_sweep/p1024=10.0 (repeatable; raw host "
+                             "seconds, not normalised — a scaling canary)")
     args = parser.parse_args(argv)
     if args.threshold <= 1.0:
         print("error: --threshold must be > 1.0", file=sys.stderr)
         return 2
+    budgets: dict[str, float] = {}
+    for spec in args.budget:
+        key, sep, secs = spec.partition("=")
+        try:
+            budgets[key] = float(secs)
+        except ValueError:
+            sep = ""
+        if not sep or not key or budgets.get(key, -1.0) <= 0:
+            print(f"error: --budget must look like KEY=SECONDS with positive "
+                  f"seconds, got {spec!r}", file=sys.stderr)
+            return 2
     return gate(load_rows(args.current), load_rows(args.baseline),
-                args.threshold)
+                args.threshold, budgets)
 
 
 if __name__ == "__main__":

@@ -144,6 +144,20 @@ PERFECT = MachineSpec(
 #: the flat fast path too.
 _NUMERIC_SCALAR_TYPES: set[type] = {int, float, bool, complex}
 
+#: Memo for small hashable tuple payloads, keyed ``(word_bytes, payload)``.
+#: Sound because a hashable tuple is deeply immutable for costing purposes
+#: (anything mutable inside — list, bytearray, ndarray — makes the key
+#: unhashable and falls through to the walk), and equal keys cost equally:
+#: every numeric scalar costs one word regardless of type, so ``(1, 2)``
+#: and ``(1.0, 2.0)`` colliding under dict equality is harmless.  Cleared
+#: wholesale when full; sends repeat a few payload shapes, so the cache
+#: stays tiny in practice.
+_NBYTES_CACHE: dict[tuple, int] = {}
+_NBYTES_CACHE_MAX = 4096
+#: Tuples longer than this are not memoized (hashing and key retention
+#: would outweigh the walk they save).
+_NBYTES_CACHE_MAX_LEN = 64
+
 
 def estimate_nbytes(payload: Any, word_bytes: int = 8) -> int:
     """Estimate the wire size of a message payload.
@@ -156,7 +170,10 @@ def estimate_nbytes(payload: Any, word_bytes: int = 8) -> int:
 
     A flat list or tuple whose elements are all the same numeric type is
     costed as ``len * word_bytes`` directly (identical to the recursive
-    definition) without the per-element recursion.
+    definition) without the per-element recursion.  Small hashable tuples
+    are additionally memoized across calls: programs re-send the same
+    header-style payloads thousands of times on the hot path, and one
+    C-level hash beats re-walking the structure.
     """
     if isinstance(payload, np.ndarray):
         return int(payload.nbytes)
@@ -168,6 +185,22 @@ def estimate_nbytes(payload: Any, word_bytes: int = 8) -> int:
         return max(len(payload), 1)
     if isinstance(payload, memoryview):
         return max(payload.nbytes, 1)
+    if type(payload) is tuple and len(payload) <= _NBYTES_CACHE_MAX_LEN:
+        try:
+            return _NBYTES_CACHE[(word_bytes, payload)]
+        except KeyError:
+            nb = _estimate_walk(payload, word_bytes)
+            if len(_NBYTES_CACHE) >= _NBYTES_CACHE_MAX:
+                _NBYTES_CACHE.clear()
+            _NBYTES_CACHE[(word_bytes, payload)] = nb
+            return nb
+        except TypeError:
+            pass  # unhashable element somewhere inside; walk it
+    return _estimate_walk(payload, word_bytes)
+
+
+def _estimate_walk(payload: Any, word_bytes: int) -> int:
+    """The recursive costing walk behind :func:`estimate_nbytes`."""
     if isinstance(payload, (list, tuple, set, frozenset)):
         if payload and isinstance(payload, (list, tuple)):
             t0 = type(payload[0])

@@ -16,18 +16,21 @@ ANY-source matching picks the earliest delivered candidate, which mirrors
 the paper's remark that many-to-one communication is non-deterministic
 ("no ordering of the elements may be assumed").
 
-All four classes are ``slots=True`` dataclasses: the simulator allocates
-one request or message object per event, so the per-instance ``__dict__``
+The request classes are ``slots=True`` dataclasses: the simulator
+allocates one request object per event, so the per-instance ``__dict__``
 would be pure overhead on the hot path.  Only :class:`Compute` is frozen
 (it validates its field); the others are immutable by convention — a
 frozen dataclass builds every instance through ``object.__setattr__``,
 which costs several times a plain ``__init__`` at this allocation rate.
+:class:`Message` goes one step further and is a :class:`~typing.NamedTuple`:
+one message object is built per *delivery*, and the C-level tuple
+constructor is ~3x cheaper than even a slots-dataclass ``__init__``.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Any
+from typing import Any, NamedTuple
 
 __all__ = ["ANY", "Compute", "Send", "Recv", "Message"]
 
@@ -106,9 +109,19 @@ class Recv:
         )
 
 
-@dataclasses.dataclass(slots=True)
-class Message:
-    """A delivered message: payload plus provenance and timing metadata."""
+class Message(NamedTuple):
+    """A delivered message: payload plus provenance and timing metadata.
+
+    Immutable and allocated on the receive hot path, hence a named tuple
+    (C-level construction) rather than a dataclass.
+
+    ``seq`` is the engine's deterministic ordering token: unique per
+    message, drawn from ``1..n``, and consistent with arrival-order
+    tie-breaking within a run.  Its *absolute* value is an engine detail —
+    the per-event core numbers sends in global processing order, the
+    batched core numbers deliveries (see ``DESIGN.md``) — so programs
+    should treat it as opaque and never branch on the number itself.
+    """
 
     src: int
     dst: int

@@ -474,7 +474,8 @@ class Machine:
     def __init__(self, topology: Topology | int, *,
                  spec: MachineSpec = PERFECT, record_trace: bool = False,
                  single_port: bool = False, faults: Any = None,
-                 trace_sink: Any = None, trace_limit: int | None = None):
+                 trace_sink: Any = None, trace_limit: int | None = None,
+                 batch: bool = True):
         if isinstance(topology, int):
             topology = FullyConnected(topology)
         if not isinstance(topology, Topology):
@@ -502,6 +503,12 @@ class Machine:
         #: the simulator's (causal) global processing order.  Off by
         #: default: the base model is contention-free Hockney.
         self.single_port = single_port
+        #: Batched drive-order engine (:mod:`repro.machine.batch`) for
+        #: fault-free, untraced, multi-port runs.  It produces bit-identical
+        #: results and transparently falls back to the per-event engine;
+        #: ``batch=False`` forces the per-event engine (the equivalence
+        #: suite uses this to compare the two directly).
+        self.batch = batch
         self._clock: list[float] = []
         self._tx_free: list[float] = []
         self._rx_free: list[float] = []
@@ -535,6 +542,21 @@ class Machine:
         if len(extra) != n:
             raise MachineError(f"expected {n} arg tuples, got {len(extra)}")
 
+        if (self.batch and self.faults is None and not self.record_trace
+                and not self.single_port):
+            from repro.machine.batch import BatchFallback, run_batched
+            try:
+                return run_batched(self, programs, extra)
+            except BatchFallback:
+                pass  # per-event oracle handles what batching cannot
+        return self._run_events(programs, extra)
+
+    def _run_events(self, programs: list[Program],
+                    extra: list[tuple]) -> RunResult:
+        """The per-event engine: one heap-pop per request (see module
+        docstring).  The oracle for the batched engine, and the only path
+        supporting traces, faults and the single-port contention model."""
+        n = self.nprocs
         self._clock = [0.0] * n
         self._tx_free = [0.0] * n
         self._rx_free = [0.0] * n
@@ -676,6 +698,11 @@ class Machine:
                         # processor past its death time: kill it exactly at
                         # the modelled crash instant.
                         kill(proc, ct)
+                        if alive == 0:
+                            # The last live processor died here; scanning the
+                            # remaining (stale) entries would misreport the
+                            # drained heap as a deadlock.
+                            break
                         continue
                 # Lazy invalidation guard; without faults every entry is
                 # valid under the current transition rules (see module
@@ -697,6 +724,8 @@ class Machine:
                     proc.timeout_at = None
                     proc.resume_value = None
                     break
+            if alive == 0:
+                break
             st = stats[pid]
             gen_send = proc.gen.send
             while True:

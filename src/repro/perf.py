@@ -96,6 +96,13 @@ __all__ = [
 DEFAULT_PROCS = (32, 64, 128, 256)
 #: Machine sizes measured in ``--quick`` (CI smoke) mode.
 QUICK_PROCS = (32, 64)
+#: Extra large-p scaling rows measured for ``ring_sweep`` only in the
+#: default suite (the batched engine's headline scaling range; the other
+#: workloads are swept at these sizes only with an explicit ``--procs``).
+LARGE_RING_PROCS = (1024, 4096)
+#: The large-p smoke row tracked by the CI perf gate in ``--quick`` mode
+#: (reduced rounds, one repeat) so scaling regressions fail the job.
+QUICK_LARGE_RING = 1024
 
 #: Host-time results of this exact suite measured on the seed (pre-rewrite)
 #: simulator: O(p) ready-list scan, linear mailbox, uncached hop routing.
@@ -397,31 +404,51 @@ def bench_trace_overhead(p: int, *, n: int = 100_000, seed: int = 19950701,
 GAUSS_PROCS = 8
 
 
-def run_suite(*, procs: tuple[int, ...] = DEFAULT_PROCS, quick: bool = False,
+def run_suite(*, procs: tuple[int, ...] | None = None, quick: bool = False,
               only: str | None = None) -> dict[str, dict[str, Any]]:
     """Run every workload at every machine size; returns ``{key: record}``.
 
     Keys look like ``"hyperquicksort/p128"``.  ``quick=True`` shrinks both
-    the size list and the per-workload iteration counts for CI smoke runs.
-    ``only`` keeps just the workloads whose key contains the substring
-    (the ``--filter`` flag), e.g. ``only="compiled"`` for the optimizer
-    pairs alone.
+    the size list and the per-workload iteration counts for CI smoke runs
+    (plus one reduced large-p ring row, the scaling canary).  ``only``
+    keeps just the workloads whose key contains the substring (the
+    ``--filter`` flag), e.g. ``only="compiled"`` for the optimizer pairs
+    alone.  ``procs`` (the ``--procs`` flag) sweeps *every* workload at
+    exactly those machine sizes — workloads that require a power-of-two
+    size (hypercube-based) are skipped at sizes that aren't one; without
+    it the default sizes run, plus large-p ``ring_sweep`` scaling rows.
     """
+    explicit = procs is not None
     if quick:
-        procs = QUICK_PROCS
+        sizes: tuple[int, ...] = QUICK_PROCS
+    elif explicit:
+        sizes = tuple(procs)
+    else:
+        sizes = DEFAULT_PROCS
     out: dict[str, dict[str, Any]] = {}
 
     def run(key: str, thunk: Callable[[], dict[str, Any]]) -> None:
         if only is None or only in key:
             out[key] = thunk()
 
-    for p in procs:
+    for p in sizes:
+        # Large explicit sizes get one repeat: the runs are long enough
+        # that best-of-2 doubles suite time for little noise reduction.
+        reps = 1 if p >= 1024 else 2
         run(f"ring_sweep/p{p}",
-            lambda p=p: bench_ring_sweep(p, rounds=30 if quick else 150))
+            lambda p=p: bench_ring_sweep(p, rounds=30 if quick else 150,
+                                         repeats=reps))
         run(f"wildcard_funnel/p{p}",
-            lambda p=p: bench_wildcard_funnel(p, per_src=10 if quick else 40))
+            lambda p=p: bench_wildcard_funnel(p, per_src=10 if quick else 40,
+                                              repeats=reps))
+        if p & (p - 1):
+            if explicit:
+                print(f"note: skipping hypercube workloads at p={p} "
+                      f"(not a power of two)", file=sys.stderr)
+            continue
         run(f"allreduce/p{p}",
-            lambda p=p: bench_allreduce(p, reps=5 if quick else 25))
+            lambda p=p: bench_allreduce(p, reps=5 if quick else 25,
+                                        repeats=reps))
         run(f"hyperquicksort/p{p}",
             lambda p=p: bench_hyperquicksort(p, n=20_000 if quick else 100_000))
         run(f"compiled_hyperquicksort/p{p}",
@@ -432,6 +459,13 @@ def run_suite(*, procs: tuple[int, ...] = DEFAULT_PROCS, quick: bool = False,
                 p, n=20_000 if quick else 100_000, opt="off"))
         run(f"trace_overhead/p{p}",
             lambda p=p: bench_trace_overhead(p, n=20_000 if quick else 100_000))
+    if quick:
+        run(f"ring_sweep/p{QUICK_LARGE_RING}",
+            lambda: bench_ring_sweep(QUICK_LARGE_RING, rounds=30, repeats=1))
+    elif not explicit:
+        for p in LARGE_RING_PROCS:
+            run(f"ring_sweep/p{p}",
+                lambda p=p: bench_ring_sweep(p, repeats=1))
     gp = GAUSS_PROCS
     gn = 24 if quick else 48
     run(f"compiled_gauss_jordan/p{gp}",
@@ -565,6 +599,11 @@ def main(argv: list[str] | None = None) -> int:
                     "BENCH_simulator.json.")
     parser.add_argument("--quick", action="store_true",
                         help="reduced sizes for CI smoke runs")
+    parser.add_argument("--procs", default=None, metavar="P1,P2,...",
+                        help="sweep every workload at exactly these machine "
+                             "sizes (comma-separated, e.g. 256,1024,4096); "
+                             "hypercube workloads skip sizes that are not "
+                             "powers of two")
     parser.add_argument("--output", default="BENCH_simulator.json",
                         help="where to write the JSON report")
     parser.add_argument("--filter", default=None, metavar="SUBSTR",
@@ -581,7 +620,21 @@ def main(argv: list[str] | None = None) -> int:
     if args.repeat < 1:
         print("error: --repeat must be >= 1", file=sys.stderr)
         return 2
-    runs = [run_suite(quick=args.quick, only=args.filter)
+    procs: tuple[int, ...] | None = None
+    if args.procs is not None:
+        try:
+            procs = tuple(int(tok) for tok in args.procs.split(",") if tok)
+        except ValueError:
+            procs = ()
+        if not procs or any(p < 2 for p in procs):
+            print(f"error: --procs must be a comma-separated list of "
+                  f"machine sizes >= 2, got {args.procs!r}", file=sys.stderr)
+            return 2
+        if args.quick:
+            print("error: --procs and --quick are mutually exclusive",
+                  file=sys.stderr)
+            return 2
+    runs = [run_suite(procs=procs, quick=args.quick, only=args.filter)
             for _ in range(args.repeat)]
     if not runs[0]:
         print(f"error: --filter {args.filter!r} matches no workload",

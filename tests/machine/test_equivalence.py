@@ -163,6 +163,51 @@ class TestCollectivesEquivalence:
         _assert_same_result(res_new, res_ref)
 
 
+class TestBatchedEngineEquivalence:
+    """Three-way equivalence: the batched drive-order engine against both
+    the retained per-event engine and the seed O(p)-scan oracle.
+
+    Tracing and single-port runs fall back to the per-event core, so the
+    rows above never exercise :mod:`repro.machine.batch`; these untraced
+    runs do.  Values, stats (virtual times to the bit) and makespans must
+    agree across all three.
+    """
+
+    @pytest.mark.parametrize("p", [4, 9, 16])
+    def test_mixed_wildcards_three_way(self, p):
+        res_bat = Machine(FullyConnected(p), spec=AP1000).run(_wildcard_stress)
+        res_evt = Machine(FullyConnected(p), spec=AP1000,
+                          batch=False).run(_wildcard_stress)
+        res_ref = ReferenceMachine(FullyConnected(p),
+                                   spec=AP1000).run(_wildcard_stress)
+        _assert_same_result(res_bat, res_evt)
+        _assert_same_result(res_bat, res_ref)
+
+    def test_hyperquicksort_batch_vs_reference(self, monkeypatch):
+        import repro.apps.sort as sort_mod
+
+        values = np.random.default_rng(13).integers(0, 10_000, size=2_000)
+        out_bat, res_bat = sort_mod.hyperquicksort_machine(values, 4)
+        monkeypatch.setattr(sort_mod, "Machine", ReferenceMachine)
+        out_ref, res_ref = sort_mod.hyperquicksort_machine(values, 4)
+        assert np.array_equal(out_bat, out_ref)
+        _assert_same_result(res_bat, res_ref)
+
+    def test_allreduce_batch_vs_reference(self):
+        def program(env):
+            comm = Comm.world(env)
+            acc = float(env.pid)
+            for _ in range(4):
+                acc = yield from collectives.allreduce(
+                    comm, acc, lambda a, b: a + b, nbytes=8)
+            return acc
+
+        topo = Hypercube(4)
+        res_bat = Machine(topo, spec=AP1000).run(program)
+        res_ref = ReferenceMachine(topo, spec=AP1000).run(program)
+        _assert_same_result(res_bat, res_ref)
+
+
 class TestErrorParity:
     def test_deadlock_detected_by_both(self):
         def program(env):

@@ -27,7 +27,8 @@ class TestRunSuite:
                               "compiled_hyperquicksort_noopt",
                               "trace_overhead")
                     for p in perf.QUICK_PROCS}
-        expected |= {f"compiled_gauss_jordan/p{perf.GAUSS_PROCS}",
+        expected |= {f"ring_sweep/p{perf.QUICK_LARGE_RING}",
+                     f"compiled_gauss_jordan/p{perf.GAUSS_PROCS}",
                      f"compiled_gauss_jordan_noopt/p{perf.GAUSS_PROCS}"}
         assert set(quick_suite) == expected
 
