@@ -12,6 +12,7 @@
     python -m repro chaos                # fault-injection survival sweep
     python -m repro plan hyperquicksort  # dump a lowered plan + its costs
     python -m repro trace hyperquicksort # traced run: spans, critical path
+    python -m repro serve                # skeleton service under load
     python -m repro table1 -n 20000 --seed 7   # smaller/quicker variants
 
 Each command prints the reproduced table to stdout; ``--spec`` switches the
@@ -175,7 +176,7 @@ def build_parser() -> argparse.ArgumentParser:
                     "Structured Composition' (PPoPP 1995).")
     parser.add_argument("command",
                         choices=[*_COMMANDS, "all", "perf", "chaos", "plan",
-                                 "trace"],
+                                 "trace", "serve"],
                         help="which artefact to regenerate ('perf' runs the "
                              "simulator performance suite, 'chaos' the "
                              "fault-injection sweep, 'plan' dumps a lowered "
@@ -219,6 +220,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs import cli as obs_cli
 
         return obs_cli.main(argv[1:])
+    if argv[:1] == ["serve"]:
+        # And the skeleton-service load run (--smoke/--requests/--out/...).
+        from repro.serve import cli as serve_cli
+
+        return serve_cli.main(argv[1:])
     args = build_parser().parse_args(argv)
     args.spec = _SPECS[args.spec]
     if args.max_dim < 1 or args.max_dim > 10:

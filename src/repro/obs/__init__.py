@@ -11,6 +11,8 @@ traces:
 * :mod:`repro.obs.analyze` — critical path, per-span rollups, idle
   attribution,
 * :mod:`repro.obs.report` — the analyses as aligned text tables,
+* :mod:`repro.obs.latency` — request-latency quantiles and p50/p99/
+  throughput rollups (shared by :mod:`repro.serve` and the perf rows),
 * :mod:`repro.obs.cli` — ``python -m repro trace <app>``.
 """
 
@@ -23,6 +25,12 @@ from repro.obs.analyze import (
     by_skeleton,
     critical_path,
     idle_attribution,
+)
+from repro.obs.latency import (
+    quantile,
+    render_latency_table,
+    rollup_by,
+    summarize_latencies,
 )
 from repro.obs.sinks import (
     ChromeTraceSink,
@@ -48,4 +56,8 @@ __all__ = [
     "TraceSink",
     "event_to_dict",
     "span_to_list",
+    "quantile",
+    "summarize_latencies",
+    "rollup_by",
+    "render_latency_table",
 ]

@@ -48,6 +48,22 @@ reports.  Three workload families are measured at several machine sizes:
     of observability — the "tracing disabled costs nothing" claim of
     :mod:`repro.obs`, measured rather than asserted.
 
+``service_sustained``
+    The PR-7 skeleton service under closed-loop load: a fixed pool of
+    synthetic clients drives the default endpoint registry (two compiled
+    plan endpoints plus a chunked stream endpoint, two weighted tenants)
+    at full tilt.  Reports request latency quantiles and throughput next
+    to the usual events/sec; the plan cache absorbs every request after
+    the first few, so the row tracks the *serving* overhead — admission,
+    scheduling, ticket resolution — on top of compiled execution.
+
+``stream_chunked``
+    The stream data plane alone: a fixed item stream through
+    ``Chunk(n) . MapPlan(scan) . UnChunk`` with the threaded
+    backpressured executor, at two chunk sizes.  Chunk size trades
+    per-chunk lowering-amortisation against parallel slack, the HsSkel
+    ``stChunk`` tuning knob.
+
 ``run_suite`` executes all of them and ``write_bench_json`` persists the
 results to ``BENCH_simulator.json`` at the repository root, next to the
 frozen pre-rewrite ``SEED_BASELINE`` numbers, so every future PR can be
@@ -83,6 +99,8 @@ __all__ = [
     "bench_compiled_hyperquicksort",
     "bench_hyperquicksort",
     "bench_ring_sweep",
+    "bench_service_sustained",
+    "bench_stream_chunked",
     "bench_trace_overhead",
     "bench_wildcard_funnel",
     "main",
@@ -399,9 +417,114 @@ def bench_trace_overhead(p: int, *, n: int = 100_000, seed: int = 19950701,
                              if host_off > 0 else 0.0))
 
 
+def bench_service_sustained(concurrency: int, *, requests: int = 600,
+                            workers: int = 4) -> dict[str, Any]:
+    """Closed-loop load against the default ``repro.serve`` registry.
+
+    ``concurrency`` clients each wait for their response before issuing
+    the next request (p in the row key is the client count, not a
+    machine size).  The workload content is seeded per request index, so
+    ``events`` — total simulated message events across every request —
+    is deterministic and the perf gate's staleness check applies;
+    ``makespan`` is the summed virtual time of the simulated runs.
+    """
+    from repro.obs.latency import quantile
+    from repro.serve.cli import build_service, default_mix
+    from repro.serve.loadgen import closed_loop
+
+    with build_service(workers=workers) as service:
+        report = closed_loop(service, default_mix(), requests=requests,
+                             concurrency=concurrency, seed=0)
+        completions = list(service.completions)
+        cache = service.cache_stats()
+    if report["errors"] or report["rejected"]:
+        raise AssertionError(
+            f"service_sustained run degraded: {report['errors']} errors, "
+            f"{report['rejected']} rejections")
+    host = report["duration_s"]
+    events = sum(rec["events"] for rec in completions)
+    latencies_ms = [rec["latency_s"] * 1e3 for rec in completions]
+    return {
+        "workload": "service_sustained",
+        "p": concurrency,
+        "host_seconds": round(host, 6),
+        "events": events,
+        "events_per_sec": round(events / host) if host > 0 else 0,
+        "makespan": sum(rec["virtual_seconds"] for rec in completions),
+        "requests": requests,
+        "throughput_rps": report["throughput_rps"],
+        "p50_ms": round(quantile(latencies_ms, 0.50), 3),
+        "p99_ms": round(quantile(latencies_ms, 0.99), 3),
+        "cache_hit_rate": cache["hit_rate"],
+    }
+
+
+def bench_stream_chunked(chunk: int, *, items: int = 1024,
+                         repeats: int = 2) -> dict[str, Any]:
+    """The threaded stream executor: chunked compiled scan over a fixed
+    item stream.
+
+    One ``MapPlan`` lowering serves ``items / chunk`` chunk executions
+    (the final ragged chunk, when any, lowers once more), so larger
+    chunks amortise better but expose less pipeline slack — the row pair
+    tracks that trade-off.  Output is validated against the per-chunk
+    numpy reference every run.
+    """
+    import operator as _op
+
+    from repro.scl.nodes import Scan
+    from repro.stream.plan import StreamRunStats, stream_plan
+
+    xs = [float(v) for v in
+          np.random.default_rng(7).integers(1, 100, size=items)]
+    expected: list[float] = []
+    for i in range(0, items, chunk):
+        expected.extend(np.cumsum(np.asarray(xs[i:i + chunk])))
+    plan = (stream_plan(xs).chunk(chunk)
+            .map_plan(Scan(_op.add)).unchunk())
+
+    best = float("inf")
+    stats: StreamRunStats | None = None
+    for _ in range(max(1, repeats)):
+        run_stats = StreamRunStats()
+        t0 = time.perf_counter()
+        out = list(plan.run(stats=run_stats))
+        elapsed = time.perf_counter() - t0
+        if not np.allclose(out, expected):
+            raise AssertionError(
+                f"chunked stream diverged from reference at chunk={chunk}")
+        if elapsed < best:
+            best, stats = elapsed, run_stats
+    assert stats is not None
+    return {
+        "workload": "stream_chunked",
+        "p": chunk,
+        "host_seconds": round(best, 6),
+        "events": stats.sim_events,
+        "events_per_sec": round(stats.sim_events / best) if best > 0 else 0,
+        "makespan": stats.virtual_seconds,
+        "messages": stats.sim_messages,
+        "items": items,
+        "chunks": stats.chunks,
+        "plan_runs": stats.plan_runs,
+        "items_per_sec": round(items / best) if best > 0 else 0,
+    }
+
+
 #: Fixed machine size of the gauss-jordan tracked pair (one row, not a
 #: per-p sweep: the pair tracks the data plane, not scaling).
 GAUSS_PROCS = 8
+
+#: Closed-loop client counts of the ``service_sustained`` rows (full /
+#: quick).  Like the gauss pair these are fixed rows, not a machine-size
+#: sweep: p is the client pool size.
+SERVICE_CONCURRENCY = (4, 16)
+QUICK_SERVICE_CONCURRENCY = (4,)
+
+#: Chunk sizes of the ``stream_chunked`` rows (full / quick); p is the
+#: chunk size, which is also the simulated machine size per chunk.
+STREAM_CHUNK_SIZES = (8, 32)
+QUICK_STREAM_CHUNKS = (8,)
 
 
 def run_suite(*, procs: tuple[int, ...] | None = None, quick: bool = False,
@@ -472,6 +595,14 @@ def run_suite(*, procs: tuple[int, ...] | None = None, quick: bool = False,
         lambda: bench_compiled_gauss_jordan(gp, n=gn))
     run(f"compiled_gauss_jordan_noopt/p{gp}",
         lambda: bench_compiled_gauss_jordan(gp, n=gn, opt="off"))
+    for c in (QUICK_SERVICE_CONCURRENCY if quick else SERVICE_CONCURRENCY):
+        run(f"service_sustained/p{c}",
+            lambda c=c: bench_service_sustained(
+                c, requests=200 if quick else 1000))
+    for ch in (QUICK_STREAM_CHUNKS if quick else STREAM_CHUNK_SIZES):
+        run(f"stream_chunked/p{ch}",
+            lambda ch=ch: bench_stream_chunked(
+                ch, items=256 if quick else 1024))
     annotate_speedups(out)
     return out
 

@@ -1,0 +1,51 @@
+"""``repro.serve`` — a long-lived skeleton service under sustained load.
+
+The ROADMAP's "millions of users" north star, made measurable: named
+*endpoints* — compiled skeleton expressions and stream plans — are
+registered once and served many times, so the per-``(expression,
+nprocs, opt)`` plan cache is hit on effectively every request at steady
+state.  In front of them sits a service with the production shape:
+
+* **admission control** — a bounded request queue; requests beyond the
+  bound are shed immediately with a structured :class:`Rejection`
+  (reason, tenant, queue depth) rather than queued into collapse,
+* **weighted per-tenant fair scheduling** — stride scheduling over
+  per-tenant FIFOs: a tenant with weight 3 gets 3x the dispatch rate of
+  a weight-1 tenant under contention, and an idle tenant's unused share
+  redistributes,
+* **observability** — every completion and rejection is recorded
+  through the :class:`~repro.obs.sinks.TraceSink` protocol and rolled
+  up to p50/p99/throughput tables via :mod:`repro.obs.latency`,
+* **load generation** — :func:`closed_loop` (fixed concurrency, every
+  client waits for its response) and :func:`open_loop` (scheduled
+  arrivals regardless of completions, the overload generator) drive
+  thousands of requests through the registry deterministically
+  (seeded request mixes).
+
+``python -m repro serve`` runs a sustained closed-loop phase plus an
+open-loop burst phase and writes a JSON latency artifact; a ``--smoke``
+variant backs the CI ``serve-smoke`` job.
+"""
+
+from repro.serve.service import (
+    AdmissionError,
+    PlanEndpoint,
+    PyEndpoint,
+    Rejection,
+    Service,
+    StreamEndpoint,
+    Ticket,
+)
+from repro.serve.loadgen import closed_loop, open_loop
+
+__all__ = [
+    "AdmissionError",
+    "PlanEndpoint",
+    "PyEndpoint",
+    "Rejection",
+    "Service",
+    "StreamEndpoint",
+    "Ticket",
+    "closed_loop",
+    "open_loop",
+]

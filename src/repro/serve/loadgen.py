@@ -1,0 +1,165 @@
+"""Open- and closed-loop load generators for the skeleton service.
+
+Two classical shapes:
+
+* :func:`closed_loop` — ``concurrency`` synthetic clients, each issuing
+  one request, *waiting for its response*, and issuing the next, until
+  a global request budget is spent.  Offered load adapts to service
+  speed, so a closed loop measures sustained-throughput latency and —
+  with concurrency within the admission bound — never sheds.
+* :func:`open_loop` — requests are submitted on a precomputed arrival
+  schedule *regardless of completions* (the arrival process of real
+  traffic).  When arrivals outrun capacity the queue fills and
+  admission control sheds; the rejections are the result, not a
+  failure of the harness.
+
+Both are deterministic in *workload content*: request ``i`` of the run
+always targets ``mix[i % len(mix)]`` with a payload drawn from an RNG
+seeded by ``(seed, i)``, so the multiset of executed requests — and
+therefore the total simulated event count — is independent of thread
+interleaving.  Only host-time latencies vary between runs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.errors import SkeletonError
+from repro.serve.service import AdmissionError, Service, Ticket
+
+__all__ = ["closed_loop", "open_loop"]
+
+#: A request template: (endpoint name, tenant name).
+Mix = Sequence[tuple[str, str]]
+
+
+def _payload_for(service: Service, endpoint_name: str, index: int,
+                 seed: int) -> Any:
+    endpoint = service.endpoint(endpoint_name)
+    rng = np.random.default_rng((seed, index))
+    return endpoint.default_payload(rng)
+
+
+def closed_loop(service: Service, mix: Mix, *, requests: int,
+                concurrency: int, seed: int = 0,
+                timeout: float = 120.0) -> dict[str, Any]:
+    """Drive ``requests`` requests at fixed ``concurrency``; returns a report.
+
+    Request indices are split round-robin across the clients up front
+    (client ``c`` issues ``c, c+concurrency, c+2·concurrency, …``), so
+    the executed workload is deterministic.  Each client waits for its
+    response before issuing the next request — the closed-loop
+    invariant.  Rejections (possible when ``concurrency`` exceeds the
+    admission bound) are counted and the client moves on.
+    """
+    if requests < 1 or concurrency < 1:
+        raise SkeletonError(
+            f"closed_loop needs requests >= 1 and concurrency >= 1, got "
+            f"{requests}, {concurrency}")
+    if not mix:
+        raise SkeletonError("closed_loop needs a non-empty request mix")
+    counts = {"ok": 0, "error": 0, "rejected": 0}
+    counts_lock = threading.Lock()
+
+    def client(c: int) -> None:
+        for i in range(c, requests, concurrency):
+            endpoint_name, tenant = mix[i % len(mix)]
+            payload = _payload_for(service, endpoint_name, i, seed)
+            try:
+                ticket = service.submit(endpoint_name, payload, tenant=tenant)
+            except AdmissionError:
+                with counts_lock:
+                    counts["rejected"] += 1
+                continue
+            try:
+                ticket.result(timeout=timeout)
+                outcome = "ok"
+            except TimeoutError:
+                raise
+            except BaseException:
+                outcome = "error"
+            with counts_lock:
+                counts[outcome] += 1
+
+    t0 = time.perf_counter()
+    threads = [threading.Thread(target=client, args=(c,), daemon=True)
+               for c in range(concurrency)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    duration = time.perf_counter() - t0
+    return {
+        "mode": "closed-loop",
+        "requests": requests,
+        "concurrency": concurrency,
+        "completed": counts["ok"] + counts["error"],
+        "ok": counts["ok"],
+        "errors": counts["error"],
+        "rejected": counts["rejected"],
+        "duration_s": round(duration, 6),
+        "throughput_rps": round((counts["ok"] + counts["error"]) / duration, 1)
+        if duration > 0 else 0.0,
+    }
+
+
+def open_loop(service: Service, mix: Mix, *, requests: int, rate_rps: float,
+              seed: int = 0, drain_timeout: float = 120.0) -> dict[str, Any]:
+    """Submit ``requests`` arrivals at ``rate_rps`` regardless of completions.
+
+    Interarrival gaps are exponential (seeded — a Poisson arrival
+    process); a submission that trips admission control is counted as
+    shed and the generator moves straight to the next arrival.  After
+    the last arrival the service is drained so the report's completion
+    counts are final.
+    """
+    if requests < 1 or rate_rps <= 0:
+        raise SkeletonError(
+            f"open_loop needs requests >= 1 and rate_rps > 0, got "
+            f"{requests}, {rate_rps}")
+    if not mix:
+        raise SkeletonError("open_loop needs a non-empty request mix")
+    gaps = np.random.default_rng(seed).exponential(1.0 / rate_rps,
+                                                   size=requests)
+    tickets: list[Ticket] = []
+    rejected = 0
+    t0 = time.perf_counter()
+    next_at = t0
+    for i in range(requests):
+        next_at += gaps[i]
+        delay = next_at - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        endpoint_name, tenant = mix[i % len(mix)]
+        payload = _payload_for(service, endpoint_name, i, seed)
+        try:
+            tickets.append(service.submit(endpoint_name, payload,
+                                          tenant=tenant))
+        except AdmissionError:
+            rejected += 1
+    service.wait_idle(timeout=drain_timeout)
+    duration = time.perf_counter() - t0
+    ok = errors = 0
+    for ticket in tickets:
+        record = ticket.record
+        if record is not None and record["status"] == "ok":
+            ok += 1
+        else:
+            errors += 1
+    return {
+        "mode": "open-loop",
+        "requests": requests,
+        "offered_rps": rate_rps,
+        "accepted": len(tickets),
+        "rejected": rejected,
+        "completed": ok + errors,
+        "ok": ok,
+        "errors": errors,
+        "duration_s": round(duration, 6),
+        "achieved_rps": round((ok + errors) / duration, 1)
+        if duration > 0 else 0.0,
+    }

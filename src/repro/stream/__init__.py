@@ -14,7 +14,12 @@ over *streams* (Python iterables) rather than distributed arrays:
   own thread, connected by bounded queues (P3L's ``pipe``),
 * :func:`pipeline_machine` — the same pipeline on the simulated machine,
   one stage per processor, reproducing the textbook fill/drain law
-  ``T ≈ (m + s - 1) · t_stage``.
+  ``T ≈ (m + s - 1) · t_stage``,
+* :mod:`repro.stream.plan` — *stream plans*: the HsSkel ``Stream`` GADT
+  (``stGen``/``stChunk``/``stUnChunk``/``stStop``) as a typed IR whose
+  ``MapPlan`` stage executes each chunk through the SCL compiler, the
+  plan optimizer and the vectorized data plane, with bounded-queue
+  backpressure and stateful stop conditions over infinite sources.
 """
 
 from repro.stream.skeletons import (
@@ -25,6 +30,17 @@ from repro.stream.skeletons import (
     stream_scan,
 )
 from repro.stream.pipeline import pipeline, PipelineStage, pipeline_machine
+from repro.stream.plan import (
+    Chunk,
+    MapPlan,
+    MapSeq,
+    Source,
+    Stop,
+    StreamPlan,
+    StreamRunStats,
+    UnChunk,
+    stream_plan,
+)
 
 __all__ = [
     "stream_map",
@@ -35,4 +51,13 @@ __all__ = [
     "pipeline",
     "PipelineStage",
     "pipeline_machine",
+    "Source",
+    "Chunk",
+    "UnChunk",
+    "MapSeq",
+    "MapPlan",
+    "Stop",
+    "StreamPlan",
+    "StreamRunStats",
+    "stream_plan",
 ]

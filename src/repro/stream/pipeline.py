@@ -15,8 +15,6 @@ measured rather than assumed (and is, in the test-suite).
 from __future__ import annotations
 
 import dataclasses
-import queue
-import threading
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.errors import SkeletonError
@@ -24,10 +22,9 @@ from repro.machine import Comm, Machine, MachineSpec, PERFECT
 from repro.machine.cost import estimate_nbytes
 from repro.machine.simulator import RunResult
 from repro.machine.topology import Ring
+from repro.stream._runner import run_staged
 
 __all__ = ["PipelineStage", "pipeline", "pipeline_machine"]
-
-_SENTINEL = object()
 
 
 @dataclasses.dataclass(frozen=True)
@@ -58,60 +55,28 @@ def pipeline(stages: Sequence["PipelineStage | Callable[[Any], Any]"], *,
     ``pipeline([f, g, h])(xs)`` yields ``h(g(f(x)))`` for each ``x`` in
     order, with the three stages overlapping on consecutive items.
     ``buffer`` bounds each inter-stage queue (backpressure).
+
+    When a stage raises, a poison marker propagates downstream
+    immediately (later stages stop at the failure point rather than
+    processing every in-flight item), the producer is cancelled (so an
+    infinite input terminates), and the *earliest* failure by stage
+    order is raised — concurrent failures in later stages never mask
+    the one that actually cut the stream.  See
+    :mod:`repro.stream._runner` for the full contract.
     """
     parsed = [PipelineStage.of(s) for s in stages]
     if buffer <= 0:
         raise SkeletonError(f"buffer must be positive, got {buffer}")
 
+    def stage_transform(fn: Callable[[Any], Any]):
+        def transform(it: Iterator[Any]) -> Iterator[Any]:
+            for x in it:
+                yield fn(x)
+        return transform
+
     def run(items: Iterable[Any]) -> Iterator[Any]:
-        if not parsed:
-            yield from items
-            return
-        queues: list[queue.Queue] = [queue.Queue(maxsize=buffer)
-                                     for _ in range(len(parsed) + 1)]
-        failure: list[BaseException] = []
-
-        def feeder() -> None:
-            try:
-                for x in items:
-                    queues[0].put(x)
-            except BaseException as exc:  # propagate producer errors
-                failure.append(exc)
-            finally:
-                queues[0].put(_SENTINEL)
-
-        def worker(idx: int) -> None:
-            fn = parsed[idx].fn
-            q_in, q_out = queues[idx], queues[idx + 1]
-            try:
-                while True:
-                    item = q_in.get()
-                    if item is _SENTINEL:
-                        break
-                    q_out.put(fn(item))
-            except BaseException as exc:
-                failure.append(exc)
-                # drain so upstream put() never blocks forever
-                while q_in.get() is not _SENTINEL:
-                    pass
-            finally:
-                q_out.put(_SENTINEL)
-
-        threads = [threading.Thread(target=feeder, daemon=True)]
-        threads += [threading.Thread(target=worker, args=(i,), daemon=True)
-                    for i in range(len(parsed))]
-        for t in threads:
-            t.start()
-        out = queues[-1]
-        while True:
-            item = out.get()
-            if item is _SENTINEL:
-                break
-            yield item
-        for t in threads:
-            t.join()
-        if failure:
-            raise failure[0]
+        yield from run_staged(items, [stage_transform(s.fn) for s in parsed],
+                              buffer=buffer)
 
     return run
 

@@ -1,0 +1,96 @@
+"""Tests for ``python -m repro serve`` and its JSON latency artifact.
+
+:func:`validate_serve_artifact` is the schema check the CI
+``serve-smoke`` job runs against the uploaded artifact; keeping it here
+means the schema and its validator evolve together.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.serve.cli import SCHEMA, default_mix, main, run_serve
+
+
+def validate_serve_artifact(artifact: dict) -> None:
+    """Assert the ``repro serve`` JSON artifact has the v1 shape."""
+    assert artifact["schema"] == SCHEMA
+    assert artifact["mode"] in ("smoke", "full")
+    config = artifact["config"]
+    for key in ("requests", "concurrency", "workers", "nprocs", "seed",
+                "endpoints", "tenants", "burst"):
+        assert key in config, f"config missing {key!r}"
+    assert len(config["endpoints"]) >= 2
+    assert len(config["tenants"]) >= 2
+
+    sustained = artifact["sustained"]
+    load, summary = sustained["load"], sustained["summary"]
+    assert load["mode"] == "closed-loop"
+    assert load["completed"] == config["requests"]
+    assert load["errors"] == 0
+    latency = summary["latency_ms"]
+    assert latency["count"] == load["completed"]
+    for field in ("p50_ms", "p90_ms", "p99_ms", "max_ms", "throughput_rps"):
+        assert latency[field] > 0, f"latency_ms.{field} missing or zero"
+    assert latency["p50_ms"] <= latency["p99_ms"] <= latency["max_ms"]
+    # Every configured endpoint and at least two tenants saw traffic.
+    assert set(summary["by_endpoint"]) == set(config["endpoints"])
+    assert len(summary["by_tenant"]) >= 2
+    assert summary["sim_events"] > 0
+    # Steady state: the lowering cache absorbs effectively all requests.
+    assert summary["plan_cache"]["hit_rate"] > 0.9
+
+    burst = artifact["burst"]
+    assert burst["load"]["mode"] == "open-loop"
+    assert burst["load"]["rejected"] > 0, "burst phase must shed load"
+    assert burst["summary"]["rejected_by_reason"].get("queue-full", 0) \
+        == burst["load"]["rejected"]
+
+
+@pytest.fixture(scope="module")
+def smoke_artifact():
+    return run_serve(requests=64, concurrency=8, workers=2, nprocs=4,
+                     seed=0, burst_requests=40, burst_rate=4000.0,
+                     smoke=True)
+
+
+class TestRunServe:
+    def test_artifact_validates(self, smoke_artifact):
+        validate_serve_artifact(smoke_artifact)
+
+    def test_artifact_is_json_serializable(self, smoke_artifact):
+        parsed = json.loads(json.dumps(smoke_artifact, default=str))
+        assert parsed["schema"] == SCHEMA
+
+    def test_mix_covers_endpoints_and_tenants(self):
+        mix = default_mix()
+        assert {e for e, _ in mix} == {"scan-add", "sumsq", "stream-scan"}
+        assert {t for _, t in mix} == {"free", "pro"}
+
+
+class TestCliEntry:
+    def test_main_writes_artifact(self, tmp_path, capsys):
+        out = tmp_path / "latency.json"
+        code = main(["--smoke", "--requests", "48", "--concurrency", "6",
+                     "--workers", "2", "--out", str(out)])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "sustained closed-loop" in printed
+        assert "by tenant" in printed
+        artifact = json.loads(out.read_text())
+        validate_serve_artifact(artifact)
+        assert artifact["config"]["requests"] == 48
+
+    def test_module_entry_point(self, tmp_path):
+        """`python -m repro serve --smoke` end to end (the CI job)."""
+        out = tmp_path / "latency.json"
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "serve", "--smoke",
+             "--requests", "48", "--out", str(out)],
+            capture_output=True, text=True, timeout=300)
+        assert result.returncode == 0, result.stderr
+        validate_serve_artifact(json.loads(out.read_text()))

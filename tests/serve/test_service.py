@@ -1,0 +1,293 @@
+"""Tests for repro.serve.service — registry, scheduling, admission."""
+
+from __future__ import annotations
+
+import operator
+import threading
+import time
+
+import pytest
+
+from repro.errors import SkeletonError
+from repro.obs import MemorySink
+from repro.scl import Fold, Scan
+from repro.serve import (
+    AdmissionError,
+    PlanEndpoint,
+    PyEndpoint,
+    Service,
+    StreamEndpoint,
+)
+from repro.stream.plan import Chunk, MapPlan
+
+
+def make_service(**kwargs):
+    svc = Service(**kwargs)
+    svc.register(PlanEndpoint("scan-add", Scan(operator.add), nprocs=4))
+    svc.register(PlanEndpoint("fold-add", Fold(operator.add), nprocs=4))
+    return svc
+
+
+class TestRegistry:
+    def test_register_and_list(self):
+        svc = make_service()
+        assert svc.endpoints == ["fold-add", "scan-add"]
+
+    def test_duplicate_name_rejected(self):
+        svc = make_service()
+        with pytest.raises(SkeletonError, match="scan-add"):
+            svc.register(PyEndpoint("scan-add", lambda p: p))
+
+    def test_unknown_endpoint_lookup(self):
+        with pytest.raises(SkeletonError, match="nope"):
+            make_service().endpoint("nope")
+
+    def test_endpoint_validation(self):
+        with pytest.raises(SkeletonError, match="nprocs"):
+            PlanEndpoint("x", Scan(operator.add), nprocs=0)
+        with pytest.raises(SkeletonError, match="topology"):
+            PlanEndpoint("x", Scan(operator.add), nprocs=2, topology="star")
+
+
+class TestExecution:
+    def test_plan_endpoint_result(self):
+        with make_service() as svc:
+            ticket = svc.submit("scan-add", [1.0, 2.0, 3.0, 4.0])
+            assert ticket.result(timeout=30) == pytest.approx(
+                [1.0, 3.0, 6.0, 10.0])
+            assert ticket.done()
+            assert ticket.record["status"] == "ok"
+            assert ticket.record["events"] > 0
+
+    def test_fold_endpoint_scalar(self):
+        with make_service() as svc:
+            assert svc.submit("fold-add", [1.0, 2.0, 3.0, 4.0]).result(
+                timeout=30) == pytest.approx(10.0)
+
+    def test_stream_endpoint(self):
+        svc = Service(workers=2)
+        svc.register(StreamEndpoint(
+            "s", (Chunk(2), MapPlan(Fold(operator.add)))))
+        with svc:
+            out = svc.submit("s", [1.0, 2.0, 3.0]).result(timeout=30)
+        assert out == pytest.approx([3.0, 3.0])
+
+    def test_wrong_payload_size_is_error_completion(self):
+        with make_service() as svc:
+            ticket = svc.submit("scan-add", [1.0, 2.0])  # needs 4
+            with pytest.raises(SkeletonError):
+                ticket.result(timeout=30)
+            assert ticket.record["status"] == "error"
+        assert svc.summary()["errors"] == 1
+
+    def test_default_payload_round_trip(self):
+        import numpy as np
+
+        with make_service() as svc:
+            endpoint = svc.endpoint("scan-add")
+            payload = endpoint.default_payload(np.random.default_rng(0))
+            assert len(payload) == 4
+            assert svc.submit("scan-add", payload).result(timeout=30)
+
+    def test_results_independent_across_requests(self):
+        with make_service(workers=4) as svc:
+            tickets = [(i, svc.submit("fold-add",
+                                      [float(i)] * 4)) for i in range(32)]
+            for i, ticket in tickets:
+                assert ticket.result(timeout=30) == pytest.approx(4.0 * i)
+
+
+class TestAdmissionControl:
+    def test_not_running_rejected(self):
+        svc = make_service()
+        with pytest.raises(AdmissionError) as excinfo:
+            svc.submit("scan-add", [1.0] * 4)
+        assert excinfo.value.rejection.reason == "not-running"
+
+    def test_unknown_endpoint_rejected(self):
+        with make_service() as svc:
+            with pytest.raises(AdmissionError) as excinfo:
+                svc.submit("nope")
+            assert excinfo.value.rejection.reason == "unknown-endpoint"
+
+    def test_queue_full_sheds_with_structured_rejection(self):
+        release = threading.Event()
+        svc = Service(workers=1, max_queue=2)
+        svc.register(PyEndpoint("block", lambda p: release.wait(10)))
+        with svc:
+            tickets = [svc.submit("block")]  # taken by the worker
+            # Fill the queue bound, then overflow it.
+            deadline = time.monotonic() + 5
+            shed = []
+            while len(shed) < 3 and time.monotonic() < deadline:
+                try:
+                    tickets.append(svc.submit("block", tenant="t1"))
+                except AdmissionError as exc:
+                    shed.append(exc.rejection)
+            release.set()
+            for ticket in tickets:
+                ticket.result(timeout=30)
+        assert len(shed) == 3
+        rejection = shed[0]
+        assert rejection.reason == "queue-full"
+        assert rejection.tenant == "t1"
+        assert rejection.queue_depth == 2
+        assert rejection.max_queue == 2
+        d = rejection.to_dict()
+        assert d["reason"] == "queue-full" and "request_id" in d
+        assert svc.summary()["rejected_by_reason"]["queue-full"] == 3
+
+
+class TestFairScheduling:
+    @staticmethod
+    def _gate_service(weights):
+        """One worker; the 'gate' endpoint blocks on an Event payload
+        (quick no-op on None).  Holding the worker on a blocked prime
+        request while the contended batch enqueues makes the dispatch
+        order the pure stride schedule — fully deterministic."""
+        svc = Service(workers=1, max_queue=10_000, tenants=weights)
+        svc.register(PyEndpoint(
+            "gate", lambda p: p.wait(10) if p is not None else None))
+        return svc
+
+    @staticmethod
+    def _hold_worker(svc, tenant):
+        gate = threading.Event()
+        prime = svc.submit("gate", gate, tenant=tenant)
+        deadline = time.monotonic() + 5
+        while svc.queue_depth() > 0:  # worker has dequeued the prime
+            assert time.monotonic() < deadline
+            time.sleep(0.001)
+        return gate, prime
+
+    def _run_contended(self, weights, per_tenant=20):
+        svc = self._gate_service(weights)
+        with svc:
+            gate, prime = self._hold_worker(svc, list(weights)[0])
+            tickets = [svc.submit("gate", None, tenant=tenant)
+                       for _ in range(per_tenant) for tenant in weights]
+            gate.set()
+            prime.result(timeout=30)
+            for ticket in tickets:
+                ticket.result(timeout=60)
+        order = [rec["tenant"] for rec in svc.completions]
+        return order[1:]  # drop the priming request
+
+    def test_weighted_shares_under_contention(self):
+        order = self._run_contended({"free": 1.0, "pro": 3.0})
+        # Stride scheduling: pro (weight 3) gets exactly 6 of every 8
+        # dispatches while both tenants are backlogged.
+        window = order[:8]
+        assert window.count("pro") == 6
+        assert window.count("free") == 2
+
+    def test_equal_weights_alternate(self):
+        order = self._run_contended({"a": 1.0, "b": 1.0})
+        window = order[:10]
+        assert window.count("a") == 5
+        assert window.count("b") == 5
+
+    def test_idle_tenant_does_not_bank_credit(self):
+        """A tenant that sat idle must not burst ahead of active ones
+        when it returns: it resumes at the current virtual time."""
+        svc = self._gate_service({"active": 1.0, "lazy": 1.0})
+        with svc:
+            gate, prime = self._hold_worker(svc, "active")
+            first = [svc.submit("gate", None, tenant="active")
+                     for _ in range(20)]
+            gate.set()
+            prime.result(timeout=30)
+            for t in first:
+                t.result(timeout=30)
+            # "lazy" arrives after "active" consumed 21 dispatches; both
+            # now enqueue 10 each -> dispatches must interleave 1:1, not
+            # give lazy 10 catch-up dispatches first.
+            gate2, prime2 = self._hold_worker(svc, "active")
+            second = [svc.submit("gate", None, tenant=tenant)
+                      for _ in range(10) for tenant in ("active", "lazy")]
+            gate2.set()
+            prime2.result(timeout=30)
+            for t in second:
+                t.result(timeout=30)
+        tail = [r["tenant"] for r in svc.completions][22:]
+        assert tail[:8].count("lazy") == 4
+
+    def test_unknown_tenant_gets_default_weight(self):
+        with make_service() as svc:
+            svc.submit("fold-add", [1.0] * 4,
+                       tenant="walk-in").result(timeout=30)
+        assert "walk-in" in svc.summary()["by_tenant"]
+
+
+class TestObservability:
+    def test_sink_records_requests_and_rejections(self):
+        sink = MemorySink()
+        svc = Service(workers=1, max_queue=1, sink=sink)
+        release = threading.Event()
+        svc.register(PyEndpoint("block", lambda p: release.wait(10)))
+        with svc:
+            tickets = [svc.submit("block")]
+            deadline = time.monotonic() + 5
+            shed = 0
+            while shed < 1 and time.monotonic() < deadline:
+                try:
+                    tickets.append(svc.submit("block"))
+                except AdmissionError:
+                    shed += 1
+            release.set()
+            for t in tickets:
+                t.result(timeout=30)
+        kinds = [e.kind for e in sink.events]
+        assert kinds.count("request") == len(tickets)
+        assert kinds.count("reject") == shed
+        request_event = next(e for e in sink.events if e.kind == "request")
+        assert request_event.detail["endpoint"] == "block"
+        assert request_event.span.label == "block"
+
+    def test_summary_shape(self):
+        with make_service() as svc:
+            for _ in range(5):
+                svc.submit("scan-add", [1.0] * 4).result(timeout=30)
+        summary = svc.summary()
+        assert summary["completed"] == 5
+        assert summary["errors"] == 0
+        assert summary["latency_ms"]["count"] == 5
+        assert summary["latency_ms"]["p99_ms"] >= summary["latency_ms"]["p50_ms"]
+        assert "scan-add" in summary["by_endpoint"]
+        assert summary["sim_events"] > 0
+
+    def test_cache_steady_state(self):
+        with make_service() as svc:
+            for _ in range(25):
+                svc.submit("scan-add", [1.0] * 4).result(timeout=30)
+            cache = svc.cache_stats()
+        assert cache["hit_rate"] > 0.9
+
+    def test_wait_idle_and_queue_depth(self):
+        with make_service() as svc:
+            svc.submit("scan-add", [1.0] * 4)
+            assert svc.wait_idle(timeout=30)
+            assert svc.queue_depth() == 0
+
+
+class TestLifecycle:
+    def test_stop_drains_queued_requests(self):
+        svc = make_service(workers=2)
+        svc.start()
+        tickets = [svc.submit("fold-add", [1.0] * 4) for _ in range(10)]
+        svc.stop(drain=True)
+        assert all(t.done() for t in tickets)
+
+    def test_validation(self):
+        with pytest.raises(SkeletonError, match="workers"):
+            Service(workers=0)
+        with pytest.raises(SkeletonError, match="max_queue"):
+            Service(max_queue=0)
+
+    def test_restart_after_stop(self):
+        svc = make_service()
+        with svc:
+            svc.submit("fold-add", [1.0] * 4).result(timeout=30)
+        with svc:
+            svc.submit("fold-add", [2.0] * 4).result(timeout=30)
+        assert svc.summary()["completed"] == 2

@@ -94,6 +94,109 @@ class TestThreadPipeline:
             pass
 
 
+class TestFailureSemantics:
+    """The PR-7 failure contract: poison propagates immediately, the
+    earliest failure by stage order wins, and infinite inputs always
+    terminate once a stage fails."""
+
+    def test_poison_stops_downstream_promptly(self):
+        """Items submitted after a mid-stream failure never reach the
+        stages below it."""
+        seen = []
+
+        def record(x):
+            seen.append(x)
+            return x
+
+        def boom(x):
+            if x == 5:
+                raise RuntimeError("boom at 5")
+            time.sleep(0.001)
+            return x
+
+        with pytest.raises(RuntimeError, match="boom at 5"):
+            list(pipeline([boom, record], buffer=2)(range(1000)))
+        # The recorder saw at most the healthy prefix plus whatever was
+        # already buffered — nowhere near the full input.
+        assert len(seen) < 50
+
+    def test_earliest_stage_failure_wins(self):
+        """When two stages fail concurrently, the exception raised is the
+        upstream one — deterministically, regardless of thread timing."""
+        import threading
+
+        first_failed = threading.Event()
+
+        def early(x):
+            if x == 3:
+                first_failed.set()
+                raise ValueError("early stage")
+            return x
+
+        def late(x):
+            if x >= 1:
+                # Fail only after the upstream failure has happened, so
+                # both failures are in flight together.
+                first_failed.wait(timeout=5)
+                raise KeyError("late stage")
+            return x
+
+        for _ in range(5):
+            with pytest.raises(ValueError, match="early stage"):
+                list(pipeline([early, late])(range(10)))
+
+    def test_source_failure_beats_stage_failure(self):
+        def bad_source():
+            yield 1
+            raise OSError("source broke")
+
+        def always_fail(x):
+            raise LookupError("stage broke")
+
+        # Both fail; the source is stage -1 and must win.
+        with pytest.raises((OSError, LookupError)) as excinfo:
+            list(pipeline([always_fail])(bad_source()))
+        # The stage consumed item 1 before the source raised, so either
+        # order is *possible* at runtime — but whenever both failures are
+        # recorded, the source's must be the one raised.  Run a variant
+        # where the stage failure definitely lands first:
+        del excinfo
+
+        def fail_fast(x):
+            raise LookupError("stage broke first")
+
+        def slow_bad_source():
+            yield 1
+            time.sleep(0.05)
+            raise OSError("source broke later")
+
+        with pytest.raises(OSError, match="source broke later"):
+            list(pipeline([fail_fast])(slow_bad_source()))
+
+    def test_infinite_input_failure_terminates(self):
+        """A failing stage fed by an infinite generator must cancel the
+        feeder rather than hang (the seed code deadlocked here)."""
+        import itertools
+
+        def boom(x):
+            if x == 20:
+                raise RuntimeError("stop")
+            return x
+
+        start = time.perf_counter()
+        with pytest.raises(RuntimeError, match="stop"):
+            list(pipeline([boom], buffer=4)(itertools.count()))
+        assert time.perf_counter() - start < 10
+
+    def test_consumer_abandonment_cancels_feeder(self):
+        """Closing the output generator early cancels the pipeline."""
+        import itertools
+
+        gen = pipeline([inc], buffer=4)(itertools.count())
+        assert next(gen) == 1
+        gen.close()  # must not hang
+
+
 class TestMachinePipeline:
     def test_results_match_composition(self):
         out, _res = pipeline_machine([inc, dbl], list(range(10)))

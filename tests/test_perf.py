@@ -30,6 +30,10 @@ class TestRunSuite:
         expected |= {f"ring_sweep/p{perf.QUICK_LARGE_RING}",
                      f"compiled_gauss_jordan/p{perf.GAUSS_PROCS}",
                      f"compiled_gauss_jordan_noopt/p{perf.GAUSS_PROCS}"}
+        expected |= {f"service_sustained/p{c}"
+                     for c in perf.QUICK_SERVICE_CONCURRENCY}
+        expected |= {f"stream_chunked/p{ch}"
+                     for ch in perf.QUICK_STREAM_CHUNKS}
         assert set(quick_suite) == expected
 
     def test_filter_restricts_the_suite(self):
@@ -75,6 +79,43 @@ class TestRunSuite:
         # ring sweep: every proc sends and receives `rounds` messages
         rec = quick_suite["ring_sweep/p32"]
         assert rec["events"] == 2 * 32 * 30
+
+
+class TestServiceRows:
+    def test_service_sustained_fields(self, quick_suite):
+        key = f"service_sustained/p{perf.QUICK_SERVICE_CONCURRENCY[0]}"
+        rec = quick_suite[key]
+        assert rec["requests"] == 200
+        assert rec["throughput_rps"] > 0
+        assert 0 < rec["p50_ms"] <= rec["p99_ms"]
+        # Steady state: the lowering cache absorbs ~every request.
+        assert rec["cache_hit_rate"] > 0.9
+
+    def test_service_events_deterministic(self, quick_suite):
+        """Workload content is seeded per request index, so total sim
+        events must not depend on thread interleaving."""
+        key = f"service_sustained/p{perf.QUICK_SERVICE_CONCURRENCY[0]}"
+        again = perf.bench_service_sustained(
+            perf.QUICK_SERVICE_CONCURRENCY[0], requests=200)
+        assert again["events"] == quick_suite[key]["events"]
+        assert again["makespan"] == pytest.approx(
+            quick_suite[key]["makespan"])
+
+    def test_stream_chunked_fields(self, quick_suite):
+        key = f"stream_chunked/p{perf.QUICK_STREAM_CHUNKS[0]}"
+        rec = quick_suite[key]
+        assert rec["items"] == 256
+        assert rec["chunks"] == rec["plan_runs"]
+        assert rec["chunks"] == 256 // perf.QUICK_STREAM_CHUNKS[0]
+        assert rec["items_per_sec"] > 0
+
+    def test_stream_chunked_deterministic_virtual_time(self, quick_suite):
+        key = f"stream_chunked/p{perf.QUICK_STREAM_CHUNKS[0]}"
+        again = perf.bench_stream_chunked(perf.QUICK_STREAM_CHUNKS[0],
+                                          items=256, repeats=1)
+        assert again["events"] == quick_suite[key]["events"]
+        assert again["makespan"] == pytest.approx(
+            quick_suite[key]["makespan"])
 
 
 class TestTraceOverhead:
