@@ -42,6 +42,16 @@ reports.  Three workload families are measured at several machine sizes:
     the second optimized-vs-unoptimized tracked pair, exercising the
     vectorized elementwise kernel rather than opaque fragments.
 
+``tuned_hyperquicksort`` / ``tuned_hyperquicksort_greedy``
+    The cost-driven rewrite search (:mod:`repro.tune`) against the
+    greedy rewriter on the workload built to split them: hyperquicksort
+    plus a naive per-group epilogue whose fetch fusion is a greedy trap
+    (locally plausible, concentrates traffic on a single-port machine).
+    The search row goes through the tuned-plan cache tier, so repeats
+    amortise the beam search; ``speedup_vs_greedy`` ratios the *virtual*
+    makespans — the simulated win of declining the bad law.  The search
+    row also cross-checks both strategies' outputs bit-for-bit.
+
 ``trace_overhead``
     The compiled sort three ways: tracing off, traced into memory, traced
     through a streaming JSONL sink.  The off/traced ratios are the price
@@ -102,6 +112,7 @@ __all__ = [
     "bench_service_sustained",
     "bench_stream_chunked",
     "bench_trace_overhead",
+    "bench_tuned_hyperquicksort",
     "bench_wildcard_funnel",
     "main",
     "median_merge",
@@ -365,6 +376,61 @@ def bench_compiled_gauss_jordan(p: int, *, n: int = 48, seed: int = 19950701,
     return _record(name, p, host, result, n=n)
 
 
+def bench_tuned_hyperquicksort(p: int, *, n: int = 100_000,
+                               seed: int = 19950701, repeats: int = 2,
+                               strategy: str = "search",
+                               beam: int = 4) -> dict[str, Any]:
+    """Search-vs-greedy twin rows on the tuned sort pipeline.
+
+    One strategy per row (``tuned_hyperquicksort`` for the beam search,
+    ``tuned_hyperquicksort_greedy`` for the fixpoint rewriter), both on
+    the single-port hypercube the pipeline is priced for.  The search
+    row's first timed repeat pays the beam search; later repeats hit the
+    tuned-plan cache, so best-of timing tracks amortised execution —
+    ``search_was_cached`` records whether the tier was already warm.
+    The search row additionally runs the greedy winner once and asserts
+    the two programs produce bit-identical blocks: meaning preservation
+    is measured here, not assumed.  ``speedup_vs_greedy`` (the simulated
+    makespan ratio) is attached by :func:`annotate_speedups`.
+    """
+    from repro.plan.lower import plan_cache_stats
+    from repro.tune import run_tuned_hyperquicksort
+
+    d = int(p).bit_length() - 1
+    if 1 << d != p:
+        raise ValueError(f"hyperquicksort needs a power-of-two p, got {p}")
+    values = np.random.default_rng(seed).integers(
+        0, 2**31, size=n).astype(np.int32)
+    misses_before = plan_cache_stats()["tuned_misses"]
+    hold: dict[str, Any] = {}
+
+    def run() -> RunResult:
+        out, result, report = run_tuned_hyperquicksort(
+            values, d, strategy=strategy, beam=beam)
+        hold["out"], hold["report"] = out, report
+        return result
+
+    host, result = _timed(run, repeats=repeats)
+    report = hold["report"]
+    extra: dict[str, Any] = {
+        "strategy": strategy,
+        "rules_applied": len(report.steps),
+    }
+    if strategy == "search":
+        extra["search_was_cached"] = \
+            plan_cache_stats()["tuned_misses"] == misses_before
+        out_g, _res_g, _rep_g = run_tuned_hyperquicksort(
+            values, d, strategy="greedy")
+        identical = all(np.array_equal(np.asarray(a), np.asarray(b))
+                        for a, b in zip(list(hold["out"]), list(out_g)))
+        if not identical:
+            raise AssertionError(
+                f"searched and greedy programs diverged at p={p}")
+    name = ("tuned_hyperquicksort" if strategy == "search"
+            else "tuned_hyperquicksort_greedy")
+    return _record(name, p, host, result, n=n, **extra)
+
+
 def bench_trace_overhead(p: int, *, n: int = 100_000, seed: int = 19950701,
                          repeats: int = 3) -> dict[str, Any]:
     """The compiled sort untraced vs memory-traced vs JSONL-streamed.
@@ -515,6 +581,15 @@ def bench_stream_chunked(chunk: int, *, items: int = 1024,
 #: per-p sweep: the pair tracks the data plane, not scaling).
 GAUSS_PROCS = 8
 
+#: Hypercube dimensions of the ``tuned_hyperquicksort`` search/greedy
+#: twin rows (full / quick).  Fixed rows like the gauss pair: they track
+#: the search-vs-greedy simulated gap, not scaling.  The quick dimension
+#: is the smallest at which the fetch-fusion trap engages (the two
+#: barriers the map fusions save must out-price the funnel per round for
+#: greedy to take the package).
+TUNED_DIM = 7
+QUICK_TUNED_DIM = 5
+
 #: Closed-loop client counts of the ``service_sustained`` rows (full /
 #: quick).  Like the gauss pair these are fixed rows, not a machine-size
 #: sweep: p is the client pool size.
@@ -595,6 +670,12 @@ def run_suite(*, procs: tuple[int, ...] | None = None, quick: bool = False,
         lambda: bench_compiled_gauss_jordan(gp, n=gn))
     run(f"compiled_gauss_jordan_noopt/p{gp}",
         lambda: bench_compiled_gauss_jordan(gp, n=gn, opt="off"))
+    tp = 1 << (QUICK_TUNED_DIM if quick else TUNED_DIM)
+    tn = 20_000 if quick else 100_000
+    run(f"tuned_hyperquicksort/p{tp}",
+        lambda: bench_tuned_hyperquicksort(tp, n=tn, strategy="search"))
+    run(f"tuned_hyperquicksort_greedy/p{tp}",
+        lambda: bench_tuned_hyperquicksort(tp, n=tn, strategy="greedy"))
     for c in (QUICK_SERVICE_CONCURRENCY if quick else SERVICE_CONCURRENCY):
         run(f"service_sustained/p{c}",
             lambda c=c: bench_service_sustained(
@@ -614,11 +695,20 @@ def annotate_speedups(current: dict[str, dict[str, Any]]) -> None:
     ``_noopt`` twin from the same suite — both measured in this process,
     so the ratio cancels host speed.  ``speedup_vs_interp`` ratios the
     full-size compiled_hyperquicksort rows against the frozen PR-4 plan
-    interpreter (``PLAN_INTERP_BASELINE``).  Idempotent: safe to call
-    again after :func:`median_merge` recombines repeats.
+    interpreter (``PLAN_INTERP_BASELINE``).  ``speedup_vs_greedy`` pairs
+    the ``tuned_hyperquicksort`` search row with its ``_greedy`` twin on
+    *virtual* makespan — the simulated (host-independent) win of the
+    cost-driven search declining the fetch-fusion trap.  Idempotent:
+    safe to call again after :func:`median_merge` recombines repeats.
     """
     for key, rec in current.items():
         workload, _, psuffix = key.partition("/")
+        if workload == "tuned_hyperquicksort":
+            twin = current.get(f"tuned_hyperquicksort_greedy/{psuffix}")
+            if twin and twin.get("makespan") and rec.get("makespan"):
+                rec["speedup_vs_greedy"] = round(
+                    twin["makespan"] / rec["makespan"], 3)
+            continue
         if workload not in ("compiled_hyperquicksort", "compiled_gauss_jordan"):
             continue
         twin = current.get(f"{workload}_noopt/{psuffix}")

@@ -21,6 +21,18 @@ setting, so the three stay comparable.  ``--no-opt`` shows the raw
 lowering; ``--diff`` prints the unoptimised listing, the pass notes
 (which rule fired where), and the optimised listing side by side.
 
+``--search`` switches to the cost-driven rewrite search
+(:func:`repro.tune.tune_expression`): instead of dumping one plan it
+prints the explored frontier — each candidate's rule provenance next to
+its pipeline-predicted cost — and, for hyperquicksort, runs both the
+searched winner and the greedy fixpoint on a single-port machine so the
+final table shows predicted *and* simulated cost per strategy plus
+``speedup_vs_greedy``.  The hyperquicksort search uses
+:func:`repro.tune.tuned_sort_pipeline` (the sort plus a naive epilogue
+whose fetch fusion is a trap for the greedy optimizer) and defaults to
+``--dim 5``; ``--beam`` sets the beam width and ``--out`` writes the
+frontier as a JSON artifact (schema ``repro.tune.frontier/v1``).
+
 ::
 
     python -m repro plan hyperquicksort            # d=3 rounds, 4096 keys
@@ -29,6 +41,7 @@ lowering; ``--diff`` prints the unoptimised listing, the pass notes
     python -m repro plan hyperquicksort --tables   # full send/recv tables
     python -m repro plan hyperquicksort --diff     # before/after the passes
     python -m repro plan hyperquicksort --no-opt   # raw lowering only
+    python -m repro plan hyperquicksort --search --beam 4   # rewrite search
 """
 
 from __future__ import annotations
@@ -122,6 +135,148 @@ _APPS = {
     "gauss-jordan": _run_gauss_jordan,
 }
 
+FRONTIER_SCHEMA = "repro.tune.frontier/v1"
+
+
+def _rule_summary(rules) -> str:
+    """Compress a rule chain: ``('a','a','b') -> 'a x2, b'``."""
+    if not rules:
+        return "(original)"
+    counts: dict[str, int] = {}
+    for name in rules:
+        counts[name] = counts.get(name, 0) + 1
+    return ", ".join(f"{name} x{c}" if c > 1 else name
+                     for name, c in counts.items())
+
+
+def _search_main(args) -> int:
+    """``--search``: print the explored frontier, then (hyperquicksort)
+    run searched winner and greedy fixpoint for simulated columns."""
+    import json
+
+    from repro.machine import Hypercube, Machine
+    from repro.tune import tune_expression, tuned_sort_pipeline
+
+    if args.app == "hyperquicksort":
+        d, p = args.dim, 1 << args.dim
+        expr = tuned_sort_pipeline(d)
+        topo = Hypercube(d)
+        title = (f"rewrite search: tuned_sort_pipeline d={d} (p={p}), "
+                 f"beam={args.beam}, {args.spec.name}")
+    else:
+        from repro.apps.linalg import gauss_jordan_expression
+
+        n, p = args.n, args.procs
+        expr = gauss_jordan_expression(n, p, (n, n + 1))
+        topo = None
+        title = (f"rewrite search: gauss-jordan n={n}, p={p}, "
+                 f"beam={args.beam}, {args.spec.name}")
+
+    res = tune_expression(expr, nprocs=p, spec=args.spec, topo=topo,
+                          beam=args.beam, fn_ops=args.fn_ops)
+    print(title)
+    print("=" * len(title))
+    print()
+    print(f"explored {res.explored} candidates in {res.rounds} rounds "
+          f"(beam {res.beam}); winner applied {len(res.best.steps)} "
+          f"rewrites, predicted speedup {res.predicted_speedup:.3f}x")
+    print()
+    rows = []
+    for i, c in enumerate(res.frontier):
+        tag = ("original" if c is res.original
+               else "winner" if c is res.best else "")
+        rows.append([i, tag, _rule_summary(c.rules),
+                     f"{c.cost.seconds:.3e}", c.cost.messages,
+                     c.cost.barriers, c.size])
+    print(render_table(
+        "explored frontier (pipeline-predicted cost, best first)",
+        ["#", "", "rules applied", "pred seconds", "msgs", "barriers",
+         "size"], rows,
+        notes="Every candidate scored by lower -> plan.opt -> plan_cost; "
+              "ties broken toward the smaller expression."))
+
+    simulated = None
+    if args.app == "hyperquicksort":
+        from repro.apps.sort import seq_quicksort
+        from repro.core import Block, parmap, partition
+        from repro.scl.compile import run_expression
+        from repro.scl.optimize import optimize
+
+        rng = np.random.default_rng(args.seed)
+        values = rng.integers(0, 2**31, size=args.n).astype(np.int32)
+        blocks = parmap(seq_quicksort, partition(Block(p), values))
+        winner_expr = res.best.expr if res.improved else expr
+        greedy = optimize(expr, n=p, spec=args.spec, strategy="greedy")
+        out_s, sim_s = run_expression(
+            winner_expr, blocks,
+            Machine(Hypercube(args.dim), spec=args.spec, single_port=True),
+            opt="auto")
+        out_g, sim_g = run_expression(
+            greedy.optimized, blocks,
+            Machine(Hypercube(args.dim), spec=args.spec, single_port=True),
+            opt="auto")
+        identical = all(np.array_equal(np.asarray(a), np.asarray(b))
+                        for a, b in zip(list(out_s), list(out_g)))
+        speedup = sim_g.makespan / sim_s.makespan
+        greedy_rules = tuple(s.rule for s in greedy.steps)
+        print()
+        print(render_table(
+            "searched winner vs greedy fixpoint "
+            "(single-port hypercube run)",
+            ["strategy", "pred seconds", "sim makespan", "sim msgs",
+             "rules"],
+            [["search", f"{res.best.cost.seconds:.3e}",
+              f"{sim_s.makespan:.3e}", sim_s.total_messages,
+              _rule_summary(res.best.rules)],
+             ["greedy", f"{greedy.cost_after.seconds:.3e}",
+              f"{sim_g.makespan:.3e}", sim_g.total_messages,
+              _rule_summary(greedy_rules)]],
+            notes=f"speedup_vs_greedy = {speedup:.3f}x; outputs identical: "
+                  f"{'yes' if identical else 'NO'}"))
+        if not identical:
+            print("error: searched and greedy outputs differ",
+                  file=sys.stderr)
+            return 1
+        simulated = {
+            "search": {"makespan": sim_s.makespan,
+                       "messages": sim_s.total_messages,
+                       "rules": list(res.best.rules)},
+            "greedy": {"makespan": sim_g.makespan,
+                       "messages": sim_g.total_messages,
+                       "rules": list(greedy_rules)},
+            "speedup_vs_greedy": speedup,
+            "outputs_identical": identical,
+        }
+
+    if args.out:
+        artifact = {
+            "schema": FRONTIER_SCHEMA,
+            "generated_by": "python -m repro plan --search",
+            "app": args.app,
+            "spec": args.spec.name,
+            "nprocs": p,
+            "beam": res.beam,
+            "explored": res.explored,
+            "rounds": res.rounds,
+            "predicted_speedup": res.predicted_speedup,
+            "frontier": [{
+                "rules": list(c.rules),
+                "predicted_seconds": c.cost.seconds,
+                "messages": c.cost.messages,
+                "barriers": c.cost.barriers,
+                "size": c.size,
+                "depth": c.depth,
+                "is_winner": c is res.best,
+                "is_original": c is res.original,
+            } for c in res.frontier],
+            "simulated": simulated,
+        }
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(artifact, fh, indent=2)
+            fh.write("\n")
+        print(f"\nwrote {args.out}")
+    return 0
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -132,8 +287,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("-n", type=int, default=None,
                         help="workload size (keys to sort / matrix order; "
                              "defaults: 4096 keys, n=24 system)")
-    parser.add_argument("--dim", type=int, default=3,
-                        help="hypercube dimension for hyperquicksort (p=2^dim)")
+    parser.add_argument("--dim", type=int, default=None,
+                        help="hypercube dimension for hyperquicksort "
+                             "(p=2^dim; default 3, or 5 with --search)")
     parser.add_argument("--procs", type=int, default=6,
                         help="processor count for gauss-jordan")
     parser.add_argument("--seed", type=int, default=19950701)
@@ -153,6 +309,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--diff", action="store_true",
                         help="print the unoptimised listing, the pass notes, "
                              "and the optimised listing")
+    parser.add_argument("--search", action="store_true",
+                        help="run the cost-driven rewrite search and print "
+                             "the explored frontier (predicted vs simulated, "
+                             "rule provenance) instead of one plan dump")
+    parser.add_argument("--beam", type=int, default=4,
+                        help="beam width for --search (default 4)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="with --search: write the frontier as a JSON "
+                             "artifact (schema repro.tune.frontier/v1)")
     return parser
 
 
@@ -160,12 +325,20 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     args.spec = _SPECS[args.spec]
+    if args.dim is None:
+        args.dim = 5 if args.search else 3
     if args.n is None:
         args.n = 4096 if args.app == "hyperquicksort" else 24
     if args.app == "hyperquicksort" and not (1 <= args.dim <= 10):
         print("error: --dim must be between 1 and 10", file=sys.stderr)
         return 2
+    if args.search and args.app == "hyperquicksort" and (1 << args.dim) % 16:
+        print("error: --search needs 16 | 2^dim (--dim >= 4): the tuned "
+              "pipeline groups ranks into blocks of 16", file=sys.stderr)
+        return 2
     args.opt_cfg = OptConfig(spec=args.spec) if args.opt else None
+    if args.search:
+        return _search_main(args)
 
     from repro.scl.plan_pretty import pretty_plan
 

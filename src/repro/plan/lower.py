@@ -20,17 +20,25 @@ virtual processor starts.
 
 from __future__ import annotations
 
+import dataclasses
 from collections import OrderedDict
 
 from repro.errors import SkeletonError
 from repro.plan import ir
 from repro.scl import nodes as N
 
-__all__ = ["lower", "clear_plan_cache", "plan_cache_stats"]
+__all__ = ["lower", "lower_uncached", "tuned_lower", "TunedPlan",
+           "clear_plan_cache", "plan_cache_stats"]
 
 _CACHE: OrderedDict[tuple, ir.Plan] = OrderedDict()
 _CACHE_CAP = 512
-_STATS = {"hits": 0, "misses": 0, "uncachable": 0, "optimized": 0}
+#: Tuned tier: memoised :func:`repro.tune.tune_expression` winners.  Far
+#: smaller than the plan cache because each entry fronts an entire beam
+#: search (hundreds of candidate lowerings), not one lowering.
+_TUNED: OrderedDict[tuple, "TunedPlan"] = OrderedDict()
+_TUNED_CAP = 128
+_STATS = {"hits": 0, "misses": 0, "uncachable": 0, "optimized": 0,
+          "tuned_hits": 0, "tuned_misses": 0}
 
 
 def lower(expr: N.Node, nprocs: int,
@@ -76,17 +84,116 @@ def _optimize(plan: ir.Plan, opt) -> ir.Plan:
     return optimize_plan(plan, opt)
 
 
+def lower_uncached(expr: N.Node, nprocs: int,
+                   grid: tuple[int, int] | None = None,
+                   opt=None) -> ir.Plan:
+    """Like :func:`lower` but without touching the cache or its counters.
+
+    For callers that lower *throwaway* expressions — the beam search
+    scores hundreds of candidates that will never be lowered again, and
+    routing them through the LRU would evict genuinely hot plans and
+    drown the hit-rate metric the service reports.  (Nested
+    ``map``-of-sub-expression lowerings still share the cache: group
+    sub-plans recur across candidates.)
+    """
+    plan = _lower(expr, nprocs, grid)
+    return plan if opt is None else _optimize(plan, opt)
+
+
+@dataclasses.dataclass(frozen=True)
+class TunedPlan:
+    """A beam-searched expression and its lowered plan (tuned-cache value)."""
+
+    #: The searched winner (``original`` when search found no improvement).
+    expr: N.Node
+    #: ``expr`` lowered under the search's :class:`~repro.plan.opt.OptConfig`.
+    plan: ir.Plan
+    #: Rule provenance from the original expression to the winner.
+    steps: tuple
+    #: Pipeline-predicted :class:`~repro.plan.cost.ExprCost` of the
+    #: original expression and of the winner.
+    cost_before: object
+    cost_after: object
+    #: Candidates the search scored to find this plan — what a cache hit
+    #: on this entry avoids re-lowering.
+    explored: int
+
+    @property
+    def improved(self) -> bool:
+        return bool(self.steps)
+
+
+def tuned_lower(expr: N.Node, nprocs: int,
+                grid: tuple[int, int] | None = None,
+                opt=None, *, beam: int = 4, fn_ops: float = 1.0,
+                element_bytes: int | None = None) -> TunedPlan:
+    """Beam-search ``expr``'s rewrite space and lower the winner — cached.
+
+    The tuned tier sits above the plan cache: a hit returns the searched
+    winner's plan without re-running :func:`repro.tune.tune_expression`
+    (whose candidate scoring is hundreds of lowerings — too many distinct
+    expressions for the plan cache's LRU to retain).  Keyed by
+    ``(expr, nprocs, grid, opt, beam, fn_ops, element_bytes)``; ``opt``
+    is the :class:`~repro.plan.opt.OptConfig` candidates are lowered and
+    priced with, so the machine spec and topology signature are part of
+    the key — a plan tuned for a single-port hypercube is never served
+    to a ring.
+    """
+    from repro.plan.opt import OptConfig
+
+    if opt is None:
+        opt = OptConfig()
+    key = (expr, nprocs, grid, opt, beam, fn_ops, element_bytes)
+    try:
+        cached = _TUNED.get(key)
+    except TypeError:
+        _STATS["uncachable"] += 1
+        return _tune_and_lower(expr, nprocs, grid, opt, beam=beam,
+                               fn_ops=fn_ops, element_bytes=element_bytes)
+    if cached is not None:
+        _STATS["tuned_hits"] += 1
+        _TUNED.move_to_end(key)
+        return cached
+    _STATS["tuned_misses"] += 1
+    tuned = _tune_and_lower(expr, nprocs, grid, opt, beam=beam,
+                            fn_ops=fn_ops, element_bytes=element_bytes)
+    _TUNED[key] = tuned
+    while len(_TUNED) > _TUNED_CAP:
+        _TUNED.popitem(last=False)
+    return tuned
+
+
+def _tune_and_lower(expr: N.Node, nprocs: int, grid, opt, *,
+                    beam: int, fn_ops: float,
+                    element_bytes: int | None) -> TunedPlan:
+    from repro.machine.cost import PERFECT
+    from repro.tune import tune_expression
+
+    spec = opt.spec if opt.spec is not None else PERFECT
+    res = tune_expression(expr, nprocs=nprocs, grid=grid, spec=spec,
+                          topo=opt.topo, opt=opt, beam=beam,
+                          fn_ops=fn_ops, element_bytes=element_bytes)
+    winner = res.best if res.improved else res.original
+    plan = lower(winner.expr, nprocs, grid, opt=opt)
+    return TunedPlan(winner.expr, plan, winner.steps,
+                     res.original.cost, winner.cost, res.explored)
+
+
 def clear_plan_cache() -> None:
-    """Drop all cached plans (and reset the hit/miss counters)."""
+    """Drop all cached plans — both tiers — and reset the counters."""
     _CACHE.clear()
-    _STATS.update(hits=0, misses=0, uncachable=0, optimized=0)
+    _TUNED.clear()
+    _STATS.update(hits=0, misses=0, uncachable=0, optimized=0,
+                  tuned_hits=0, tuned_misses=0)
 
 
 def plan_cache_stats() -> dict[str, int]:
     """Cache metrics: ``{"size", "hits", "misses", "uncachable",
-    "optimized"}`` — ``optimized`` counts cache misses that ran the
-    optimizer pipeline (raw lowerings they built on count separately)."""
-    return {"size": len(_CACHE), **_STATS}
+    "optimized", "tuned_size", "tuned_hits", "tuned_misses"}`` —
+    ``optimized`` counts cache misses that ran the optimizer pipeline
+    (raw lowerings they built on count separately); the ``tuned_*``
+    counters track :func:`tuned_lower`'s search-result tier."""
+    return {"size": len(_CACHE), "tuned_size": len(_TUNED), **_STATS}
 
 
 def _lower(expr: N.Node, nprocs: int,

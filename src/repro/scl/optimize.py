@@ -5,10 +5,25 @@ plan the machine executes** (:mod:`repro.plan`) and walking that
 instruction stream with :func:`repro.plan.cost.plan_cost` — predicted
 and simulated cost describe the identical program, which is what lets
 the test-suite check the model's rankings against simulated makespans.
-:func:`optimize` runs the §4 rewrite rules and reports the predicted
-saving — the mechanised version of the paper's "compile time
-optimisation can be systematically realised based on a class of
-transformation rules".
+
+:func:`optimize` chooses among the programs reachable by the §4 rewrite
+rules — the mechanised version of the paper's "compile time optimisation
+can be systematically realised based on a class of transformation
+rules".  Two strategies:
+
+* ``strategy="search"`` (default) — :func:`repro.tune.tune_expression`'s
+  beam search: every candidate is scored through the *whole* pipeline
+  (lower → ``plan.opt`` passes → ``plan.cost``), so a symbolic rewrite
+  is only taken when it improves the plan the machine will actually
+  run.  Rewrites the post-lowering passes recover anyway (map fusion,
+  rotation folding) tie on cost and are accepted for the smaller
+  expression; rewrites that *concentrate* traffic (e.g. fusing two
+  sparse fetches into one high-degree exchange) price worse and are
+  declined — per law, not all-or-nothing.
+* ``strategy="greedy"`` — the original driver, kept as the fallback and
+  the test oracle: apply every rule to fixpoint, price original and
+  result on their **raw** lowerings with :func:`estimate_cost`, and
+  accept the whole package only if it is predicted no slower.
 
 Expressions that have no plan form — ``FoldrFused`` (inherently
 sequential), ``Partition``/``Gather`` (data ingress/egress), grid
@@ -16,7 +31,7 @@ skeletons priced without a grid — fall back to the original
 expression-level model, whose per-node formulas the plan model
 deliberately preserves, so comparisons *across* the two paths (e.g. the
 map-distribution crossover between ``foldr`` and ``fold . map``) remain
-meaningful.
+meaningful under both strategies.
 
 The model is deliberately coarse (it prices *structure*, not user code —
 each opaque function application costs ``fn_ops`` elementary operations).
@@ -168,14 +183,34 @@ class OptimizeReport:
 
 def optimize(node: N.Node, *, n: int, spec: MachineSpec = PERFECT,
              fn_ops: float = 1.0, element_bytes: int | None = None,
-             rules=None) -> OptimizeReport:
-    """Rewrite ``node`` with the §4 rules, keeping the result only when the
-    cost model predicts it is no slower.
+             rules=None, strategy: str = "search", beam: int = 4,
+             topo=None, grid: tuple[int, int] | None = None) -> OptimizeReport:
+    """Optimise ``node`` with the §4 rules under ``strategy`` (see the
+    module docstring for the two strategies).
 
-    All the paper's rules are individually improving under this model, so
-    in practice the rewritten form always wins; the guard protects against
-    user-supplied rule sets.
+    ``beam`` and ``topo`` (a Topology or its signature — the target
+    interconnect the candidate plans are priced for) only apply to
+    ``strategy="search"``; ``grid`` names the 2-D process grid for
+    expressions using grid skeletons.  Under ``"greedy"`` all the
+    paper's rules are individually improving against the raw lowering,
+    so in practice the rewritten form always wins; the cost guard
+    protects against user-supplied rule sets.
     """
+    if strategy == "search":
+        from repro.tune import tune_expression
+
+        res = tune_expression(node, nprocs=n, grid=grid, spec=spec,
+                              topo=topo, rules=rules, beam=beam,
+                              fn_ops=fn_ops, element_bytes=element_bytes)
+        if not res.improved:
+            return OptimizeReport(node, node, res.original.cost,
+                                  res.original.cost, ())
+        return OptimizeReport(node, res.best.expr, res.original.cost,
+                              res.best.cost, res.best.steps)
+    if strategy != "greedy":
+        raise ValueError(
+            f"strategy must be 'search' or 'greedy', got {strategy!r}")
+
     from repro.scl.rewrite import RewriteEngine
     from repro.scl.rules import ALL_RULES
 

@@ -13,17 +13,23 @@ Every application is recorded as a :class:`RewriteStep`, so optimisation
 reports can show *which* law fired where — the paper's "compile time
 optimisation ... systematically realised based on a class of transformation
 rules", made inspectable.
+
+Besides the destructive fixpoint mode, :meth:`RewriteEngine.applications`
+enumerates every expression reachable by exactly *one* rule application
+anywhere in the tree, without modifying the input — the neighbour
+generator that :mod:`repro.tune`'s beam search expands frontiers with.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from typing import Callable, Sequence
 
 from repro.errors import RewriteError
 from repro.scl import nodes as N
 
-__all__ = ["Rule", "RewriteStep", "RewriteEngine"]
+__all__ = ["Rule", "RewriteStep", "RewriteEngine", "RewriteBudgetExhausted"]
 
 #: A window matcher: receives ``window_size`` adjacent steps and returns the
 #: replacement steps, or ``None`` when the rule does not apply.
@@ -65,44 +71,133 @@ class RewriteStep:
         return f"{self.rule}: {b}  ==>  {a}"
 
 
+class RewriteBudgetExhausted(RuntimeWarning):
+    """The ``max_passes`` rule-application budget ran out before fixpoint.
+
+    Issued (once per :meth:`RewriteEngine.rewrite` call) when the engine
+    was built with ``on_exhausted="warn"``; the partial rewrite is still
+    returned, and the warning carries the budget and how many steps were
+    actually applied so callers can react structurally instead of
+    parsing a message.
+    """
+
+    def __init__(self, max_passes: int, applied: int):
+        super().__init__(
+            f"rewrite stopped after {applied} rule applications "
+            f"(max_passes={max_passes}) without reaching a fixpoint; "
+            f"returning the partial rewrite")
+        self.max_passes = max_passes
+        self.applied = applied
+
+
 class RewriteEngine:
     """Applies a rule set to fixpoint, bottom-up."""
 
-    def __init__(self, rules: Sequence[Rule], *, max_passes: int = 200):
+    def __init__(self, rules: Sequence[Rule], *, max_passes: int = 200,
+                 on_exhausted: str = "raise"):
         self.rules = list(rules)
         if max_passes <= 0:
             raise RewriteError(f"max_passes must be positive, got {max_passes}")
+        if on_exhausted not in ("raise", "warn"):
+            raise RewriteError(
+                f"on_exhausted must be 'raise' or 'warn', got {on_exhausted!r}")
         #: Global budget of rule applications per :meth:`rewrite` call —
         #: bounds diverging rule sets even when they keep creating fresh
         #: sub-expressions.
         self.max_passes = max_passes
+        #: What to do when the budget runs out: ``"raise"`` a
+        #: :class:`~repro.errors.RewriteError` (default), or ``"warn"``
+        #: with :class:`RewriteBudgetExhausted` and return the partial
+        #: rewrite plus its (truncated) step log.
+        self.on_exhausted = on_exhausted
 
     def rewrite(self, node: N.Node) -> tuple[N.Node, list[RewriteStep]]:
         """Fully rewrite ``node``; returns the result and the step log."""
         steps: list[RewriteStep] = []
-        out = self._rewrite(node, steps)
+        exhausted: list[bool] = [False]
+        out = self._rewrite(node, steps, exhausted)
+        if exhausted[0]:
+            warnings.warn(RewriteBudgetExhausted(self.max_passes, len(steps)),
+                          stacklevel=2)
         return out, steps
+
+    def applications(self, node: N.Node) -> list[tuple[N.Node, RewriteStep]]:
+        """Enumerate single rule applications, non-destructively.
+
+        Returns every ``(candidate, step)`` where ``candidate`` is the
+        whole expression after exactly one rule application somewhere in
+        the tree (any rule, any window position, any depth) and ``step``
+        records the rule and the rewritten window.  ``node`` itself is
+        never modified, nothing is applied transitively, and the
+        ``max_passes`` budget is not consumed — this is the neighbour
+        set of ``node`` in rewrite space, in deterministic
+        (rule-order, position) order.
+        """
+        out: list[tuple[N.Node, RewriteStep]] = []
+        chain = node.steps if isinstance(node, N.Compose) else (node,)
+        for rule in self.rules:
+            w = rule.window_size
+            if w > len(chain):
+                continue
+            for at in range(len(chain) - w + 1):
+                window = chain[at: at + w]
+                replacement = rule.try_apply(window)
+                if replacement is None:
+                    continue
+                new_chain = chain[:at] + tuple(replacement) + chain[at + w:]
+                out.append((N.compose_nodes(*new_chain),
+                            RewriteStep(rule.name, window, replacement)))
+        if isinstance(node, N.Compose):
+            # chain windows above already cover each element itself; only
+            # descend *strictly inside* the elements to avoid duplicates
+            for i, kid in enumerate(chain):
+                for new_kid, step in self._child_applications(kid):
+                    out.append((N.compose_nodes(
+                        *chain[:i], new_kid, *chain[i + 1:]), step))
+        else:
+            out.extend(self._child_applications(node))
+        return out
 
     # ------------------------------------------------------------ internals
 
-    def _rewrite(self, node: N.Node, steps: list[RewriteStep]) -> N.Node:
-        node = self._rewrite_children(node, steps)
+    def _child_applications(
+            self, node: N.Node) -> list[tuple[N.Node, RewriteStep]]:
+        """Single applications strictly inside ``node``'s children."""
+        out: list[tuple[N.Node, RewriteStep]] = []
+        kids = node.children()
+        for i, kid in enumerate(kids):
+            for new_kid, step in self.applications(kid):
+                new_kids = kids[:i] + (new_kid,) + kids[i + 1:]
+                out.append((node.replace_children(new_kids), step))
+        return out
+
+    def _rewrite(self, node: N.Node, steps: list[RewriteStep],
+                 exhausted: list[bool]) -> N.Node:
+        node = self._rewrite_children(node, steps, exhausted)
         while True:
+            if exhausted[0]:
+                return node
             changed, node = self._apply_here(node, steps)
             if not changed:
                 return node
             if len(steps) >= self.max_passes:
-                raise RewriteError(
-                    f"rewrite exceeded {self.max_passes} rule applications "
-                    f"(diverging rule set?)")
+                if self.on_exhausted == "raise":
+                    raise RewriteError(
+                        f"rewrite exceeded {self.max_passes} rule applications "
+                        f"(diverging rule set?)")
+                exhausted[0] = True
+                return node
             # a rewrite may have produced new sub-expressions — revisit them
-            node = self._rewrite_children(node, steps)
+            node = self._rewrite_children(node, steps, exhausted)
 
-    def _rewrite_children(self, node: N.Node, steps: list[RewriteStep]) -> N.Node:
+    def _rewrite_children(self, node: N.Node, steps: list[RewriteStep],
+                          exhausted: list[bool]) -> N.Node:
+        if exhausted[0]:
+            return node
         kids = node.children()
         if not kids:
             return node
-        new_kids = tuple(self._rewrite(k, steps) for k in kids)
+        new_kids = tuple(self._rewrite(k, steps, exhausted) for k in kids)
         if new_kids == kids:
             return node
         return node.replace_children(new_kids)

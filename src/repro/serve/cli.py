@@ -11,9 +11,16 @@ Runs two phases against a default registry of compiled endpoints:
    queue-depth shedding and the structured :class:`Rejection` path.
 
 The run prints p50/p99/throughput tables and writes a JSON latency
-artifact (``--out``, schema ``repro.serve.latency/v1``).  ``--smoke``
-shrinks the request budget for the CI ``serve-smoke`` job; the artifact
-shape is identical.
+artifact (``--out``, schema ``repro.serve.latency/v2`` — v2 added the
+tuned-plan cache counters to ``plan_cache``).  ``--smoke`` shrinks the
+request budget for the CI ``serve-smoke`` job; the artifact shape is
+identical.
+
+One endpoint (``sumsq-tuned``) is registered with ``tune=True``: its
+first request pays a beam search over the rewrite space
+(:func:`repro.plan.lower.tuned_lower`), every later request hits the
+tuned-plan cache tier — so the sustained phase's tuned-cache hit rate
+should approach 100% just like the plan cache's.
 """
 
 from __future__ import annotations
@@ -25,14 +32,14 @@ import sys
 from typing import Any
 
 from repro.obs.latency import render_latency_table
-from repro.scl.nodes import Fold, Map, Scan, compose_nodes
+from repro.scl.nodes import Fold, Map, Rotate, Scan, compose_nodes
 from repro.serve.loadgen import closed_loop, open_loop
 from repro.serve.service import PlanEndpoint, Service, StreamEndpoint
 from repro.stream.plan import Chunk, MapPlan
 
 __all__ = ["main", "build_service", "default_mix", "run_serve"]
 
-SCHEMA = "repro.serve.latency/v1"
+SCHEMA = "repro.serve.latency/v2"
 
 #: Tenant weights for the default registry: ``pro`` is entitled to 3x
 #: the dispatch rate of ``free`` under contention.
@@ -43,14 +50,22 @@ def _square(x: float) -> float:
     return x * x
 
 
+def _halve(x: float) -> float:
+    return x * 0.5
+
+
 def build_service(*, workers: int = 4, max_queue: int = 128,
                   nprocs: int = 4) -> Service:
     """The default endpoint registry behind ``python -m repro serve``.
 
-    Two compiled plan endpoints plus one stream endpoint — enough to
+    Three compiled plan endpoints plus one stream endpoint — enough to
     exercise distinct plan-cache entries, reducing vs. non-reducing
-    result shapes, and chunked stream lowering, while staying small
-    enough that the cache reaches steady state within a few requests.
+    result shapes, chunked stream lowering, and the tuned-plan cache
+    tier (``sumsq-tuned`` is the naive spelling of ``sumsq`` — adjacent
+    un-fused maps and a redundant rotate pair — served with
+    ``tune=True``, so the beam search simplifies it once and the tuned
+    tier replays the winner), while staying small enough that both
+    caches reach steady state within a few requests.
     """
     service = Service(workers=workers, max_queue=max_queue,
                       tenants=dict(DEFAULT_TENANTS))
@@ -59,16 +74,21 @@ def build_service(*, workers: int = 4, max_queue: int = 128,
     service.register(PlanEndpoint(
         "sumsq", compose_nodes(Fold(operator.add), Map(_square)),
         nprocs=nprocs))
+    service.register(PlanEndpoint(
+        "sumsq-tuned",
+        compose_nodes(Fold(operator.add), Map(_halve), Map(_square),
+                      Rotate(1), Rotate(-1)),
+        nprocs=nprocs, tune=True))
     service.register(StreamEndpoint(
         "stream-scan", (Chunk(nprocs), MapPlan(Scan(operator.add)))))
     return service
 
 
 def default_mix() -> list[tuple[str, str]]:
-    """The seeded endpoint x tenant request mix (8-request period).
+    """The seeded endpoint x tenant request mix (10-request period).
 
-    ``pro`` issues 5/8 of the traffic (matching its 3x weight being the
-    majority entitlement), ``free`` 3/8; all three endpoints appear for
+    ``pro`` issues 6/10 of the traffic (matching its 3x weight being the
+    majority entitlement), ``free`` 4/10; all four endpoints appear for
     both tenants.
     """
     return [
@@ -76,9 +96,11 @@ def default_mix() -> list[tuple[str, str]]:
         ("sumsq", "free"),
         ("stream-scan", "pro"),
         ("scan-add", "free"),
+        ("sumsq-tuned", "pro"),
         ("sumsq", "pro"),
         ("scan-add", "pro"),
         ("stream-scan", "free"),
+        ("sumsq-tuned", "free"),
         ("sumsq", "pro"),
     ]
 
@@ -115,7 +137,8 @@ def run_serve(*, requests: int, concurrency: int, workers: int,
             "workers": workers,
             "nprocs": nprocs,
             "seed": seed,
-            "endpoints": ["scan-add", "sumsq", "stream-scan"],
+            "endpoints": ["scan-add", "sumsq", "sumsq-tuned",
+                          "stream-scan"],
             "tenants": dict(DEFAULT_TENANTS),
             "burst": {"requests": burst_requests, "rate_rps": burst_rate,
                       "max_queue": 4, "workers": 1},
@@ -131,6 +154,11 @@ def _report(artifact: dict[str, Any]) -> str:
     summary = sustained["summary"]
     cache = summary["plan_cache"]
     load = sustained["load"]
+    tuned_note = ""
+    if cache.get("tuned_hit_rate") is not None:
+        tuned_note = (f"; tuned cache {cache['tuned_hits']} hits / "
+                      f"{cache['tuned_misses']} misses "
+                      f"(hit rate {cache['tuned_hit_rate']:.0%})")
     lines = [
         render_latency_table(
             f"repro serve — sustained closed-loop ({artifact['mode']})",
@@ -139,7 +167,7 @@ def _report(artifact: dict[str, Any]) -> str:
                   f"/ {load['rejected']} shed at concurrency "
                   f"{load['concurrency']}; plan cache {cache['hits']} hits / "
                   f"{cache['misses']} misses "
-                  f"(hit rate {cache['hit_rate']:.0%})"),
+                  f"(hit rate {cache['hit_rate']:.0%})" + tuned_note),
         "",
         render_latency_table(
             "by tenant (weights: " + ", ".join(

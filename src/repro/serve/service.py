@@ -72,6 +72,12 @@ class PlanEndpoint:
     opt: Any = "auto"
     fragment_ops: float = DEFAULT_FRAGMENT_OPS
     topology: str = "ring"
+    #: Route the expression through :func:`repro.plan.lower.tuned_lower`:
+    #: the first request pays a beam search over the rewrite space
+    #: (scored against this endpoint's machine), every later request
+    #: hits the tuned-plan cache tier and runs the searched winner.
+    tune: bool = False
+    beam: int = 4
 
     def __post_init__(self) -> None:
         if self.nprocs < 1:
@@ -107,8 +113,17 @@ class PlanEndpoint:
         machine = machines.get(self.name)
         if machine is None:
             machine = machines[self.name] = self._machine()
+        expr = self.expr
+        if self.tune:
+            from repro.plan.lower import tuned_lower
+            from repro.scl.compile import resolve_opt
+
+            tuned = tuned_lower(self.expr, self.nprocs,
+                                opt=resolve_opt(self.opt, machine),
+                                beam=self.beam)
+            expr = tuned.expr
         out, result = run_expression(
-            self.expr, ParArray(values), machine,
+            expr, ParArray(values), machine,
             fragment_default_ops=self.fragment_ops, label=self.name,
             opt=self.opt)
         if isinstance(out, ParArray):
@@ -512,15 +527,26 @@ class Service:
             return self._queued
 
     def cache_stats(self) -> dict[str, Any]:
-        """Plan-cache traffic since :meth:`start` (hits, misses, hit rate)."""
+        """Plan-cache traffic since :meth:`start`, both tiers: plan-cache
+        hits/misses/hit rate plus the tuned-plan tier's counters (zero
+        unless some endpoint sets ``tune=True``)."""
         now = plan_cache_stats()
         hits = now["hits"] - self._cache_at_start.get("hits", 0)
         misses = now["misses"] - self._cache_at_start.get("misses", 0)
         total = hits + misses
+        tuned_hits = now["tuned_hits"] \
+            - self._cache_at_start.get("tuned_hits", 0)
+        tuned_misses = now["tuned_misses"] \
+            - self._cache_at_start.get("tuned_misses", 0)
+        tuned_total = tuned_hits + tuned_misses
         return {
             "hits": hits,
             "misses": misses,
             "hit_rate": round(hits / total, 4) if total else None,
+            "tuned_hits": tuned_hits,
+            "tuned_misses": tuned_misses,
+            "tuned_hit_rate": (round(tuned_hits / tuned_total, 4)
+                               if tuned_total else None),
         }
 
     def summary(self) -> dict[str, Any]:

@@ -104,7 +104,11 @@ class TestExpressionPipelineEndToEnd:
             Rotate(3),
             Rotate(-3),
         )
-        rep = optimize(prog, n=32)
+        # greedy oracle: prices the raw lowering, where the folded
+        # rotations and fused maps show up as fewer barriers (the search
+        # strategy's pipeline cost recovers both via plan.opt, so there
+        # the before/after barrier counts tie)
+        rep = optimize(prog, n=32, strategy="greedy")
         pa = ParArray(xs)
         assert evaluate(prog, pa) == evaluate(rep.optimized, pa)
         assert rep.cost_after.barriers < rep.cost_before.barriers

@@ -87,3 +87,52 @@ class TestPlanCommand:
         out = capsys.readouterr().out
         assert code == 0
         assert "plan over 4 ranks" in out
+
+
+class TestSearchMode:
+    def test_search_prints_frontier_and_strategy_table(self, capsys):
+        code, out = run_cli(capsys, "hyperquicksort", "--search",
+                            "--beam", "2", "--dim", "4", "-n", "512")
+        assert code == 0
+        assert "rewrite search: tuned_sort_pipeline d=4" in out
+        assert "explored frontier" in out
+        assert "winner" in out and "original" in out
+        assert "map-fusion" in out  # rule provenance rendered
+        assert "speedup_vs_greedy" in out
+        assert "outputs identical: yes" in out
+
+    def test_search_artifact_parses_and_has_the_v1_shape(self, capsys,
+                                                         tmp_path):
+        out_path = tmp_path / "frontier.json"
+        code, out = run_cli(capsys, "hyperquicksort", "--search",
+                            "--beam", "2", "--dim", "4", "-n", "512",
+                            "--out", str(out_path))
+        assert code == 0
+        import json
+
+        artifact = json.loads(out_path.read_text())
+        assert artifact["schema"] == plan_cli.FRONTIER_SCHEMA
+        assert artifact["beam"] == 2 and artifact["explored"] >= 1
+        frontier = artifact["frontier"]
+        assert sum(c["is_winner"] for c in frontier) == 1
+        assert sum(c["is_original"] for c in frontier) == 1
+        winner = next(c for c in frontier if c["is_winner"])
+        original = next(c for c in frontier if c["is_original"])
+        # search never predicts a regression against doing nothing
+        assert winner["predicted_seconds"] <= original["predicted_seconds"]
+        assert all("rules" in c and "depth" in c for c in frontier)
+        sim = artifact["simulated"]
+        assert sim["outputs_identical"] is True
+        assert sim["speedup_vs_greedy"] > 0
+        assert sim["search"]["makespan"] <= sim["greedy"]["makespan"] * 1.001
+
+    def test_search_gauss_jordan_frontier_only(self, capsys):
+        code, out = run_cli(capsys, "gauss-jordan", "--search", "-n", "8",
+                            "--procs", "2")
+        assert code == 0
+        assert "rewrite search: gauss-jordan" in out
+        assert "explored frontier" in out
+        assert "speedup_vs_greedy" not in out  # no simulated phase
+
+    def test_search_rejects_unblocked_dim(self, capsys):
+        assert plan_cli.main(["hyperquicksort", "--search", "--dim", "3"]) == 2

@@ -6,6 +6,11 @@ executes, so the claim is checkable: for randomly-generated expressions
 and their §4-rule rewrites, whenever the model predicts an improvement
 the simulated makespan must not get worse — on the same machine spec the
 model priced (with function costs aligned between model and fragments).
+
+Everything here pins ``strategy="greedy"``: these tests compare the
+*raw-lowering* cost model against *unoptimised* execution, which is the
+greedy oracle's world.  The search strategy prices through ``plan.opt``
+instead; its counterpart lives in ``tests/scl/test_tune_properties.py``.
 """
 
 from __future__ import annotations
@@ -59,7 +64,7 @@ def _simulate(expr) -> tuple[list, float]:
 @given(expr=rewrite_candidates())
 def test_predicted_improvements_are_real(expr):
     report = optimize(expr, n=P, spec=AP1000, fn_ops=FN_OPS,
-                      element_bytes=AP1000.word_bytes)
+                      element_bytes=AP1000.word_bytes, strategy="greedy")
     before_out, before_s = _simulate(report.original)
     after_out, after_s = _simulate(report.optimized)
     # rewrites preserve meaning...
@@ -73,7 +78,7 @@ def test_predicted_improvements_are_real(expr):
 @given(expr=rewrite_candidates())
 def test_predicted_message_counts_match_simulation(expr):
     report = optimize(expr, n=P, spec=AP1000, fn_ops=FN_OPS,
-                      element_bytes=AP1000.word_bytes)
+                      element_bytes=AP1000.word_bytes, strategy="greedy")
     for node, cost in ((report.original, report.cost_before),
                        (report.optimized, report.cost_after)):
         _out, _ = _simulate(node)
@@ -95,7 +100,8 @@ def test_the_papers_headline_pairs_rank_correctly(rng):
     ]
     for expr, label in pairs:
         report = optimize(expr, n=P, spec=AP1000, fn_ops=FN_OPS,
-                          element_bytes=AP1000.word_bytes)
+                          element_bytes=AP1000.word_bytes,
+                          strategy="greedy")
         assert report.accepted, label
         _out_b, before_s = _simulate(report.original)
         _out_a, after_s = _simulate(report.optimized)

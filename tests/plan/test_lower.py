@@ -14,7 +14,12 @@ import pytest
 from repro.core.partition import Block
 from repro.errors import SkeletonError
 from repro.plan import ir
-from repro.plan.lower import clear_plan_cache, lower, plan_cache_stats
+from repro.plan.lower import (
+    clear_plan_cache,
+    lower,
+    plan_cache_stats,
+    tuned_lower,
+)
 from repro.scl import (
     AlignFetch,
     Brdcast,
@@ -174,8 +179,10 @@ class TestPlanCache:
     def test_clear_resets_everything(self):
         lower(Rotate(1), 8)
         clear_plan_cache()
-        assert plan_cache_stats() == {"size": 0, "hits": 0, "misses": 0,
-                                      "uncachable": 0, "optimized": 0}
+        assert plan_cache_stats() == {
+            "size": 0, "tuned_size": 0, "hits": 0, "misses": 0,
+            "uncachable": 0, "optimized": 0,
+            "tuned_hits": 0, "tuned_misses": 0}
 
     def test_unhashable_expressions_still_lower(self):
         # Brdcast of an unhashable value can't key the cache but must work.
@@ -187,3 +194,55 @@ class TestPlanCache:
     def test_scan_and_fold_cache_separately(self):
         op = lambda a, b: a + b  # noqa: E731
         assert lower(Scan(op), 8) is not lower(Fold(op), 8)
+
+
+def _inc(x):
+    return x + 1
+
+
+def _dbl(x):
+    return x * 2
+
+
+class TestTunedCache:
+    """The tuned tier: beam-search winners memoised above the plan cache."""
+
+    def test_hit_returns_the_same_tuned_plan(self):
+        expr = compose_nodes(Map(_inc), Map(_dbl), Rotate(1), Rotate(-1))
+        first = tuned_lower(expr, 8)
+        stats = plan_cache_stats()
+        assert stats["tuned_misses"] == 1 and stats["tuned_hits"] == 0
+        assert tuned_lower(expr, 8) is first
+        stats = plan_cache_stats()
+        assert stats["tuned_hits"] == 1 and stats["tuned_size"] == 1
+
+    def test_search_found_the_rewrites(self):
+        expr = compose_nodes(Map(_inc), Map(_dbl), Rotate(1), Rotate(-1))
+        tuned = tuned_lower(expr, 8)
+        assert tuned.improved
+        rules = {s.rule for s in tuned.steps}
+        assert "rotate-fusion" in rules
+        assert tuned.cost_after.seconds <= tuned.cost_before.seconds
+
+    def test_beam_is_part_of_the_key(self):
+        expr = compose_nodes(Map(_inc), Rotate(1), Rotate(-1))
+        tuned_lower(expr, 8, beam=1)
+        tuned_lower(expr, 8, beam=2)
+        assert plan_cache_stats()["tuned_misses"] == 2
+
+    def test_opt_config_is_part_of_the_key(self):
+        from repro.machine.cost import AP1000
+        from repro.plan.opt import OptConfig
+
+        expr = compose_nodes(Map(_inc), Rotate(1), Rotate(-1))
+        tuned_lower(expr, 8, opt=OptConfig())
+        tuned_lower(expr, 8, opt=OptConfig(spec=AP1000,
+                                           topo=("Ring", 8)))
+        assert plan_cache_stats()["tuned_misses"] == 2
+
+    def test_clear_drops_the_tuned_tier(self):
+        expr = compose_nodes(Map(_inc), Rotate(1), Rotate(-1))
+        tuned_lower(expr, 8)
+        clear_plan_cache()
+        stats = plan_cache_stats()
+        assert stats["tuned_size"] == 0 and stats["tuned_misses"] == 0

@@ -113,11 +113,26 @@ class TestEstimateCost:
 
 class TestOptimize:
     def test_accepts_improving_rewrite(self):
+        # greedy oracle: prices the raw lowering, where map fusion shows
+        # up as a barrier saved (search's pipeline cost recovers the
+        # fusion via plan.opt, so there the two forms tie on cost and
+        # the rewrite is taken on expression size instead)
         prog = compose_nodes(Map(lambda x: x), Map(lambda x: x))
-        rep = optimize(prog, n=64, spec=AP1000)
+        rep = optimize(prog, n=64, spec=AP1000, strategy="greedy")
         assert rep.accepted
         assert rep.speedup > 1.0
         assert rep.cost_after.barriers < rep.cost_before.barriers
+
+    def test_search_takes_cost_invisible_fusion_for_size(self):
+        prog = compose_nodes(Map(lambda x: x), Map(lambda x: x))
+        rep = optimize(prog, n=64, spec=AP1000, strategy="search")
+        assert rep.accepted
+        assert rep.speedup == pytest.approx(1.0)
+        assert "map-fusion" in {s.rule for s in rep.steps}
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="strategy"):
+            optimize(Rotate(1), n=8, strategy="annealing")
 
     def test_noop_when_nothing_matches(self):
         prog = Rotate(1)

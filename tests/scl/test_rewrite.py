@@ -6,7 +6,12 @@ import pytest
 
 from repro.errors import RewriteError
 from repro.scl import Id, Map, Rotate, Spmd, Stage, compose_nodes
-from repro.scl.rewrite import RewriteEngine, Rule, RewriteStep
+from repro.scl.rewrite import (
+    RewriteBudgetExhausted,
+    RewriteEngine,
+    RewriteStep,
+    Rule,
+)
 from repro.scl.rules import MAP_FUSION, ROTATE_FUSION
 
 
@@ -86,3 +91,93 @@ class TestEngine:
         out, steps = RewriteEngine([ROTATE_FUSION]).rewrite(prog)
         assert len(steps) == 1
         assert Rotate(3) in out.steps
+
+
+class TestBudgetExhaustion:
+    # a terminating-but-slow rule: counts a rotation down one step at a
+    # time, so the budget can run out mid-flight without divergence
+    countdown = Rule("countdown", 1,
+                     lambda w: (Rotate(w[0].k - 1),)
+                     if isinstance(w[0], Rotate) and w[0].k > 0 else None)
+
+    def test_warn_mode_returns_partial_rewrite(self):
+        engine = RewriteEngine([self.countdown], max_passes=3,
+                               on_exhausted="warn")
+        with pytest.warns(RewriteBudgetExhausted):
+            out, steps = engine.rewrite(Rotate(10))
+        assert out == Rotate(7)  # 3 of the 10 applications happened
+        assert len(steps) == 3
+
+    def test_warning_is_structured_not_just_text(self):
+        engine = RewriteEngine([self.countdown], max_passes=3,
+                               on_exhausted="warn")
+        with pytest.warns(RewriteBudgetExhausted) as caught:
+            engine.rewrite(Rotate(10))
+        (record,) = caught.list
+        assert record.message.max_passes == 3
+        assert record.message.applied == 3
+        assert "max_passes=3" in str(record.message)
+
+    def test_warn_mode_is_silent_when_fixpoint_fits(self):
+        import warnings
+
+        engine = RewriteEngine([self.countdown], max_passes=50,
+                               on_exhausted="warn")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            out, steps = engine.rewrite(Rotate(10))
+        assert out == Rotate(0)
+        assert len(steps) == 10
+
+    def test_default_mode_still_raises(self):
+        engine = RewriteEngine([self.countdown], max_passes=3)
+        with pytest.raises(RewriteError, match="diverging"):
+            engine.rewrite(Rotate(10))
+
+    def test_invalid_on_exhausted_rejected(self):
+        with pytest.raises(RewriteError, match="on_exhausted"):
+            RewriteEngine([], on_exhausted="ignore")
+
+
+class TestApplications:
+    def test_enumerates_every_window_position(self):
+        prog = compose_nodes(Rotate(1), Rotate(2), Rotate(3))
+        neighbours = RewriteEngine([ROTATE_FUSION]).applications(prog)
+        exprs = [e for e, _ in neighbours]
+        assert exprs == [compose_nodes(Rotate(3), Rotate(3)),
+                         compose_nodes(Rotate(1), Rotate(5))]
+
+    def test_input_is_not_modified(self):
+        prog = compose_nodes(Rotate(1), Rotate(2))
+        RewriteEngine([ROTATE_FUSION]).applications(prog)
+        assert prog == compose_nodes(Rotate(1), Rotate(2))
+
+    def test_steps_carry_provenance(self):
+        prog = compose_nodes(Rotate(1), Rotate(2))
+        ((expr, step),) = RewriteEngine([ROTATE_FUSION]).applications(prog)
+        assert expr == Rotate(3)
+        assert step.rule == "rotate-fusion"
+        assert step.before == (Rotate(1), Rotate(2))
+
+    def test_nothing_applied_transitively(self):
+        # one application only: the chain of four fuses pairwise, never
+        # all the way to Rotate(4) in a single neighbour
+        prog = compose_nodes(*[Rotate(1) for _ in range(4)])
+        neighbours = RewriteEngine([ROTATE_FUSION]).applications(prog)
+        assert all(Rotate(4) != e for e, _ in neighbours)
+        assert len(neighbours) == 3
+
+    def test_descends_into_children_without_duplicates(self):
+        prog = Map(compose_nodes(Rotate(1), Rotate(2)))
+        neighbours = RewriteEngine([ROTATE_FUSION]).applications(prog)
+        assert [e for e, _ in neighbours] == [Map(Rotate(3))]
+
+    def test_budget_is_not_consumed(self):
+        engine = RewriteEngine([ROTATE_FUSION], max_passes=1)
+        prog = compose_nodes(*[Rotate(1) for _ in range(8)])
+        # 7 adjacent windows enumerated despite max_passes=1
+        assert len(engine.applications(prog)) == 7
+
+    def test_no_rules_no_neighbours(self):
+        prog = compose_nodes(Rotate(1), Rotate(2))
+        assert RewriteEngine([]).applications(prog) == []

@@ -17,8 +17,8 @@ from repro.serve.cli import SCHEMA, default_mix, main, run_serve
 
 
 def validate_serve_artifact(artifact: dict) -> None:
-    """Assert the ``repro serve`` JSON artifact has the v1 shape."""
-    assert artifact["schema"] == SCHEMA
+    """Assert the ``repro serve`` JSON artifact has the v2 shape."""
+    assert artifact["schema"] == SCHEMA == "repro.serve.latency/v2"
     assert artifact["mode"] in ("smoke", "full")
     config = artifact["config"]
     for key in ("requests", "concurrency", "workers", "nprocs", "seed",
@@ -41,8 +41,13 @@ def validate_serve_artifact(artifact: dict) -> None:
     assert set(summary["by_endpoint"]) == set(config["endpoints"])
     assert len(summary["by_tenant"]) >= 2
     assert summary["sim_events"] > 0
-    # Steady state: the lowering cache absorbs effectively all requests.
-    assert summary["plan_cache"]["hit_rate"] > 0.9
+    # Steady state: the lowering cache absorbs effectively all requests,
+    # and the tuned tier (v2) absorbs every tuned request after the
+    # first worker's beam search.
+    cache = summary["plan_cache"]
+    assert cache["hit_rate"] > 0.9
+    assert cache["tuned_hits"] > 0
+    assert cache["tuned_hit_rate"] > 0.5
 
     burst = artifact["burst"]
     assert burst["load"]["mode"] == "open-loop"
@@ -68,7 +73,8 @@ class TestRunServe:
 
     def test_mix_covers_endpoints_and_tenants(self):
         mix = default_mix()
-        assert {e for e, _ in mix} == {"scan-add", "sumsq", "stream-scan"}
+        assert {e for e, _ in mix} == {"scan-add", "sumsq", "sumsq-tuned",
+                                       "stream-scan"}
         assert {t for _, t in mix} == {"free", "pro"}
 
 

@@ -34,6 +34,9 @@ class TestRunSuite:
                      for c in perf.QUICK_SERVICE_CONCURRENCY}
         expected |= {f"stream_chunked/p{ch}"
                      for ch in perf.QUICK_STREAM_CHUNKS}
+        tp = 1 << perf.QUICK_TUNED_DIM
+        expected |= {f"tuned_hyperquicksort/p{tp}",
+                     f"tuned_hyperquicksort_greedy/p{tp}"}
         assert set(quick_suite) == expected
 
     def test_filter_restricts_the_suite(self):
@@ -116,6 +119,27 @@ class TestServiceRows:
         assert again["events"] == quick_suite[key]["events"]
         assert again["makespan"] == pytest.approx(
             quick_suite[key]["makespan"])
+
+
+class TestTunedRows:
+    def test_search_row_pairs_with_its_greedy_twin(self, quick_suite):
+        tp = 1 << perf.QUICK_TUNED_DIM
+        search = quick_suite[f"tuned_hyperquicksort/p{tp}"]
+        greedy = quick_suite[f"tuned_hyperquicksort_greedy/p{tp}"]
+        assert search["strategy"] == "search"
+        assert greedy["strategy"] == "greedy"
+        assert search["speedup_vs_greedy"] == round(
+            greedy["makespan"] / search["makespan"], 3)
+        # the acceptance claim the harness tracks: on the engineered
+        # workload the searched plan strictly beats greedy's fixpoint
+        assert search["makespan"] < greedy["makespan"]
+        # search declined greedy's traffic-concentrating fetch fusions
+        assert search["rules_applied"] < greedy["rules_applied"]
+
+    def test_tuned_cache_flag_recorded(self, quick_suite):
+        tp = 1 << perf.QUICK_TUNED_DIM
+        rec = quick_suite[f"tuned_hyperquicksort/p{tp}"]
+        assert "search_was_cached" in rec
 
 
 class TestTraceOverhead:
