@@ -13,6 +13,7 @@
     python -m repro plan hyperquicksort  # dump a lowered plan + its costs
     python -m repro trace hyperquicksort # traced run: spans, critical path
     python -m repro serve                # skeleton service under load
+    python -m repro metrics serve        # live metrics dashboard of a run
     python -m repro table1 -n 20000 --seed 7   # smaller/quicker variants
 
 Each command prints the reproduced table to stdout; ``--spec`` switches the
@@ -176,7 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
                     "Structured Composition' (PPoPP 1995).")
     parser.add_argument("command",
                         choices=[*_COMMANDS, "all", "perf", "chaos", "plan",
-                                 "trace", "serve"],
+                                 "trace", "serve", "metrics"],
                         help="which artefact to regenerate ('perf' runs the "
                              "simulator performance suite, 'chaos' the "
                              "fault-injection sweep, 'plan' dumps a lowered "
@@ -225,6 +226,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.serve import cli as serve_cli
 
         return serve_cli.main(argv[1:])
+    if argv[:1] == ["metrics"]:
+        # And the live-metrics dashboard (<app>/--from/--prom/...).
+        from repro.obs import metrics_cli
+
+        return metrics_cli.main(argv[1:])
     args = build_parser().parse_args(argv)
     args.spec = _SPECS[args.spec]
     if args.max_dim < 1 or args.max_dim > 10:

@@ -82,6 +82,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="machine cost model")
     parser.add_argument("--out", default=None,
                         help="also write the table as JSON to this path")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write a repro.obs.metrics/v1 artifact with "
+                             "the machine_faults_total counters per rate")
     return parser
 
 
@@ -215,6 +218,24 @@ def main(argv: list[str] | None = None) -> int:
         with open(args.out, "w", encoding="utf-8") as fh:
             json.dump(artifact, fh, indent=2, default=float)
         print(f"wrote {args.out}")
+
+    if args.metrics_out:
+        from repro.obs.metrics import (MetricsRegistry, metrics_artifact,
+                                       observe_fault_counters)
+
+        registry = MetricsRegistry()
+        for row in rows:
+            observe_fault_counters(
+                registry,
+                {k: row[k] for k in ("retransmits", "timeouts", "dropped",
+                                     "crashed")},
+                labels={"app": args.app,
+                        "drop_rate": f"{row['drop_rate']:g}"})
+        doc = metrics_artifact([registry.snapshot()],
+                               generated_by="python -m repro chaos")
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, default=str)
+        print(f"wrote {args.metrics_out}")
 
     return 0 if all(r["ok"] for r in rows) else 1
 

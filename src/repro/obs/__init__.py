@@ -13,6 +13,10 @@ traces:
 * :mod:`repro.obs.report` — the analyses as aligned text tables,
 * :mod:`repro.obs.latency` — request-latency quantiles and p50/p99/
   throughput rollups (shared by :mod:`repro.serve` and the perf rows),
+* :mod:`repro.obs.metrics` — the *live* metrics plane: lock-cheap
+  Counter/Gauge/Histogram registry, periodic snapshots (JSONL +
+  Prometheus text exposition + ``repro.obs.metrics/v1`` artifact), and
+  :class:`SloMonitor` for latency-aware admission in :mod:`repro.serve`,
 * :mod:`repro.obs.cli` — ``python -m repro trace <app>``.
 """
 
@@ -31,6 +35,22 @@ from repro.obs.latency import (
     render_latency_table,
     rollup_by,
     summarize_latencies,
+)
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_LATENCY_BUCKETS,
+    Gauge,
+    Histogram,
+    METRICS_SCHEMA,
+    MetricsRegistry,
+    MetricsSnapshot,
+    PeriodicSnapshotter,
+    SloMonitor,
+    exponential_buckets,
+    metrics_artifact,
+    observe_fault_counters,
+    register_plan_cache_gauges,
+    render_prometheus,
 )
 from repro.obs.sinks import (
     ChromeTraceSink,
@@ -60,4 +80,18 @@ __all__ = [
     "summarize_latencies",
     "rollup_by",
     "render_latency_table",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "METRICS_SCHEMA",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "PeriodicSnapshotter",
+    "SloMonitor",
+    "exponential_buckets",
+    "metrics_artifact",
+    "observe_fault_counters",
+    "register_plan_cache_gauges",
+    "render_prometheus",
 ]

@@ -58,6 +58,18 @@ reports.  Three workload families are measured at several machine sizes:
     of observability — the "tracing disabled costs nothing" claim of
     :mod:`repro.obs`, measured rather than asserted.
 
+``metrics_overhead``
+    The skeleton service twice on the identical closed-loop workload:
+    metrics disabled (``host_seconds``) vs a live
+    :class:`~repro.obs.metrics.MetricsRegistry` plus an
+    :class:`~repro.obs.metrics.SloMonitor` with an unreachable target
+    (``host_seconds_metrics``) — counters, histograms and the rolling
+    SLO window all updating, shedding never engaging, so the runs stay
+    event-identical.  ``overhead_metrics`` is the price of the live
+    metrics plane; the disabled arm is the "metrics off costs nothing"
+    claim, measured the way ``trace_overhead`` measures untraced
+    tracing.
+
 ``service_sustained``
     The PR-7 skeleton service under closed-loop load: a fixed pool of
     synthetic clients drives the default endpoint registry (two compiled
@@ -108,6 +120,7 @@ __all__ = [
     "bench_compiled_gauss_jordan",
     "bench_compiled_hyperquicksort",
     "bench_hyperquicksort",
+    "bench_metrics_overhead",
     "bench_ring_sweep",
     "bench_service_sustained",
     "bench_stream_chunked",
@@ -525,6 +538,81 @@ def bench_service_sustained(concurrency: int, *, requests: int = 600,
     }
 
 
+def bench_metrics_overhead(p: int, *, requests: int = 240,
+                           concurrency: int = 8, workers: int = 4,
+                           repeats: int = 2) -> dict[str, Any]:
+    """The twin-row proof that the disabled metrics plane costs nothing.
+
+    The identical seeded closed-loop workload (the ``repro.serve``
+    default mix at ``nprocs=p``) runs twice: once with
+    ``Service(metrics=None)`` (``host_seconds``) and once with a live
+    :class:`~repro.obs.metrics.MetricsRegistry` plus an
+    :class:`~repro.obs.metrics.SloMonitor` whose p99 target is
+    unreachable (``host_seconds_metrics``) — every counter, histogram
+    and the rolling SLO window updates on the hot path, but shedding
+    never engages, so both arms admit and complete the same requests
+    and ``events`` stays arm-identical (asserted).  A warm-up pass
+    populates the module-global plan caches first so neither arm pays
+    the cold lowering; arms then alternate best-of-``repeats``.
+    """
+    from repro.obs.metrics import MetricsRegistry, SloMonitor
+    from repro.serve.cli import build_service, default_mix
+    from repro.serve.loadgen import closed_loop
+
+    def drive(metrics: Any, slo: Any) -> tuple[float, int, float]:
+        with build_service(workers=workers, nprocs=p, metrics=metrics,
+                           slo=slo) as service:
+            report = closed_loop(service, default_mix(), requests=requests,
+                                 concurrency=concurrency, seed=0)
+            completions = list(service.completions)
+        if report["errors"] or report["rejected"]:
+            raise AssertionError(
+                f"metrics_overhead run degraded: {report['errors']} errors, "
+                f"{report['rejected']} rejections")
+        events = sum(rec["events"] for rec in completions)
+        makespan = sum(rec["virtual_seconds"] for rec in completions)
+        return report["duration_s"], events, makespan
+
+    # Warm the plan/tuned caches (shared module-global state): without
+    # this the first-timed arm would eat every cold lowering and the
+    # ratio would measure cache warmth, not the metrics plane.
+    drive(None, None)
+
+    host_off = host_on = float("inf")
+    events = events_on = 0
+    makespan = 0.0
+    for _ in range(max(1, repeats)):
+        off_s, off_e, off_m = drive(None, None)
+        registry = MetricsRegistry()
+        # 1e6 s rolling p99 target: the monitor observes every request
+        # and prunes its window, but breached() can never fire.
+        on_s, on_e, _on_m = drive(registry, SloMonitor(1e6, min_samples=8))
+        host_off, events, makespan = min(host_off, off_s), off_e, off_m
+        host_on, events_on = min(host_on, on_s), on_e
+        snap = registry.snapshot()
+        observed = sum(s["value"] for s in snap.series
+                       if s["name"] == "serve_requests_total")
+        if int(observed) != requests:
+            raise AssertionError(
+                f"metrics arm lost requests: counted {observed}, "
+                f"expected {requests}")
+    if events_on != events:
+        raise AssertionError(
+            f"metrics arm diverged: {events_on} events vs {events}")
+    return {
+        "workload": "metrics_overhead",
+        "p": p,
+        "host_seconds": round(host_off, 6),
+        "events": events,
+        "events_per_sec": round(events / host_off) if host_off > 0 else 0,
+        "makespan": makespan,
+        "requests": requests,
+        "host_seconds_metrics": round(host_on, 6),
+        "overhead_metrics": (round(host_on / host_off, 2)
+                             if host_off > 0 else 0.0),
+    }
+
+
 def bench_stream_chunked(chunk: int, *, items: int = 1024,
                          repeats: int = 2) -> dict[str, Any]:
     """The threaded stream executor: chunked compiled scan over a fixed
@@ -600,6 +688,12 @@ QUICK_SERVICE_CONCURRENCY = (4,)
 #: chunk size, which is also the simulated machine size per chunk.
 STREAM_CHUNK_SIZES = (8, 32)
 QUICK_STREAM_CHUNKS = (8,)
+
+#: Endpoint machine sizes of the ``metrics_overhead`` twin rows.  Fixed
+#: rows in both quick and full suites (the quick baseline is what the
+#: perf gate compares): the pair tracks the metrics-off == free claim
+#: at a small and a large simulated machine, not scaling.
+METRICS_PROCS = (16, 128)
 
 
 def run_suite(*, procs: tuple[int, ...] | None = None, quick: bool = False,
@@ -684,6 +778,11 @@ def run_suite(*, procs: tuple[int, ...] | None = None, quick: bool = False,
         run(f"stream_chunked/p{ch}",
             lambda ch=ch: bench_stream_chunked(
                 ch, items=256 if quick else 1024))
+    for mp in METRICS_PROCS:
+        run(f"metrics_overhead/p{mp}",
+            lambda mp=mp: bench_metrics_overhead(
+                mp, requests=120 if quick else 240,
+                repeats=1 if quick else 2))
     annotate_speedups(out)
     return out
 

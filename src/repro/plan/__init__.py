@@ -34,7 +34,8 @@ from repro.plan.ir import (
     base_fragment,
     fragment_ops,
 )
-from repro.plan.lower import clear_plan_cache, lower, plan_cache_stats
+from repro.plan.lower import (clear_plan_cache, lower, plan_cache_reset,
+                              plan_cache_stats)
 from repro.plan.opt import (
     OptConfig,
     PassNote,
@@ -48,7 +49,7 @@ __all__ = [
     "GroupSplit", "SubPlan", "GroupCombine", "Loop", "Scalar",
     "FusedKernel", "apply_fused",
     "base_fragment", "fragment_ops", "DEFAULT_FRAGMENT_OPS",
-    "lower", "clear_plan_cache", "plan_cache_stats",
+    "lower", "clear_plan_cache", "plan_cache_reset", "plan_cache_stats",
     "plan_cost", "ExprCost",
     "OptConfig", "PassNote", "optimize_plan", "optimize_plan_report",
     "topology_signature",

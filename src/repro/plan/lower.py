@@ -28,7 +28,7 @@ from repro.plan import ir
 from repro.scl import nodes as N
 
 __all__ = ["lower", "lower_uncached", "tuned_lower", "TunedPlan",
-           "clear_plan_cache", "plan_cache_stats"]
+           "clear_plan_cache", "plan_cache_reset", "plan_cache_stats"]
 
 _CACHE: OrderedDict[tuple, ir.Plan] = OrderedDict()
 _CACHE_CAP = 512
@@ -183,6 +183,19 @@ def clear_plan_cache() -> None:
     """Drop all cached plans — both tiers — and reset the counters."""
     _CACHE.clear()
     _TUNED.clear()
+    _STATS.update(hits=0, misses=0, uncachable=0, optimized=0,
+                  tuned_hits=0, tuned_misses=0)
+
+
+def plan_cache_reset() -> None:
+    """Zero the traffic counters but *keep* the cached plans.
+
+    The test helper for counter-delta assertions: a test that wants
+    "this run produced N hits" can reset and count from zero without
+    discarding warm plans another test (or an earlier phase of the same
+    test) paid to build.  :func:`clear_plan_cache` remains the full
+    reset for tests that need cold-cache behaviour.
+    """
     _STATS.update(hits=0, misses=0, uncachable=0, optimized=0,
                   tuned_hits=0, tuned_misses=0)
 

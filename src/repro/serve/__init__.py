@@ -15,7 +15,13 @@ state.  In front of them sits a service with the production shape:
   redistributes,
 * **observability** — every completion and rejection is recorded
   through the :class:`~repro.obs.sinks.TraceSink` protocol and rolled
-  up to p50/p99/throughput tables via :mod:`repro.obs.latency`,
+  up to p50/p99/throughput tables via :mod:`repro.obs.latency`; pass a
+  :class:`~repro.obs.metrics.MetricsRegistry` as ``Service(metrics=...)``
+  for the *live* view — per-endpoint/tenant counters, queue gauges and
+  latency histograms exported as snapshots or Prometheus text,
+* **latency-aware shedding** — ``Service(slo=SloMonitor(...))`` sheds
+  with ``Rejection(reason="slo-shed")`` while the rolling p99 is over
+  target, recovering when the window clears,
 * **load generation** — :func:`closed_loop` (fixed concurrency, every
   client waits for its response) and :func:`open_loop` (scheduled
   arrivals regardless of completions, the overload generator) drive
@@ -37,13 +43,16 @@ from repro.serve.service import (
     Ticket,
 )
 from repro.serve.loadgen import closed_loop, open_loop
+from repro.obs.metrics import MetricsRegistry, SloMonitor
 
 __all__ = [
     "AdmissionError",
+    "MetricsRegistry",
     "PlanEndpoint",
     "PyEndpoint",
     "Rejection",
     "Service",
+    "SloMonitor",
     "StreamEndpoint",
     "Ticket",
     "closed_loop",

@@ -1,6 +1,6 @@
 """``python -m repro serve`` — sustained load against the skeleton service.
 
-Runs two phases against a default registry of compiled endpoints:
+Runs three phases against a default registry of compiled endpoints:
 
 1. **sustained** (closed-loop): a fixed pool of synthetic clients
    drives a seeded endpoint x tenant mix through the service at full
@@ -9,11 +9,24 @@ Runs two phases against a default registry of compiled endpoints:
 2. **burst** (open-loop): the same registry behind a deliberately tiny
    admission bound, offered arrivals far beyond capacity — exercising
    queue-depth shedding and the structured :class:`Rejection` path.
+3. **slo** (open-loop overload): one worker behind a *generous* queue
+   but a p99 latency SLO — arrivals outrun capacity, queue wait drives
+   the rolling p99 over target, and admission flips to
+   ``Rejection(reason="slo-shed")``; once the arrivals stop and the
+   window ages out, probe requests confirm admission recovers.
+
+The whole run shares one
+:class:`~repro.obs.metrics.MetricsRegistry` sampled by a
+:class:`~repro.obs.metrics.PeriodicSnapshotter`, so ``--metrics-out``
+writes the companion ``repro.obs.metrics/v1`` snapshot artifact (the CI
+``metrics-smoke`` job validates it; ``python -m repro metrics`` renders
+it as a dashboard).
 
 The run prints p50/p99/throughput tables and writes a JSON latency
-artifact (``--out``, schema ``repro.serve.latency/v2`` — v2 added the
-tuned-plan cache counters to ``plan_cache``).  ``--smoke`` shrinks the
-request budget for the CI ``serve-smoke`` job; the artifact shape is
+artifact (``--out``, schema ``repro.serve.latency/v3`` — v2 added the
+tuned-plan cache counters to ``plan_cache``, v3 the SLO phase with its
+shed counts and recovery probe).  ``--smoke`` shrinks the request
+budget for the CI ``serve-smoke`` job; the artifact shape is
 identical.
 
 One endpoint (``sumsq-tuned``) is registered with ``tune=True``: its
@@ -29,17 +42,40 @@ import argparse
 import json
 import operator
 import sys
+import time
 from typing import Any
 
+import numpy as np
+
 from repro.obs.latency import render_latency_table
+from repro.obs.metrics import (
+    MetricsRegistry,
+    PeriodicSnapshotter,
+    SloMonitor,
+    metrics_artifact,
+)
 from repro.scl.nodes import Fold, Map, Rotate, Scan, compose_nodes
 from repro.serve.loadgen import closed_loop, open_loop
-from repro.serve.service import PlanEndpoint, Service, StreamEndpoint
+from repro.serve.service import (
+    AdmissionError,
+    PlanEndpoint,
+    Service,
+    StreamEndpoint,
+)
 from repro.stream.plan import Chunk, MapPlan
 
 __all__ = ["main", "build_service", "default_mix", "run_serve"]
 
-SCHEMA = "repro.serve.latency/v2"
+SCHEMA = "repro.serve.latency/v3"
+
+#: SLO-phase defaults: the rolling-p99 target and window the overload
+#: phase runs under.  The target is far below the queue wait an
+#: open-loop overload builds on one worker, and far above an unloaded
+#: request, so breach-then-recover is a property of the phase, not of
+#: host speed.
+SLO_P99_MS = 10.0
+SLO_WINDOW_S = 0.75
+SLO_MIN_SAMPLES = 8
 
 #: Tenant weights for the default registry: ``pro`` is entitled to 3x
 #: the dispatch rate of ``free`` under contention.
@@ -55,7 +91,9 @@ def _halve(x: float) -> float:
 
 
 def build_service(*, workers: int = 4, max_queue: int = 128,
-                  nprocs: int = 4) -> Service:
+                  nprocs: int = 4,
+                  metrics: MetricsRegistry | None = None,
+                  slo: SloMonitor | None = None) -> Service:
     """The default endpoint registry behind ``python -m repro serve``.
 
     Three compiled plan endpoints plus one stream endpoint — enough to
@@ -68,7 +106,8 @@ def build_service(*, workers: int = 4, max_queue: int = 128,
     caches reach steady state within a few requests.
     """
     service = Service(workers=workers, max_queue=max_queue,
-                      tenants=dict(DEFAULT_TENANTS))
+                      tenants=dict(DEFAULT_TENANTS), metrics=metrics,
+                      slo=slo)
     service.register(PlanEndpoint("scan-add", Scan(operator.add),
                                   nprocs=nprocs))
     service.register(PlanEndpoint(
@@ -105,29 +144,93 @@ def default_mix() -> list[tuple[str, str]]:
     ]
 
 
+def run_slo_phase(*, nprocs: int, requests: int, rate_rps: float, seed: int,
+                  metrics: MetricsRegistry | None = None,
+                  p99_ms: float = SLO_P99_MS,
+                  window_s: float = SLO_WINDOW_S,
+                  min_samples: int = SLO_MIN_SAMPLES,
+                  probes: int = 5) -> dict[str, Any]:
+    """The latency-aware-shedding demonstration phase.
+
+    One worker behind a queue too deep to ever hit ``queue-full``, an
+    open-loop overload on the heaviest endpoint, and an
+    :class:`SloMonitor`: queue wait drives the rolling p99 over target,
+    so the only shed reason available is ``slo-shed``.  After draining
+    and one window of quiet, ``probes`` probe requests must all be
+    admitted — the recovery half of the ROADMAP item.
+    """
+    monitor = SloMonitor(p99_ms / 1e3, window_s=window_s,
+                         min_samples=min_samples)
+    slo_mix = [("stream-scan", "free"), ("stream-scan", "pro")]
+    with build_service(workers=1, max_queue=4096, nprocs=nprocs,
+                       metrics=metrics, slo=monitor) as svc:
+        load = open_loop(svc, slo_mix, requests=requests,
+                         rate_rps=rate_rps, seed=seed)
+        shed_during = sum(r.reason == "slo-shed" for r in svc.rejections)
+        svc.wait_idle(timeout=120.0)
+        time.sleep(window_s)  # breached latencies age out of the window
+        probe = svc.endpoint("stream-scan")
+        admitted = 0
+        for i in range(probes):
+            payload = probe.default_payload(np.random.default_rng((seed, i)))
+            try:
+                svc.submit("stream-scan", payload, tenant="pro").result(30.0)
+                admitted += 1
+            except AdmissionError:
+                pass
+        summary = svc.summary()
+    return {
+        "load": load,
+        "summary": summary,
+        "shed": shed_during,
+        "probes": {"attempted": probes, "admitted": admitted},
+        "recovered": admitted == probes,
+    }
+
+
 def run_serve(*, requests: int, concurrency: int, workers: int,
               nprocs: int, seed: int, burst_requests: int,
-              burst_rate: float, smoke: bool) -> dict[str, Any]:
-    """Run both phases; return the artifact dict (also used by tests)."""
+              burst_rate: float, smoke: bool,
+              slo_requests: int = 240, slo_rate: float = 3000.0,
+              snapshot_interval_s: float = 0.1,
+              ) -> tuple[dict[str, Any], dict[str, Any]]:
+    """Run all three phases.
+
+    Returns ``(latency_artifact, metrics_artifact)``: the
+    ``repro.serve.latency/v3`` document and the companion
+    ``repro.obs.metrics/v1`` snapshot series collected across the whole
+    run by one shared registry.
+    """
     mix = default_mix()
+    registry = MetricsRegistry()
+    snapper = PeriodicSnapshotter(registry,
+                                  interval_s=snapshot_interval_s)
 
-    with build_service(workers=workers, nprocs=nprocs) as service:
-        load = closed_loop(service, mix, requests=requests,
-                           concurrency=concurrency, seed=seed)
-        sustained = {"load": load, "summary": service.summary()}
+    with snapper:
+        with build_service(workers=workers, nprocs=nprocs,
+                           metrics=registry) as service:
+            load = closed_loop(service, mix, requests=requests,
+                               concurrency=concurrency, seed=seed)
+            sustained = {"load": load, "summary": service.summary()}
 
-    # The burst service gets one worker, a tiny queue, and only the
-    # heaviest endpoint (the chunked stream plan, milliseconds per
-    # request) offered at a rate far past its capacity, so the
-    # open-loop schedule reliably outruns it: shedding is the point of
-    # this phase, not an accident of host speed.
-    burst_mix = [("stream-scan", "free"), ("stream-scan", "pro")]
-    with build_service(workers=1, max_queue=4, nprocs=nprocs) as burst_svc:
-        burst_load = open_loop(burst_svc, burst_mix, requests=burst_requests,
-                               rate_rps=burst_rate, seed=seed + 1)
-        burst = {"load": burst_load, "summary": burst_svc.summary()}
+        # The burst service gets one worker, a tiny queue, and only the
+        # heaviest endpoint (the chunked stream plan, milliseconds per
+        # request) offered at a rate far past its capacity, so the
+        # open-loop schedule reliably outruns it: shedding is the point
+        # of this phase, not an accident of host speed.
+        burst_mix = [("stream-scan", "free"), ("stream-scan", "pro")]
+        with build_service(workers=1, max_queue=4, nprocs=nprocs,
+                           metrics=registry) as burst_svc:
+            burst_load = open_loop(burst_svc, burst_mix,
+                                   requests=burst_requests,
+                                   rate_rps=burst_rate, seed=seed + 1)
+            burst = {"load": burst_load, "summary": burst_svc.summary()}
 
-    return {
+        slo = run_slo_phase(nprocs=nprocs, requests=slo_requests,
+                            rate_rps=slo_rate, seed=seed + 2,
+                            metrics=registry)
+
+    artifact = {
         "schema": SCHEMA,
         "generated_by": "python -m repro serve",
         "mode": "smoke" if smoke else "full",
@@ -142,15 +245,24 @@ def run_serve(*, requests: int, concurrency: int, workers: int,
             "tenants": dict(DEFAULT_TENANTS),
             "burst": {"requests": burst_requests, "rate_rps": burst_rate,
                       "max_queue": 4, "workers": 1},
+            "slo": {"requests": slo_requests, "rate_rps": slo_rate,
+                    "p99_target_ms": SLO_P99_MS, "window_s": SLO_WINDOW_S,
+                    "min_samples": SLO_MIN_SAMPLES, "workers": 1},
         },
         "sustained": sustained,
         "burst": burst,
+        "slo": slo,
     }
+    metrics_doc = metrics_artifact(snapper.snapshots,
+                                   generated_by="python -m repro serve",
+                                   interval_s=snapshot_interval_s)
+    return artifact, metrics_doc
 
 
 def _report(artifact: dict[str, Any]) -> str:
     sustained = artifact["sustained"]
     burst = artifact["burst"]
+    slo = artifact["slo"]
     summary = sustained["summary"]
     cache = summary["plan_cache"]
     load = sustained["load"]
@@ -183,6 +295,15 @@ def _report(artifact: dict[str, Any]) -> str:
                   f"{burst['load']['accepted']} accepted, "
                   f"{burst['load']['rejected']} shed "
                   f"({burst['summary']['rejected_by_reason']})"),
+        "",
+        render_latency_table(
+            "slo open-loop overload (latency-aware shedding)",
+            {"(all)": slo["summary"]["latency_ms"]},
+            notes=f"p99 target {artifact['config']['slo']['p99_target_ms']:g}"
+                  f"ms -> {slo['shed']} slo-shed; recovery probes "
+                  f"{slo['probes']['admitted']}/"
+                  f"{slo['probes']['attempted']} admitted "
+                  f"(recovered={slo['recovered']})"),
     ]
     return "\n".join(lines)
 
@@ -208,22 +329,33 @@ def main(argv: list[str] | None = None) -> int:
                         help="workload seed (default 0)")
     parser.add_argument("--out", default=None, metavar="PATH",
                         help="write the JSON latency artifact here")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write the repro.obs.metrics/v1 snapshot "
+                             "artifact here")
     args = parser.parse_args(argv)
 
     requests = args.requests
     if requests is None:
         requests = 160 if args.smoke else 1200
     burst_requests = 60 if args.smoke else 200
-    artifact = run_serve(requests=requests, concurrency=args.concurrency,
-                         workers=args.workers, nprocs=args.nprocs,
-                         seed=args.seed, burst_requests=burst_requests,
-                         burst_rate=4000.0, smoke=args.smoke)
+    slo_requests = 120 if args.smoke else 240
+    artifact, metrics_doc = run_serve(
+        requests=requests, concurrency=args.concurrency,
+        workers=args.workers, nprocs=args.nprocs,
+        seed=args.seed, burst_requests=burst_requests,
+        burst_rate=4000.0, smoke=args.smoke, slo_requests=slo_requests)
     print(_report(artifact))
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             json.dump(artifact, fh, indent=2, default=str)
             fh.write("\n")
         print(f"\nwrote {args.out}")
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(metrics_doc, fh, indent=2, default=str)
+            fh.write("\n")
+        print(f"wrote {args.metrics_out} "
+              f"({metrics_doc['snapshot_count']} snapshots)")
     return 0
 
 

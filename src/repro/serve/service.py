@@ -33,6 +33,11 @@ from repro.machine.simulator import RunResult
 from repro.machine.topology import FullyConnected, Ring
 from repro.machine.trace import Span, TraceEvent
 from repro.obs.latency import rollup_by, summarize_latencies
+from repro.obs.metrics import (
+    MetricsRegistry,
+    SloMonitor,
+    register_plan_cache_gauges,
+)
 from repro.plan.ir import DEFAULT_FRAGMENT_OPS
 from repro.plan.lower import plan_cache_stats
 from repro.scl import nodes as N
@@ -97,8 +102,8 @@ class PlanEndpoint:
                 else FullyConnected(self.nprocs))
         return Machine(topo, spec=self.spec)
 
-    def execute(self, payload: Any,
-                machines: dict[str, Machine]) -> tuple[Any, int, float]:
+    def execute(self, payload: Any, machines: dict[str, Machine],
+                metrics: Any = None) -> tuple[Any, int, float]:
         from repro.core.pararray import ParArray
         from repro.scl.compile import run_expression
 
@@ -147,12 +152,14 @@ class StreamEndpoint:
     def default_payload(self, rng: Any, *, items: int = 32) -> list[float]:
         return [float(v) for v in rng.integers(1, 100, size=items)]
 
-    def execute(self, payload: Any,
-                machines: dict[str, Machine]) -> tuple[Any, int, float]:
+    def execute(self, payload: Any, machines: dict[str, Machine],
+                metrics: Any = None) -> tuple[Any, int, float]:
         if payload is None:
             raise SkeletonError(f"endpoint {self.name!r} needs an iterable "
                                 "payload of stream items")
         stats = StreamRunStats()
+        if metrics is not None:
+            stats.attach_metrics(metrics, name=self.name)
         plan = StreamPlan(Source.of(list(payload)), self.ops)
         out = list(plan.run_seq(stats=stats))
         return out, stats.sim_events, stats.virtual_seconds
@@ -168,8 +175,8 @@ class PyEndpoint:
     def default_payload(self, rng: Any) -> Any:
         return float(rng.integers(1, 100))
 
-    def execute(self, payload: Any,
-                machines: dict[str, Machine]) -> tuple[Any, int, float]:
+    def execute(self, payload: Any, machines: dict[str, Machine],
+                metrics: Any = None) -> tuple[Any, int, float]:
         return self.fn(payload), 0, 0.0
 
 
@@ -183,7 +190,8 @@ class Rejection:
     request_id: int
     endpoint: str
     tenant: str
-    #: ``"queue-full"`` | ``"unknown-endpoint"`` | ``"not-running"``
+    #: ``"queue-full"`` | ``"slo-shed"`` | ``"unknown-endpoint"`` |
+    #: ``"not-running"``
     reason: str
     queue_depth: int
     in_flight: int
@@ -271,13 +279,30 @@ class Service:
     ``"request"``) and per rejection (kind ``"reject"``), timestamped in
     host seconds since service start.
 
+    ``metrics`` accepts a :class:`~repro.obs.metrics.MetricsRegistry`;
+    when given, the service exports per-endpoint/per-tenant request and
+    rejection counters, queue-depth and in-flight gauges, per-worker
+    latency histograms, and plan-cache gauges.  When ``None`` (the
+    default) no instrument is ever touched — the disabled path costs
+    nothing (the ``metrics_overhead`` rows in BENCH_simulator.json hold
+    it to that).
+
+    ``slo`` accepts a :class:`~repro.obs.metrics.SloMonitor`: completed
+    request latencies feed its rolling window, and while the windowed
+    p99 is over target, :meth:`submit` sheds with
+    ``Rejection(reason="slo-shed")`` *before* the queue bound is
+    checked — latency-aware admission, recovering as soon as the window
+    clears (breached latencies age out after ``window_s``).
+
     Use as a context manager, or call :meth:`start` / :meth:`stop`.
     """
 
     def __init__(self, *, workers: int = 4, max_queue: int = 64,
                  tenants: dict[str, float] | None = None,
                  default_weight: float = 1.0,
-                 sink: Any = None):
+                 sink: Any = None,
+                 metrics: MetricsRegistry | None = None,
+                 slo: SloMonitor | None = None):
         if workers < 1:
             raise SkeletonError(f"workers must be >= 1, got {workers}")
         if max_queue < 1:
@@ -305,6 +330,32 @@ class Service:
         self.completions: list[dict[str, Any]] = []
         self.rejections: list[Rejection] = []
         self._cache_at_start: dict[str, int] = {}
+        self._slo = slo
+        self._metrics = metrics
+        if metrics is not None:
+            self._m_requests = metrics.counter(
+                "serve_requests_total", "completed requests",
+                ("endpoint", "tenant", "status"))
+            self._m_rejections = metrics.counter(
+                "serve_rejections_total", "shed requests",
+                ("endpoint", "tenant", "reason"))
+            self._m_latency = metrics.histogram(
+                "serve_request_latency_seconds",
+                "submit-to-completion latency per worker loop",
+                ("endpoint", "worker"))
+            self._m_queue_wait = metrics.histogram(
+                "serve_queue_wait_seconds",
+                "time spent queued before a worker picked the request up",
+                ("endpoint",))
+            metrics.gauge("serve_queue_depth",
+                          "requests admitted but not yet dispatched"
+                          ).set_function(lambda: float(self._queued))
+            metrics.gauge("serve_in_flight",
+                          "requests currently executing on a worker"
+                          ).set_function(lambda: float(self._in_flight))
+            register_plan_cache_gauges(metrics)
+            if slo is not None:
+                slo.bind_gauges(metrics, self._now)
 
     # -- registry -----------------------------------------------------------
 
@@ -398,6 +449,11 @@ class Service:
                 reason = "not-running"
             elif endpoint not in self._registry:
                 reason = "unknown-endpoint"
+            elif self._slo is not None and self._slo.breached(self._now()):
+                # Latency-aware admission engages *before* the queue
+                # bound: once the rolling p99 is over target, adding
+                # depth only makes every queued request later.
+                reason = "slo-shed"
             elif self._queued >= self.max_queue:
                 reason = "queue-full"
             if reason is not None:
@@ -406,6 +462,8 @@ class Service:
                     queue_depth=self._queued, in_flight=self._in_flight,
                     max_queue=self.max_queue, t=self._now())
                 self.rejections.append(rejection)
+                if self._metrics is not None:
+                    self._m_rejections.labels(endpoint, tenant, reason).inc()
                 self._emit_event(0, "reject", rejection.t, rejection.t, {
                     "endpoint": endpoint, "tenant": tenant,
                     "reason": reason, "queue_depth": rejection.queue_depth,
@@ -463,7 +521,15 @@ class Service:
             events = 0
             makespan = 0.0
             try:
-                value, events, makespan = endpoint.execute(payload, machines)
+                # The metrics kwarg only reaches endpoints on an
+                # instrumented service, so structural endpoints written
+                # against the two-argument contract keep working.
+                if self._metrics is not None:
+                    value, events, makespan = endpoint.execute(
+                        payload, machines, metrics=self._metrics)
+                else:
+                    value, events, makespan = endpoint.execute(payload,
+                                                               machines)
             except BaseException as exc:
                 error = exc
             t_end = self._now()
@@ -481,6 +547,15 @@ class Service:
             }
             if error is not None:
                 record["error"] = repr(error)
+            if self._slo is not None and error is None:
+                self._slo.observe(record["latency_s"], now=t_end)
+            if self._metrics is not None:
+                self._m_requests.labels(ticket.endpoint, ticket.tenant,
+                                        record["status"]).inc()
+                self._m_latency.labels(ticket.endpoint,
+                                       str(idx)).observe(record["latency_s"])
+                self._m_queue_wait.labels(ticket.endpoint) \
+                    .observe(record["queue_s"])
             with self._lock:
                 self.completions.append(record)
                 self._in_flight -= 1
@@ -560,6 +635,10 @@ class Service:
         by_reason: dict[str, int] = {}
         for rej in rejections:
             by_reason[rej.reason] = by_reason.get(rej.reason, 0) + 1
+        slo: dict[str, Any] | None = None
+        if self._slo is not None:
+            slo = self._slo.rolling(self._now())
+            slo["shed"] = by_reason.get("slo-shed", 0)
         return {
             "completed": len(completions),
             "errors": sum(r["status"] == "error" for r in completions),
@@ -572,4 +651,5 @@ class Service:
             "by_tenant": rollup_by(completions, "tenant"),
             "sim_events": sum(r["events"] for r in completions),
             "plan_cache": self.cache_stats(),
+            "slo": slo,
         }

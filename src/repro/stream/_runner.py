@@ -90,13 +90,21 @@ class _QueueIter:
 
 
 def run_staged(source: Iterable[Any], transforms: list[Transform], *,
-               buffer: int = 8) -> Iterator[Any]:
+               buffer: int = 8,
+               on_depth: Callable[[int, int], None] | None = None
+               ) -> Iterator[Any]:
     """Run ``source`` through ``transforms``, one thread per stage.
 
     Yields the final stage's output in order.  Output is element-wise
     identical to composing the transforms sequentially over ``source``;
     only timing changes (stage overlap).  See the module docstring for
     the failure/cancellation contract.
+
+    ``on_depth(stage, depth)`` — when given — observes the occupancy of
+    each inter-stage queue after every put into it (stage ``i`` is the
+    queue *feeding* transform ``i``; ``len(transforms)`` is the output
+    queue).  It runs on producer threads and must be cheap and
+    exception-free; metrics gauges are the intended consumer.
     """
     if buffer <= 0:
         raise ValueError(f"buffer must be positive, got {buffer}")
@@ -121,6 +129,8 @@ def run_staged(source: Iterable[Any], transforms: list[Transform], *,
                 if cancel.is_set():
                     break
                 queues[0].put(x)
+                if on_depth is not None:
+                    on_depth(0, queues[0].qsize())
         except BaseException as exc:
             fail(-1, exc)
             queues[0].put(_POISON)
@@ -139,6 +149,8 @@ def run_staged(source: Iterable[Any], transforms: list[Transform], *,
                     # stream.
                     break
                 q_out.put(out)
+                if on_depth is not None:
+                    on_depth(order + 1, q_out.qsize())
             if it.poisoned:
                 q_out.put(_POISON)
             elif not it.exhausted:

@@ -80,13 +80,44 @@ class StreamRunStats:
     sim_events: int = 0
     sim_messages: int = 0
     virtual_seconds: float = 0.0
+    #: Counter children bound by :meth:`attach_metrics` (``None`` keeps
+    #: every stats update registry-free).
+    _m_chunks: Any = None
+    _m_runs: Any = None
+    _m_events: Any = None
+
+    def attach_metrics(self, registry: Any,
+                       name: str = "stream") -> "StreamRunStats":
+        """Mirror chunk/run/event counts into ``registry`` as the
+        ``stream_*_total{stream=name}`` counters, live (per chunk, not
+        post-run).  Returns ``self`` for chaining."""
+        self._m_chunks = registry.counter(
+            "stream_chunks_total", "chunks formed by stream plans",
+            ("stream",)).labels(name)
+        self._m_runs = registry.counter(
+            "stream_plan_runs_total", "compiled chunk executions",
+            ("stream",)).labels(name)
+        self._m_events = registry.counter(
+            "stream_sim_events_total",
+            "simulated events across compiled chunk runs",
+            ("stream",)).labels(name)
+        return self
+
+    def tick_chunk(self) -> None:
+        self.chunks += 1
+        if self._m_chunks is not None:
+            self._m_chunks.inc()
 
     def observe_run(self, result: RunResult) -> None:
         self.plan_runs += 1
         self.sim_messages += result.total_messages
-        self.sim_events += result.total_messages + sum(
+        events = result.total_messages + sum(
             s.msgs_received for s in result.stats)
+        self.sim_events += events
         self.virtual_seconds += result.makespan
+        if self._m_runs is not None:
+            self._m_runs.inc()
+            self._m_events.inc(events)
 
 
 class StreamOp:
@@ -351,15 +382,39 @@ class StreamPlan:
         return it
 
     def run(self, *, buffer: int = 8,
-            stats: StreamRunStats | None = None) -> Iterator[Any]:
+            stats: StreamRunStats | None = None,
+            metrics: Any = None, name: str = "stream") -> Iterator[Any]:
         """Threaded execution: one thread per stage, bounded queues.
 
         Element-wise identical to :meth:`run_seq`; a satisfied
         :class:`Stop` (or a consumer that stops early, or a stage
         failure) cancels the source, so infinite generators terminate.
+
+        ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`)
+        exports chunk/run/event counters via
+        :meth:`StreamRunStats.attach_metrics` plus live
+        ``stream_queue_depth{stream, stage}`` occupancy gauges — one
+        per inter-stage queue — labelled by ``name``.
         """
-        return run_staged(self.source.items(), self._transforms(stats),
-                          buffer=buffer)
+        on_depth = None
+        if metrics is not None and stats is None:
+            stats = StreamRunStats()
+        transforms = self._transforms(stats)
+        if metrics is not None:
+            stats.attach_metrics(metrics, name=name)
+            depth = metrics.gauge(
+                "stream_queue_depth",
+                "inter-stage bounded-queue occupancy",
+                ("stream", "stage"))
+            gauges = [depth.labels(name, str(i))
+                      for i in range(len(transforms) + 1)]
+
+            def on_depth(stage: int, size: int,
+                         _g: list = gauges) -> None:
+                _g[stage].set(size)
+
+        return run_staged(self.source.items(), transforms,
+                          buffer=buffer, on_depth=on_depth)
 
 
 def _transform(op: StreamOp, stats: StreamRunStats | None,
@@ -380,12 +435,12 @@ def _transform(op: StreamOp, stats: StreamRunStats | None,
                 buf.append(tick_in(x))
                 if len(buf) == n:
                     if stats is not None:
-                        stats.chunks += 1
+                        stats.tick_chunk()
                     yield tuple(buf)
                     buf = []
             if buf:
                 if stats is not None:
-                    stats.chunks += 1
+                    stats.tick_chunk()
                 yield tuple(buf)
         return chunk_t
 

@@ -17,6 +17,7 @@ from repro.plan import ir
 from repro.plan.lower import (
     clear_plan_cache,
     lower,
+    plan_cache_reset,
     plan_cache_stats,
     tuned_lower,
 )
@@ -194,6 +195,18 @@ class TestPlanCache:
     def test_scan_and_fold_cache_separately(self):
         op = lambda a, b: a + b  # noqa: E731
         assert lower(Scan(op), 8) is not lower(Fold(op), 8)
+
+    def test_reset_zeroes_counters_but_keeps_plans(self):
+        expr = Rotate(1)
+        plan = lower(expr, 8)
+        plan_cache_reset()
+        stats = plan_cache_stats()
+        assert stats["hits"] == stats["misses"] == 0
+        assert stats["size"] == 1, "reset must keep the warm plans"
+        # The kept plan serves the next lowering: a pure counter delta.
+        assert lower(expr, 8) is plan
+        assert plan_cache_stats()["hits"] == 1
+        assert plan_cache_stats()["misses"] == 0
 
 
 def _inc(x):

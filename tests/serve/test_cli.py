@@ -17,12 +17,12 @@ from repro.serve.cli import SCHEMA, default_mix, main, run_serve
 
 
 def validate_serve_artifact(artifact: dict) -> None:
-    """Assert the ``repro serve`` JSON artifact has the v2 shape."""
-    assert artifact["schema"] == SCHEMA == "repro.serve.latency/v2"
+    """Assert the ``repro serve`` JSON artifact has the v3 shape."""
+    assert artifact["schema"] == SCHEMA == "repro.serve.latency/v3"
     assert artifact["mode"] in ("smoke", "full")
     config = artifact["config"]
     for key in ("requests", "concurrency", "workers", "nprocs", "seed",
-                "endpoints", "tenants", "burst"):
+                "endpoints", "tenants", "burst", "slo"):
         assert key in config, f"config missing {key!r}"
     assert len(config["endpoints"]) >= 2
     assert len(config["tenants"]) >= 2
@@ -55,17 +55,47 @@ def validate_serve_artifact(artifact: dict) -> None:
     assert burst["summary"]["rejected_by_reason"].get("queue-full", 0) \
         == burst["load"]["rejected"]
 
+    # v3: the SLO overload phase must show latency-aware shedding engage
+    # (rolling p99 over target -> reason "slo-shed", never "queue-full")
+    # and then clear (every recovery probe admitted).
+    slo = artifact["slo"]
+    slo_config = config["slo"]
+    for key in ("requests", "rate_rps", "p99_target_ms", "window_s",
+                "min_samples"):
+        assert key in slo_config, f"config.slo missing {key!r}"
+    assert slo["load"]["mode"] == "open-loop"
+    assert slo["shed"] > 0, "slo phase must shed on the p99 breach"
+    by_reason = slo["summary"]["rejected_by_reason"]
+    assert by_reason.get("slo-shed", 0) >= slo["shed"]
+    assert by_reason.get("queue-full", 0) == 0, \
+        "slo phase queue is deep enough that only the SLO sheds"
+    assert slo["summary"]["slo"]["shed"] == by_reason["slo-shed"]
+    assert slo["summary"]["slo"]["p99_target_ms"] == \
+        slo_config["p99_target_ms"]
+    assert slo["probes"]["admitted"] == slo["probes"]["attempted"]
+    assert slo["recovered"] is True, "admission must recover post-overload"
+
 
 @pytest.fixture(scope="module")
-def smoke_artifact():
+def smoke_run():
     return run_serve(requests=64, concurrency=8, workers=2, nprocs=4,
                      seed=0, burst_requests=40, burst_rate=4000.0,
-                     smoke=True)
+                     smoke=True, slo_requests=100)
+
+
+@pytest.fixture(scope="module")
+def smoke_artifact(smoke_run):
+    return smoke_run[0]
 
 
 class TestRunServe:
     def test_artifact_validates(self, smoke_artifact):
         validate_serve_artifact(smoke_artifact)
+
+    def test_metrics_artifact_validates(self, smoke_run):
+        from tests.obs.test_metrics import validate_metrics_artifact
+
+        validate_metrics_artifact(smoke_run[1], expect_slo_shed=True)
 
     def test_artifact_is_json_serializable(self, smoke_artifact):
         parsed = json.loads(json.dumps(smoke_artifact, default=str))

@@ -13,9 +13,11 @@ from repro.obs import MemorySink
 from repro.scl import Fold, Scan
 from repro.serve import (
     AdmissionError,
+    MetricsRegistry,
     PlanEndpoint,
     PyEndpoint,
     Service,
+    SloMonitor,
     StreamEndpoint,
 )
 from repro.stream.plan import Chunk, MapPlan
@@ -136,6 +138,144 @@ class TestAdmissionControl:
         d = rejection.to_dict()
         assert d["reason"] == "queue-full" and "request_id" in d
         assert svc.summary()["rejected_by_reason"]["queue-full"] == 3
+
+
+class TestSloShedding:
+    @staticmethod
+    def _slow_service(**slo_kwargs):
+        """One worker whose endpoint takes ~5 ms — far over the 1 ms
+        target — so the rolling p99 breaches as soon as the window has
+        ``min_samples`` completions."""
+        slo = SloMonitor(0.001, **{"window_s": 0.5, "min_samples": 4,
+                                   **slo_kwargs})
+        svc = Service(workers=1, max_queue=64, slo=slo)
+        svc.register(PyEndpoint("slow", lambda p: time.sleep(0.005)))
+        return svc, slo
+
+    def test_sheds_on_p99_breach_with_structured_rejection(self):
+        svc, slo = self._slow_service()
+        with svc:
+            for _ in range(4):
+                svc.submit("slow").result(timeout=30)
+            with pytest.raises(AdmissionError) as excinfo:
+                svc.submit("slow", tenant="t1")
+        rejection = excinfo.value.rejection
+        assert rejection.reason == "slo-shed"
+        assert rejection.tenant == "t1"
+        assert svc.summary()["rejected_by_reason"]["slo-shed"] == 1
+        assert slo.breach_verdicts >= 1
+
+    def test_recovers_once_the_window_ages_out(self):
+        svc, slo = self._slow_service()
+        with svc:
+            for _ in range(4):
+                svc.submit("slow").result(timeout=30)
+            with pytest.raises(AdmissionError):
+                svc.submit("slow")
+            # A quiet window_s later every slow sample has aged out and
+            # admission is open again (the thin window never sheds).
+            time.sleep(slo.window_s + 0.05)
+            ticket = svc.submit("slow")
+            assert ticket.result(timeout=30) is None
+        summary = svc.summary()
+        assert summary["slo"]["shed"] == 1
+        assert summary["completed"] == 5
+
+    def test_thin_window_never_sheds(self):
+        svc, _ = self._slow_service(min_samples=50)
+        with svc:
+            for _ in range(10):
+                svc.submit("slow").result(timeout=30)
+            svc.submit("slow").result(timeout=30)  # still admitted
+        assert svc.summary()["rejected_by_reason"] == {}
+
+    def test_summary_slo_block(self):
+        svc, _ = self._slow_service()
+        with svc:
+            for _ in range(4):
+                svc.submit("slow").result(timeout=30)
+            summary = svc.summary()
+        slo = summary["slo"]
+        assert slo["samples"] == 4
+        assert slo["p99_ms"] > slo["p99_target_ms"] == 1.0
+        assert slo["breached"] is True
+        assert svc.summary()["slo"] is not None
+        assert make_service().summary()["slo"] is None
+
+
+class TestMetricsWiring:
+    def test_requests_latency_and_gauges(self):
+        reg = MetricsRegistry()
+        with make_service(metrics=reg) as svc:
+            for _ in range(3):
+                svc.submit("scan-add", [1.0] * 4,
+                           tenant="pro").result(timeout=30)
+            svc.submit("fold-add", [1.0] * 4).result(timeout=30)
+        snap = reg.snapshot()
+        assert snap.value("serve_requests_total",
+                          {"endpoint": "scan-add", "tenant": "pro",
+                           "status": "ok"}) == 3.0
+        assert snap.value("serve_requests_total",
+                          {"endpoint": "fold-add", "tenant": "default",
+                           "status": "ok"}) == 1.0
+        latency = [s for s in snap.series
+                   if s["name"] == "serve_request_latency_seconds"
+                   and s["labels"]["endpoint"] == "scan-add"]
+        assert sum(s["count"] for s in latency) == 3
+        assert snap.value("serve_queue_depth") == 0.0
+        assert snap.value("serve_in_flight") == 0.0
+        # The plan-cache gauges ride along on any instrumented service.
+        assert snap.value("plan_cache_hits") is not None
+
+    def test_rejections_are_labelled_by_reason(self):
+        reg = MetricsRegistry()
+        release = threading.Event()
+        svc = Service(workers=1, max_queue=1, metrics=reg)
+        svc.register(PyEndpoint("block", lambda p: release.wait(10)))
+        with svc:
+            tickets = [svc.submit("block")]
+            deadline = time.monotonic() + 5
+            shed = 0
+            while shed < 2 and time.monotonic() < deadline:
+                try:
+                    tickets.append(svc.submit("block", tenant="t1"))
+                except AdmissionError:
+                    shed += 1
+            release.set()
+            for t in tickets:
+                t.result(timeout=30)
+        assert reg.snapshot().value(
+            "serve_rejections_total",
+            {"endpoint": "block", "tenant": "t1",
+             "reason": "queue-full"}) == 2.0
+
+    def test_slo_gauges_exported_when_both_given(self):
+        reg = MetricsRegistry()
+        slo = SloMonitor(0.001, window_s=0.5, min_samples=4)
+        svc = Service(workers=1, slo=slo, metrics=reg)
+        svc.register(PyEndpoint("slow", lambda p: time.sleep(0.005)))
+        with svc:
+            for _ in range(4):
+                svc.submit("slow").result(timeout=30)
+            snap = reg.snapshot()
+        assert snap.value("serve_slo_p99_target_ms") == 1.0
+        assert snap.value("serve_slo_rolling_p99_ms") > 1.0
+        assert snap.value("serve_slo_breached") == 1.0
+
+    def test_uninstrumented_service_keeps_plain_endpoints_working(self):
+        # A 2-arg execute() (the pre-metrics protocol) must keep working
+        # when the service is not instrumented.
+        class Legacy:
+            name = "legacy"
+            nprocs = 1
+
+            def execute(self, payload, machines):
+                return payload, 0, 0.0
+
+        svc = Service(workers=1)
+        svc.register(Legacy())
+        with svc:
+            assert svc.submit("legacy", "x").result(timeout=30) == "x"
 
 
 class TestFairScheduling:

@@ -34,6 +34,8 @@ class TestRunSuite:
                      for c in perf.QUICK_SERVICE_CONCURRENCY}
         expected |= {f"stream_chunked/p{ch}"
                      for ch in perf.QUICK_STREAM_CHUNKS}
+        expected |= {f"metrics_overhead/p{mp}"
+                     for mp in perf.METRICS_PROCS}
         tp = 1 << perf.QUICK_TUNED_DIM
         expected |= {f"tuned_hyperquicksort/p{tp}",
                      f"tuned_hyperquicksort_greedy/p{tp}"}
@@ -119,6 +121,28 @@ class TestServiceRows:
         assert again["events"] == quick_suite[key]["events"]
         assert again["makespan"] == pytest.approx(
             quick_suite[key]["makespan"])
+
+
+class TestMetricsOverhead:
+    def test_reports_both_arms(self, quick_suite):
+        key = f"metrics_overhead/p{perf.METRICS_PROCS[0]}"
+        rec = quick_suite[key]
+        assert rec["requests"] == 120
+        assert rec["host_seconds"] > 0            # metrics disabled
+        assert rec["host_seconds_metrics"] > 0    # live registry + SLO
+        assert rec["overhead_metrics"] > 0
+        assert rec["events"] > 0
+
+    def test_arms_run_the_identical_workload(self):
+        # Seeded content + an unreachable SLO target: both arms admit
+        # and complete the same requests, so events are arm-identical
+        # (bench_metrics_overhead itself asserts off == on; two calls
+        # prove the whole row is deterministic).
+        a = perf.bench_metrics_overhead(perf.METRICS_PROCS[0],
+                                        requests=60, repeats=1)
+        b = perf.bench_metrics_overhead(perf.METRICS_PROCS[0],
+                                        requests=60, repeats=1)
+        assert a["events"] == b["events"]
 
 
 class TestTunedRows:
