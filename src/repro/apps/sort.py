@@ -58,6 +58,7 @@ from repro.core import (
 from repro.errors import SkeletonError
 from repro.machine import AP1000, Comm, Hypercube, Machine, MachineSpec, collectives
 from repro.machine.simulator import RunResult
+from repro.plan.ir import base_fragment
 from repro.runtime.chunking import chunk_indices
 from repro.runtime.executor import Executor
 
@@ -477,6 +478,46 @@ def hyperquicksort_machine_nested(
 # 5. Hyperquicksort as a compilable SCL expression
 # --------------------------------------------------------------------------
 
+#: Cost parameters for the module-level expression fragments below.  A
+#: module constant (not a per-expression closure) so the fragments are
+#: top-level callables — picklable by reference, which lets the
+#: host-parallel data plane (:mod:`repro.plan.pexec`) ship them to
+#: worker processes.  Workers re-import this module, so the ``scl_ops``
+#: tags resolve identically on both sides.
+_HQ_PARAMS = SortCostParams()
+
+
+@base_fragment(ops=lambda dp: _HQ_PARAMS.median_ops
+               + _HQ_PARAMS.split_ops(np.asarray(dp[0]).size))
+def _hq_split_on_leader_median(dp):
+    data, leader_data = dp
+    return split_by_pivot(midvalue(leader_data), data)
+
+
+class _HqSelect:
+    """The piece selector of one hyperquicksort step, as a picklable
+    callable: lower-half processors keep and receive the low pieces,
+    upper-half processors keep and receive the high pieces."""
+
+    scl_ops = 2.0
+
+    def __init__(self, half: int):
+        self.half = half
+        self.__name__ = f"select_half_{half}"
+
+    def __call__(self, j, own_partner):
+        own, partner = own_partner
+        if j & self.half == 0:
+            return own[0], partner[0]
+        return own[1], partner[1]
+
+
+@base_fragment(ops=lambda kr: _HQ_PARAMS.merge_ops(
+    np.asarray(kr[0]).size + np.asarray(kr[1]).size))
+def _hq_merge_pair(kr):
+    return merge_sorted(kr[0], kr[1])
+
+
 @functools.lru_cache(maxsize=None)
 def hyperquicksort_expression(d: int):
     """The flattened §5 program as a :mod:`repro.scl` expression.
@@ -489,49 +530,26 @@ def hyperquicksort_expression(d: int):
     rewritten by the §4 rules, or **compiled** onto the simulated machine
     (`run_expression`), which mechanises the paper's full pipeline.
 
+    The fragments are module-level callables (see :data:`_HQ_PARAMS`), so
+    compiled runs can dispatch them to the host-parallel worker pool
+    (``parallel=True``); the index functions inside ``AlignFetch`` stay
+    local — they are evaluated once at lowering time, never shipped.
+
     Memoised on ``d``: repeated calls return the *same* expression object,
     so every compile after the first is a plan-cache hit (plans are keyed
     by the expression).
     """
-    import numpy as np
-
     from repro.scl import AlignFetch, IMap, IterFor, Map, compose_nodes
-    from repro.scl.compile import base_fragment
-
-    params = SortCostParams()
-
-    @base_fragment(ops=lambda dp: params.median_ops
-                   + params.split_ops(np.asarray(dp[0]).size))
-    def split_on_leader_median(dp):
-        data, leader_data = dp
-        return split_by_pivot(midvalue(leader_data), data)
-
-    def make_selector(half):
-        @base_fragment(ops=2.0)
-        def select(j, own_partner):
-            # lower-half processors keep and receive the low pieces;
-            # upper-half processors keep and receive the high pieces
-            own, partner = own_partner
-            if j & half == 0:
-                return own[0], partner[0]
-            return own[1], partner[1]
-
-        return select
-
-    @base_fragment(ops=lambda kr: params.merge_ops(
-        np.asarray(kr[0]).size + np.asarray(kr[1]).size))
-    def merge_pair(kr):
-        return merge_sorted(kr[0], kr[1])
 
     def step(i):
         dim = d - i
         sub = 1 << dim
         half = sub >> 1
         return compose_nodes(
-            Map(merge_pair),
-            IMap(make_selector(half)),
+            Map(_hq_merge_pair),
+            IMap(_HqSelect(half)),
             AlignFetch(lambda j, half=half: j ^ half),   # getpartner
-            Map(split_on_leader_median),
+            Map(_hq_split_on_leader_median),
             AlignFetch(lambda j, sub=sub: (j // sub) * sub),  # wpivot
         )
 
@@ -545,6 +563,8 @@ def hyperquicksort_compiled(
     spec: MachineSpec = AP1000,
     params: SortCostParams = SortCostParams(),
     opt="auto",
+    parallel: bool = False,
+    workers: int | None = None,
 ) -> tuple[np.ndarray, RunResult]:
     """Run the §5 expression through the SCL compiler on the simulator.
 
@@ -552,7 +572,9 @@ def hyperquicksort_compiled(
     in the paper's program, where ``map SEQ_QUICKSORT . partition`` and
     ``gather`` bracket the ``iterfor``); the iterations themselves execute
     as compiled skeleton code.  ``opt`` is the plan-optimizer switch of
-    :class:`repro.scl.compile.CompiledProgram`.
+    :class:`repro.scl.compile.CompiledProgram`; ``parallel``/``workers``
+    dispatch the fragment compute to the host-parallel worker pool
+    (virtual results and costs are bit-identical, only host time moves).
     """
     from repro.scl.compile import run_expression
 
@@ -561,7 +583,8 @@ def hyperquicksort_compiled(
     machine = Machine(Hypercube(d), spec=spec)
     blocks = parmap(seq_quicksort, partition(Block(p), values))
     expr = hyperquicksort_expression(d)
-    out, result = run_expression(expr, blocks, machine, opt=opt)
+    out, result = run_expression(expr, blocks, machine, opt=opt,
+                                 parallel=parallel, workers=workers)
     return np.concatenate([np.asarray(b) for b in out]), result
 
 

@@ -10,7 +10,10 @@ the registry that makes a fragment "known":
 * :func:`vectorize_fragment` attaches a batched implementation to a
   fragment (``batched(values) -> values``, one call for all ranks).  The
   attribute travels with the callable, so registration survives lowering,
-  fusion and caching.
+  fusion and caching.  An optional *shard transform* additionally marks
+  the kernel row-independent, which lets the host-parallel backend
+  (:mod:`repro.plan.pexec`) run disjoint row slabs of the SoA stack on
+  separate OS processes.
 * :func:`batched_apply` is what the data plane
   (:mod:`repro.plan.vexec`) calls: the batched implementation when one is
   registered, a transparent per-rank fallback for opaque fragments.
@@ -19,7 +22,10 @@ the registry that makes a fragment "known":
   cost tag), and :func:`stack_uniform` is the SoA helper batched
   implementations share — it groups per-rank values by shape/dtype so
   ragged distributions (e.g. column blocks differing by one column) still
-  vectorise within each uniform group.
+  vectorise within each uniform group.  :func:`group_uniform` exposes the
+  grouping itself (index sets plus the stacked C-contiguous array per
+  group) for backends that shard the stack instead of transforming it
+  in one call.
 
 Virtual cost and results are unchanged by construction: the batched
 implementation must compute the same elementwise arithmetic, and the
@@ -36,28 +42,48 @@ import numpy as np
 from repro.plan.ir import base_fragment
 
 __all__ = ["vectorize_fragment", "batched_apply", "has_batched",
-           "elementwise", "stack_uniform"]
+           "elementwise", "stack_uniform", "group_uniform",
+           "shard_transform"]
 
 #: Attribute carrying the batched implementation on a fragment callable.
 _ATTR = "scl_batched"
+#: Attribute carrying the row-independent shard transform (when the
+#: kernel's batched form is safe to evaluate on disjoint row slabs).
+_SHARD_ATTR = "scl_shard"
 
 
 def vectorize_fragment(fn: Callable[..., Any],
-                       batched: Callable[[Sequence[Any]], Sequence[Any]]):
+                       batched: Callable[[Sequence[Any]], Sequence[Any]],
+                       *,
+                       shard: Callable[[np.ndarray], np.ndarray] | None = None):
     """Register ``batched`` as the all-ranks implementation of ``fn``.
 
     ``batched(values)`` receives the per-rank values in rank order and
     must return the per-rank results in the same order, computing exactly
     what ``[fn(v) for v in values]`` would — bit-identical results are
     part of the executor's contract.  Returns ``fn`` (decorator-friendly).
+
+    ``shard`` (optional) is a transform over one stacked ``(g, ...)``
+    group that is **row-independent**: ``shard(stack)[i] ==
+    shard(stack[i:i+1])[0]`` bit-for-bit.  Registering it allows the
+    host-parallel backend to evaluate disjoint row slabs in separate
+    processes; elementwise numpy arithmetic qualifies, cross-rank
+    reductions do not.
     """
     setattr(fn, _ATTR, batched)
+    if shard is not None:
+        setattr(fn, _SHARD_ATTR, shard)
     return fn
 
 
 def has_batched(fn: Any) -> bool:
     """True when ``fn`` carries a registered batched implementation."""
     return getattr(fn, _ATTR, None) is not None
+
+
+def shard_transform(fn: Any):
+    """The registered row-independent shard transform, or ``None``."""
+    return getattr(fn, _SHARD_ATTR, None)
 
 
 def batched_apply(fn: Any, values: Sequence[Any]) -> list:
@@ -69,13 +95,37 @@ def batched_apply(fn: Any, values: Sequence[Any]) -> list:
     """
     batched = getattr(fn, _ATTR, None)
     if batched is not None:
-        out = list(batched(values))
+        res = batched(values)
+        if res is None or not hasattr(res, "__iter__"):
+            raise ValueError(
+                f"batched kernel {getattr(fn, '__name__', fn)!r} returned "
+                f"{type(res).__name__}, not a sequence of per-rank values")
+        out = list(res)
         if len(out) != len(values):
             raise ValueError(
                 f"batched kernel {getattr(fn, '__name__', fn)!r} returned "
                 f"{len(out)} values for {len(values)} ranks")
         return out
     return [fn(v) for v in values]
+
+
+def group_uniform(values: Sequence[Any]
+                  ) -> list[tuple[list[int], np.ndarray]]:
+    """Group rank values by ``(shape, dtype)`` and stack each group.
+
+    Returns ``[(rank_indices, stacked)]`` where ``stacked`` is the
+    C-contiguous ``(g, ...)`` SoA array of the group's values in rank
+    order.  Inputs are normalised with :func:`np.ascontiguousarray`
+    first, so transposed/strided views stack through one fast memcpy per
+    value instead of the strided slow path — the grouping key (shape and
+    dtype) is unchanged by the normalisation.
+    """
+    arrays = [np.ascontiguousarray(v) for v in values]
+    groups: dict[tuple, list[int]] = {}
+    for k, a in enumerate(arrays):
+        groups.setdefault((a.shape, a.dtype), []).append(k)
+    return [(idxs, np.stack([arrays[k] for k in idxs]))
+            for idxs in groups.values()]
 
 
 def stack_uniform(values: Sequence[Any],
@@ -89,12 +139,8 @@ def stack_uniform(values: Sequence[Any],
     guarantee array-valued fragments.
     """
     out: list = [None] * len(values)
-    groups: dict[tuple, list[int]] = {}
-    arrays = [np.asarray(v) for v in values]
-    for k, a in enumerate(arrays):
-        groups.setdefault((a.shape, a.dtype), []).append(k)
-    for idxs in groups.values():
-        batch = transform(np.stack([arrays[k] for k in idxs]))
+    for idxs, stacked in group_uniform(values):
+        batch = transform(stacked)
         for j, k in enumerate(idxs):
             out[k] = batch[j]
     return out
@@ -107,7 +153,9 @@ def elementwise(ufunc: Callable[[np.ndarray], np.ndarray], *,
 
     The per-rank form applies ``ufunc`` to one value; the batched form
     applies it once to the SoA stack.  Elementwise numpy arithmetic is
-    positionwise-identical either way, so the results are bit-identical.
+    positionwise-identical either way, so the results are bit-identical
+    — which also makes ``ufunc`` itself a valid shard transform for the
+    host-parallel backend.
     """
 
     @base_fragment(ops=lambda v: ops_per_elem * np.size(v))
@@ -115,4 +163,5 @@ def elementwise(ufunc: Callable[[np.ndarray], np.ndarray], *,
         return ufunc(np.asarray(value))
 
     frag.__name__ = name or getattr(ufunc, "__name__", "elementwise")
-    return vectorize_fragment(frag, lambda vals: stack_uniform(vals, ufunc))
+    return vectorize_fragment(frag, lambda vals: stack_uniform(vals, ufunc),
+                              shard=ufunc)

@@ -1,0 +1,691 @@
+"""Host-parallel data plane: a persistent shared-memory worker pool.
+
+Everything before this module speeds up the *virtual* machine on one
+host core: the interpreter, the SoA data plane (:mod:`repro.plan.vexec`)
+and the batched simulator all run under one GIL.  ``pexec`` is the
+hardware tier — a pool of long-lived OS processes that executes the
+compute half of :func:`repro.plan.vexec.precompute` in true parallel
+while the scripting half (cost charges, message tables, collective
+generators) stays in the parent, so the simulator still replays a
+bit-identical request stream.
+
+Two dispatch paths, chosen per ``LocalApply``:
+
+* **shm shard path** — when every rank's value is an ndarray and the
+  fragment registered a row-independent *shard transform*
+  (:func:`repro.plan.kernels.vectorize_fragment` ``shard=``), each
+  uniform ``(shape, dtype)`` group is stacked once into a
+  :class:`multiprocessing.shared_memory.SharedMemory` segment and split
+  into contiguous rank shards.  Workers map zero-copy numpy views over
+  their slab, run the transform, and ship the result back through a
+  worker-created segment the parent copies out and unlinks.
+* **pickle per-rank path** — opaque-but-picklable fragments (including
+  the constituents of a :class:`~repro.plan.ir.FusedKernel` chain, which
+  the data plane dispatches link by link) run the plain per-rank loop on
+  a contiguous shard of ranks.  Uniform ndarray inputs still travel via
+  one shared-memory stack; ragged or non-array values fall back to
+  pickled chunks.
+
+Fallback rules (``apply_local`` returns ``None`` → caller runs
+in-process): unpicklable fragment, too few bytes to amortize a dispatch
+(``min_dispatch_bytes``), fewer than two ranks, a worker-side exception
+(the in-process retry re-raises the real error), or a broken pool.  A
+crashed worker or torn pipe raises :class:`~repro.errors.PoolError`; the
+vectorized data plane catches it, drops the pool and retries in-process
+— parallelism is an optimisation, never a correctness dependency.
+
+Lifecycle: workers start lazily on first dispatch (``fork`` preferred,
+``spawn`` supported — select with ``start_method=`` or the
+``REPRO_POOL_START_METHOD`` environment variable), an optional idle
+reaper retires them after ``idle_timeout_s`` of disuse (the next
+dispatch restarts them), and :func:`get_pool` maintains the process-wide
+singleton that ``scl.compile`` / ``python -m repro perf --workers N``
+share.  Metrics (worker/busy gauges, per-path task counters, shard-size
+and dispatch-latency histograms) register on an
+:class:`~repro.obs.metrics.MetricsRegistry` when one is supplied —
+behind the usual ``if metrics is not None`` guard.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+import time
+from typing import Any, Callable, Sequence
+
+import multiprocessing
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.errors import PoolError
+from repro.plan import ir
+
+__all__ = ["WorkerPool", "get_pool", "shutdown_pool", "PoolError"]
+
+#: Dispatch is worth two process hops only above this many payload bytes.
+DEFAULT_MIN_DISPATCH_BYTES = 1 << 15
+
+_PROTO = pickle.HIGHEST_PROTOCOL
+
+
+# ----------------------------------------------------------- worker side
+
+def _unregister_shm(seg: shared_memory.SharedMemory) -> None:
+    """Hand ownership of a worker-created segment to the parent.
+
+    The creating process's resource tracker would otherwise unlink the
+    segment when the worker exits; the parent unlinks it after copying
+    the result out.
+    """
+    try:  # pragma: no cover - depends on CPython internals staying put
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(seg._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def _pack_array(arr: np.ndarray) -> tuple:
+    """Ship one result batch through a fresh shared-memory segment."""
+    arr = np.ascontiguousarray(arr)
+    seg = shared_memory.SharedMemory(create=True, size=max(arr.nbytes, 1))
+    try:
+        np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)[...] = arr
+        _unregister_shm(seg)
+    finally:
+        seg.close()
+    return ("ok_shm", seg.name, arr.shape, arr.dtype.str)
+
+
+def _pack_results(results: list) -> tuple:
+    """Uniform ndarray results ride shared memory; anything else pickles."""
+    if results and all(type(r) is np.ndarray for r in results):
+        r0 = results[0]
+        if all(r.shape == r0.shape and r.dtype == r0.dtype
+               for r in results):
+            return _pack_array(np.stack(results))
+    return ("ok_pick", pickle.dumps(results, protocol=_PROTO))
+
+
+def _run_rows(fn, mode: str, aux, rows: list, lo: int) -> list:
+    """The per-rank loop a worker runs over its shard (ranks lo..)."""
+    if mode == "plain":
+        return [fn(v) for v in rows]
+    if mode == "indexed":
+        return [fn(lo + i, v) for i, v in enumerate(rows)]
+    if mode == "indexed2d":
+        return [fn(divmod(lo + i, aux), v) for i, v in enumerate(rows)]
+    if mode == "env":
+        return [fn(aux, v) for v in rows]
+    raise ValueError(f"unknown apply mode {mode!r}")
+
+
+def _run_task(task: tuple) -> tuple:
+    _, job_blob, inp = task
+    fn, mode, aux = pickle.loads(job_blob)
+    if inp[0] == "shm":
+        _, name, shape, dtype, lo, hi = inp
+        seg = shared_memory.SharedMemory(name=name)
+        try:
+            stack = np.ndarray(shape, dtype=np.dtype(dtype), buffer=seg.buf)
+            if mode == "shard":
+                return _pack_array(fn(stack[lo:hi]))
+            rows = [stack[i] for i in range(lo, hi)]
+            # pack before close: results may be views over the segment
+            return _pack_results(_run_rows(fn, mode, aux, rows, lo))
+        finally:
+            seg.close()
+    _, vals_blob, lo = inp
+    rows = pickle.loads(vals_blob)
+    return _pack_results(_run_rows(fn, mode, aux, rows, lo))
+
+
+def _worker_main(conn) -> None:
+    """Long-lived worker loop: receive a task, reply, repeat."""
+    import signal
+
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return
+        kind = msg[0]
+        if kind == "exit":
+            return
+        if kind == "ping":
+            conn.send(("pong",))
+            continue
+        try:
+            reply = _run_task(msg)
+        except BaseException as exc:  # noqa: BLE001 - report, don't die
+            reply = ("err", f"{type(exc).__name__}: {exc}")
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            return
+
+
+# ----------------------------------------------------------- parent side
+
+def _approx_nbytes(value: Any) -> int:
+    """Cheap payload-size estimate for the amortization gate."""
+    if isinstance(value, np.ndarray):
+        return value.nbytes
+    if isinstance(value, (tuple, list)):
+        return sum(v.nbytes if isinstance(v, np.ndarray) else 64
+                   for v in value)
+    return 64
+
+
+def _shard_bounds(n: int, shards: int) -> list[tuple[int, int]]:
+    """Split ``range(n)`` into ``shards`` contiguous, balanced slabs."""
+    shards = max(1, min(shards, n))
+    base, extra = divmod(n, shards)
+    bounds, lo = [], 0
+    for s in range(shards):
+        hi = lo + base + (1 if s < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+class _TaskFailure(Exception):
+    """A worker reported an exception for one task (internal signal)."""
+
+
+class _Worker:
+    __slots__ = ("proc", "conn")
+
+    def __init__(self, proc, conn):
+        self.proc = proc
+        self.conn = conn
+
+
+class WorkerPool:
+    """A persistent pool of OS worker processes for the data plane.
+
+    ``workers`` fixes the pool width (default: host CPU count);
+    ``start_method`` selects the multiprocessing context (default:
+    ``REPRO_POOL_START_METHOD`` env var, else ``fork`` where available);
+    ``metrics`` (optional) receives pool gauges/counters/histograms;
+    ``min_dispatch_bytes`` is the amortization floor below which
+    ``apply_local`` declines; ``idle_timeout_s`` (optional) retires idle
+    workers — they restart lazily on the next dispatch.
+    """
+
+    def __init__(self, workers: int | None = None, *,
+                 start_method: str | None = None,
+                 metrics: Any = None,
+                 min_dispatch_bytes: int = DEFAULT_MIN_DISPATCH_BYTES,
+                 idle_timeout_s: float | None = None):
+        workers = int(workers) if workers else (os.cpu_count() or 1)
+        if workers < 1:
+            raise PoolError(f"workers must be positive, got {workers}")
+        self.workers = workers
+        method = start_method or os.environ.get("REPRO_POOL_START_METHOD")
+        if method is None and \
+                "fork" in multiprocessing.get_all_start_methods():
+            method = "fork"
+        self.start_method = method
+        self.min_dispatch_bytes = int(min_dispatch_bytes)
+        self.idle_timeout_s = idle_timeout_s
+        self._metrics = metrics
+        self._ws: list[_Worker] = []
+        self._lock = threading.RLock()
+        self._broken = False
+        self._busy = 0
+        self._last_used = time.monotonic()
+        self._stop_evt = threading.Event()
+        self._reaper: threading.Thread | None = None
+        #: Pickled (fn, mode, aux) blobs keyed by fragment identity; the
+        #: pinned fn reference keeps ids stable for the cache lifetime.
+        self._job_cache: dict[tuple, tuple[bytes | None, Any]] = {}
+        self.stats = {"dispatches": 0, "tasks_shm": 0, "tasks_pickle": 0,
+                      "fallbacks": {}}
+        self._register_metrics()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        return bool(self._ws)
+
+    @property
+    def broken(self) -> bool:
+        return self._broken
+
+    def ensure_started(self) -> None:
+        """Start the workers (idempotent; lazy callers use this)."""
+        with self._lock:
+            if self._broken:
+                raise PoolError(
+                    "worker pool is broken (a worker crashed); close() "
+                    "and recreate, or run in-process")
+            if self._ws:
+                return
+            ctx = multiprocessing.get_context(self.start_method)
+            ws = []
+            try:
+                for _ in range(self.workers):
+                    parent, child = ctx.Pipe(duplex=True)
+                    proc = ctx.Process(target=_worker_main, args=(child,),
+                                       daemon=True,
+                                       name="repro-pexec-worker")
+                    proc.start()
+                    child.close()
+                    ws.append(_Worker(proc, parent))
+            except BaseException:
+                for w in ws:
+                    w.proc.terminate()
+                    w.conn.close()
+                raise
+            self._ws = ws
+            self._last_used = time.monotonic()
+            if self.idle_timeout_s is not None and self._reaper is None:
+                self._reaper = threading.Thread(
+                    target=self._reap_loop, daemon=True,
+                    name="repro-pexec-reaper")
+                self._reaper.start()
+
+    def _stop_workers(self) -> None:
+        with self._lock:
+            ws, self._ws = self._ws, []
+            for w in ws:
+                try:
+                    w.conn.send(("exit",))
+                except (BrokenPipeError, OSError):
+                    pass
+                w.conn.close()
+            for w in ws:
+                w.proc.join(timeout=2.0)
+                if w.proc.is_alive():  # pragma: no cover - stuck worker
+                    w.proc.terminate()
+                    w.proc.join(timeout=2.0)
+
+    def _mark_broken(self) -> None:
+        with self._lock:
+            self._broken = True
+            ws, self._ws = self._ws, []
+            for w in ws:
+                w.proc.terminate()
+                w.conn.close()
+            for w in ws:
+                w.proc.join(timeout=2.0)
+
+    def close(self) -> None:
+        """Stop workers and the reaper; the pool object stays reusable."""
+        self._stop_evt.set()
+        reaper, self._reaper = self._reaper, None
+        if reaper is not None:
+            reaper.join(timeout=2.0)
+        self._stop_evt = threading.Event()
+        self._stop_workers()
+        self._broken = False
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def _reap_loop(self) -> None:
+        timeout = self.idle_timeout_s or 0.0
+        while not self._stop_evt.wait(max(timeout / 2.0, 0.05)):
+            with self._lock:
+                idle = (self._ws and not self._busy
+                        and time.monotonic() - self._last_used >= timeout)
+                if idle:
+                    self._stop_workers()
+
+    # -- metrics ------------------------------------------------------------
+
+    def _register_metrics(self) -> None:
+        m = self._metrics
+        if m is None:
+            self._m_tasks = self._m_fallbacks = None
+            self._m_shard_rows = self._m_dispatch_s = None
+            return
+        m.gauge("pexec_workers",
+                "configured worker-pool width").set_function(
+                    lambda: float(self.workers))
+        m.gauge("pexec_workers_live",
+                "worker processes currently running").set_function(
+                    lambda: float(len(self._ws)))
+        m.gauge("pexec_workers_busy",
+                "workers with tasks in flight").set_function(
+                    lambda: float(self._busy))
+        self._m_tasks = m.counter(
+            "pexec_tasks_total", "tasks dispatched to the pool",
+            labelnames=("path",))
+        self._m_fallbacks = m.counter(
+            "pexec_fallbacks_total", "dispatches declined (ran in-process)",
+            labelnames=("reason",))
+        self._m_shard_rows = m.histogram(
+            "pexec_shard_rows", "ranks per dispatched shard",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024))
+        self._m_dispatch_s = m.histogram(
+            "pexec_dispatch_seconds",
+            "wall time of one pool dispatch (send to last reply)")
+
+    def _fallback(self, reason: str) -> None:
+        fb = self.stats["fallbacks"]
+        fb[reason] = fb.get(reason, 0) + 1
+        if self._m_fallbacks is not None:
+            self._m_fallbacks.labels(reason=reason).inc()
+
+    # -- dispatch core ------------------------------------------------------
+
+    def _dumps(self, obj: Any, cache_key: tuple | None = None,
+               pin: Any = None) -> bytes | None:
+        if cache_key is not None:
+            hit = self._job_cache.get(cache_key)
+            if hit is not None:
+                return hit[0]
+        try:
+            blob = pickle.dumps(obj, protocol=_PROTO)
+        except Exception:
+            blob = None
+        if cache_key is not None:
+            self._job_cache[cache_key] = (blob, pin)
+        return blob
+
+    def _stack_to_shm(self, arrays: Sequence[np.ndarray]
+                      ) -> tuple[shared_memory.SharedMemory, tuple, str]:
+        a0 = arrays[0]
+        shape = (len(arrays),) + a0.shape
+        nbytes = max(int(a0.nbytes) * len(arrays), 1)
+        seg = shared_memory.SharedMemory(create=True, size=nbytes)
+        dst = np.ndarray(shape, dtype=a0.dtype, buffer=seg.buf)
+        for i, a in enumerate(arrays):
+            dst[i] = a
+        return seg, shape, a0.dtype.str
+
+    def _dispatch(self, tasks: list[tuple[int, tuple]]) -> list:
+        """Send ``(worker_index, task)`` pairs, return replies in order."""
+        self.ensure_started()
+        t0 = time.perf_counter()
+        per_worker: dict[int, list[int]] = {}
+        for pos, (wi, _task) in enumerate(tasks):
+            per_worker.setdefault(wi, []).append(pos)
+        replies: list = [None] * len(tasks)
+        with self._lock:
+            self._busy = len(per_worker)
+            self._last_used = time.monotonic()
+            self.stats["dispatches"] += 1
+            try:
+                for wi, task in tasks:
+                    self._ws[wi].conn.send(task)
+                for wi, positions in per_worker.items():
+                    conn = self._ws[wi].conn
+                    for pos in positions:
+                        replies[pos] = conn.recv()
+            except (EOFError, BrokenPipeError, ConnectionResetError,
+                    OSError) as exc:
+                self._mark_broken()
+                raise PoolError(
+                    f"worker pool lost a worker mid-dispatch: {exc}"
+                ) from exc
+            finally:
+                self._busy = 0
+                self._last_used = time.monotonic()
+        if self._m_dispatch_s is not None:
+            self._m_dispatch_s.observe(time.perf_counter() - t0)
+        return replies
+
+    def _unpack(self, reply: tuple) -> list:
+        """One reply → the per-rank result rows (unlinking shm results)."""
+        kind = reply[0]
+        if kind == "ok_shm":
+            _, name, shape, dtype = reply
+            seg = shared_memory.SharedMemory(name=name)
+            try:
+                arr = np.ndarray(shape, dtype=np.dtype(dtype),
+                                 buffer=seg.buf)
+                return [arr[i].copy() for i in range(shape[0])]
+            finally:
+                seg.close()
+                seg.unlink()
+        if kind == "ok_pick":
+            return pickle.loads(reply[1])
+        raise _TaskFailure(reply[1])
+
+    def _unpack_all(self, replies: list) -> tuple[list[list] | None, str]:
+        """Unpack every reply (always unlinking shm) — or the first error."""
+        rows_per_task: list[list] = []
+        failure = ""
+        for reply in replies:
+            try:
+                rows_per_task.append(self._unpack(reply))
+            except _TaskFailure as exc:
+                failure = failure or str(exc)
+        if failure:
+            return None, failure
+        return rows_per_task, ""
+
+    # -- the vexec entry point ----------------------------------------------
+
+    def apply_local(self, fn: Callable, values: Sequence[Any], *,
+                    indexed: bool = False, grid_cols: int | None = None,
+                    farm_env: Any = ir.NO_ENV) -> list | None:
+        """Run one ``LocalApply`` over all ranks on the pool.
+
+        Returns the per-rank results (rank order, bit-identical to the
+        in-process loop) or ``None`` when dispatch is declined — the
+        caller then runs in-process.  Raises :class:`PoolError` only on
+        a worker crash.
+        """
+        p = len(values)
+        if self._broken:
+            self._fallback("broken")
+            return None
+        if p < 2:
+            self._fallback("small-p")
+            return None
+        if sum(_approx_nbytes(v) for v in values) < self.min_dispatch_bytes:
+            self._fallback("amortize")
+            return None
+
+        if indexed:
+            mode, aux = ("indexed2d", grid_cols) if grid_cols is not None \
+                else ("indexed", None)
+        elif farm_env is not ir.NO_ENV:
+            mode, aux = "env", farm_env
+        else:
+            mode, aux = "plain", None
+
+        # Path 1: registered row-independent shard transform over shm.
+        if mode == "plain":
+            from repro.plan.kernels import shard_transform
+
+            shard = shard_transform(fn)
+            if shard is not None and \
+                    all(isinstance(v, np.ndarray) for v in values):
+                blob = self._dumps((shard, "shard", None),
+                                   cache_key=("shard", id(fn)), pin=fn)
+                if blob is not None:
+                    return self._apply_groups(blob, values)
+        # Path 2: per-rank loop on contiguous rank shards.
+        if mode == "env":
+            job = self._dumps((fn, mode, aux))
+        else:
+            job = self._dumps((fn, mode, aux),
+                              cache_key=("rank", id(fn), mode, aux), pin=fn)
+        if job is None:
+            self._fallback("unpicklable")
+            return None
+        return self._apply_ranks(job, values)
+
+    def _apply_groups(self, job: bytes, values: Sequence[Any]
+                      ) -> list | None:
+        """Shard every uniform SoA group across the workers."""
+        from repro.plan.kernels import group_uniform
+
+        out: list = [None] * len(values)
+        segs: list[shared_memory.SharedMemory] = []
+        tasks: list[tuple[int, tuple]] = []
+        scatter: list[list[int]] = []
+        try:
+            wi = 0
+            for idxs, stacked in group_uniform(values):
+                seg = shared_memory.SharedMemory(
+                    create=True, size=max(stacked.nbytes, 1))
+                segs.append(seg)
+                np.ndarray(stacked.shape, dtype=stacked.dtype,
+                           buffer=seg.buf)[...] = stacked
+                dtype = stacked.dtype.str
+                for lo, hi in _shard_bounds(len(idxs), self.workers):
+                    tasks.append((wi % self.workers,
+                                  ("apply", job,
+                                   ("shm", seg.name, stacked.shape, dtype,
+                                    lo, hi))))
+                    scatter.append(idxs[lo:hi])
+                    wi += 1
+                    if self._m_shard_rows is not None:
+                        self._m_shard_rows.observe(hi - lo)
+            replies = self._dispatch(tasks)
+        finally:
+            for seg in segs:
+                seg.close()
+                seg.unlink()
+        rows_per_task, failure = self._unpack_all(replies)
+        if rows_per_task is None:
+            self._fallback("task-error")
+            return None
+        self.stats["tasks_shm"] += len(tasks)
+        if self._m_tasks is not None:
+            self._m_tasks.labels(path="shm").inc(len(tasks))
+        for idxs, rows in zip(scatter, rows_per_task):
+            for k, row in zip(idxs, rows):
+                out[k] = row
+        return out
+
+    def _apply_ranks(self, job: bytes, values: Sequence[Any]
+                     ) -> list | None:
+        """Per-rank loop over contiguous rank shards (shm or pickle in)."""
+        p = len(values)
+        bounds = _shard_bounds(p, self.workers)
+        uniform = (all(isinstance(v, np.ndarray) for v in values)
+                   and len({(v.shape, v.dtype) for v in values}) == 1)
+        seg = None
+        tasks: list[tuple[int, tuple]] = []
+        try:
+            if uniform:
+                arrays = [np.ascontiguousarray(v) for v in values]
+                seg, shape, dtype = self._stack_to_shm(arrays)
+                for wi, (lo, hi) in enumerate(bounds):
+                    tasks.append((wi, ("apply", job,
+                                       ("shm", seg.name, shape, dtype,
+                                        lo, hi))))
+            else:
+                for wi, (lo, hi) in enumerate(bounds):
+                    blob = self._dumps(list(values[lo:hi]))
+                    if blob is None:
+                        self._fallback("unpicklable")
+                        return None
+                    tasks.append((wi, ("apply", job, ("vals", blob, lo))))
+            if self._m_shard_rows is not None:
+                for _, (lo, hi) in zip(tasks, bounds):
+                    self._m_shard_rows.observe(hi - lo)
+            replies = self._dispatch(tasks)
+        finally:
+            if seg is not None:
+                seg.close()
+                seg.unlink()
+        rows_per_task, failure = self._unpack_all(replies)
+        if rows_per_task is None:
+            self._fallback("task-error")
+            return None
+        path = "shm" if uniform else "pickle"
+        self.stats[f"tasks_{path}"] += len(tasks)
+        if self._m_tasks is not None:
+            self._m_tasks.labels(path=path).inc(len(tasks))
+        out: list = []
+        for rows in rows_per_task:
+            out.extend(rows)
+        return out
+
+    # -- the generic executor entry point -------------------------------------
+
+    def run_map(self, fn: Callable, items: Sequence[Any]) -> list:
+        """``[fn(x) for x in items]`` across the workers, in input order.
+
+        The :class:`~repro.runtime.executor.ProcessExecutor` backend.
+        Unlike :meth:`apply_local` this never declines silently: an
+        unpicklable function/items or a worker-side exception raises
+        :class:`PoolError`.
+        """
+        items = list(items)
+        if not items:
+            return []
+        job = self._dumps((fn, "plain", None))
+        if job is None:
+            raise PoolError(
+                f"cannot pickle {getattr(fn, '__name__', fn)!r} for the "
+                f"process pool (top-level functions only)")
+        tasks: list[tuple[int, tuple]] = []
+        for wi, (lo, hi) in enumerate(_shard_bounds(len(items),
+                                                    self.workers)):
+            blob = self._dumps(items[lo:hi])
+            if blob is None:
+                raise PoolError("cannot pickle work items for the "
+                                "process pool")
+            tasks.append((wi, ("apply", job, ("vals", blob, lo))))
+        replies = self._dispatch(tasks)
+        rows_per_task, failure = self._unpack_all(replies)
+        if rows_per_task is None:
+            raise PoolError(f"worker task failed: {failure}")
+        out: list = []
+        for rows in rows_per_task:
+            out.extend(rows)
+        return out
+
+    def __repr__(self) -> str:
+        state = ("broken" if self._broken
+                 else "started" if self._ws else "idle")
+        return (f"WorkerPool(workers={self.workers}, "
+                f"start_method={self.start_method!r}, {state})")
+
+
+# -------------------------------------------------------- pool singleton
+
+_POOL: WorkerPool | None = None
+_POOL_LOCK = threading.Lock()
+
+
+def get_pool(workers: int | None = None, *,
+             start_method: str | None = None,
+             metrics: Any = None) -> WorkerPool:
+    """The process-wide pool, (re)created to match ``workers``.
+
+    Lazy by construction: no worker process starts until the first
+    dispatch, so merely resolving the pool (e.g. ``parallel=True`` on a
+    run that then declines every apply) costs nothing.
+    """
+    global _POOL
+    with _POOL_LOCK:
+        want = int(workers) if workers else (os.cpu_count() or 1)
+        pool = _POOL
+        if pool is not None and not pool.broken and pool.workers == want \
+                and (start_method is None
+                     or pool.start_method == start_method) \
+                and (metrics is None or pool._metrics is metrics):
+            return pool
+        if pool is not None:
+            pool.close()
+        _POOL = WorkerPool(want, start_method=start_method, metrics=metrics)
+        return _POOL
+
+
+def shutdown_pool() -> None:
+    """Close and drop the process-wide pool (no-op when absent)."""
+    global _POOL
+    with _POOL_LOCK:
+        if _POOL is not None:
+            _POOL.close()
+            _POOL = None

@@ -19,6 +19,18 @@ the interpreter's two jobs:
    all the interpreter's per-instruction dispatch, table indexing and
    collective generator frames are gone from the hot loop.
 
+The walk itself is split the same way — *scripting* (cost charges,
+message tables, collective generators: always in-process, always
+identical) versus *value evolution* (the actual fragment compute).
+Passing a :class:`~repro.plan.pexec.WorkerPool` via ``pool=`` dispatches
+the evolution half of eligible ``LocalApply`` steps — including each
+link of a :class:`~repro.plan.ir.FusedKernel` chain — to OS worker
+processes, shard-parallel; the pool declines (returns ``None``) or
+crashes (:class:`~repro.errors.PoolError`, caught here, pool dropped)
+and the step runs in-process instead.  Results are bit-identical either
+way, so the scripted request stream never depends on where the compute
+ran.
+
 Collectives are not re-derived by hand: :func:`precompute` drives the
 *actual* generators of :func:`repro.machine.plan_exec._collective` (one
 per rank) with an instant-delivery message pump, so any algorithm the
@@ -38,7 +50,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Sequence
 
-from repro.errors import MachineError
+from repro.errors import MachineError, PoolError
 from repro.machine.cost import MachineSpec, estimate_nbytes
 from repro.machine.events import Compute, Recv, Send
 from repro.machine.plan_exec import EXCHANGE_TAG, _collective
@@ -66,19 +78,66 @@ def _seq_supported(instrs) -> bool:
     return True
 
 
+class _SizeCache:
+    """Per-precompute memo of ``estimate_nbytes`` keyed by value identity.
+
+    ``estimate_nbytes`` already memoizes hashable tuples globally (PR 6),
+    but ndarrays are unhashable, and the data plane re-sizes the *same*
+    array object every time it rotates or exchanges through another rank
+    — a looped ``Rotate`` sizes each payload once per iteration.  Values
+    never mutate in the data plane (fragments return fresh arrays), so
+    one size per object is exact.  The cache pins each value it has
+    sized so ids cannot be recycled within the walk.
+    """
+
+    __slots__ = ("_word_bytes", "_sizes", "_pins")
+
+    def __init__(self, word_bytes: int):
+        self._word_bytes = word_bytes
+        self._sizes: dict[int, int] = {}
+        self._pins: list[Any] = []
+
+    def nbytes(self, value: Any) -> int:
+        key = id(value)
+        n = self._sizes.get(key)
+        if n is None:
+            n = estimate_nbytes(value, self._word_bytes)
+            self._sizes[key] = n
+            self._pins.append(value)
+        return n
+
+
+class _Ctx:
+    """Everything one precompute walk threads through its steps."""
+
+    __slots__ = ("plan", "spec", "default", "scripts", "sizes", "pool")
+
+    def __init__(self, plan, spec, default, scripts, pool):
+        self.plan = plan
+        self.spec = spec
+        self.default = default
+        self.scripts = scripts
+        self.sizes = _SizeCache(spec.word_bytes)
+        self.pool = pool
+
+
 def precompute(plan: ir.Plan, values: Sequence[Any], spec: MachineSpec,
-               default: float = ir.DEFAULT_FRAGMENT_OPS):
+               default: float = ir.DEFAULT_FRAGMENT_OPS, *, pool=None):
     """Script one execution of ``plan`` over ``values``.
 
     Returns ``(scripts, finals)`` — per-rank request lists and final
     local values — or ``None`` when the plan contains instructions the
-    scripted path does not cover.
+    scripted path does not cover.  ``pool`` (optional) is a
+    :class:`~repro.plan.pexec.WorkerPool`; eligible fragment compute
+    dispatches to it, everything else (and every fallback) runs
+    in-process with bit-identical results.
     """
     if not supported(plan):
         return None
     p = plan.nprocs
     scripts: list[list] = [[] for _ in range(p)]
-    finals = _run_seq(plan.instrs, plan, list(values), spec, default, scripts)
+    ctx = _Ctx(plan, spec, default, scripts, pool)
+    finals = _run_seq(plan.instrs, ctx, list(values))
     return scripts, finals
 
 
@@ -95,15 +154,16 @@ def replay_program(scripts: list[list], finals: list):
 
 # ------------------------------------------------------------ data plane
 
-def _run_seq(instrs, plan, values, spec, default, scripts):
+def _run_seq(instrs, ctx, values):
     for instr in instrs:
-        values = _step(instr, plan, values, spec, default, scripts)
+        values = _step(instr, ctx, values)
     return values
 
 
-def _step(instr, plan, values, spec, default, scripts):
+def _step(instr, ctx, values):
     p = len(values)
-    flop_time = spec.flop_time
+    scripts = ctx.scripts
+    flop_time = ctx.spec.flop_time
 
     if isinstance(instr, ir.LocalApply):
         # charge first (matching the interpreter's clock order), apply SoA
@@ -111,31 +171,33 @@ def _step(instr, plan, values, spec, default, scripts):
             ops = [0.0] * p
             for a in instr.fn.applies:
                 for r in range(p):
-                    ops[r] += ir.fragment_ops(a.fn, values[r], default)
-                values = _apply_one(a, plan, values)
+                    ops[r] += ir.fragment_ops(a.fn, values[r], ctx.default)
+                values = _evolve_local(a, ctx, values)
             for r in range(p):
                 scripts[r].append(Compute(float(ops[r]) * flop_time))
             return values
         for r in range(p):
             scripts[r].append(Compute(
-                float(ir.fragment_ops(instr.fn, values[r], default))
+                float(ir.fragment_ops(instr.fn, values[r], ctx.default))
                 * flop_time))
-        return _apply_one(instr, plan, values)
+        return _evolve_local(instr, ctx, values)
 
     if isinstance(instr, ir.Rotate):
         k = instr.k
+        sizes = ctx.sizes
         for r in range(p):
             scripts[r].append(Send(
                 (r - k) % p, values[r], EXCHANGE_TAG,
-                estimate_nbytes(values[r], spec.word_bytes)))
+                sizes.nbytes(values[r])))
             scripts[r].append(Recv((r + k) % p, EXCHANGE_TAG, None))
         return [values[(r + k) % p] for r in range(p)]
 
     if isinstance(instr, ir.Exchange):
+        sizes = ctx.sizes
         out = []
         for r in range(p):
             if instr.sends[r]:
-                nbytes = estimate_nbytes(values[r], spec.word_bytes)
+                nbytes = sizes.nbytes(values[r])
                 for dst in instr.sends[r]:
                     scripts[r].append(Send(dst, values[r], EXCHANGE_TAG,
                                            nbytes))
@@ -160,14 +222,38 @@ def _step(instr, plan, values, spec, default, scripts):
         return out
 
     if isinstance(instr, ir.Collective):
-        return _script_collective(instr, values, spec, default, scripts)
+        return _script_collective(instr, values, ctx.spec, ctx.default,
+                                  scripts)
 
     if isinstance(instr, ir.Loop):
         for body in instr.bodies:
-            values = _run_seq(body, plan, values, spec, default, scripts)
+            values = _run_seq(body, ctx, values)
         return values
 
     raise AssertionError(f"unscriptable plan instruction {instr!r}")
+
+
+def _evolve_local(a: ir.LocalApply, ctx, values):
+    """Value evolution for one (possibly fused-constituent) apply.
+
+    Pool dispatch first when one is attached; any decline runs the
+    in-process path, and a crashed pool is dropped for the rest of the
+    walk — the results are bit-identical by the pool's contract, so the
+    scripts never see the difference.
+    """
+    pool = ctx.pool
+    if pool is not None:
+        grid = ctx.plan.grid
+        cols = grid[1] if (a.indexed and grid is not None) else None
+        try:
+            out = pool.apply_local(a.fn, values, indexed=a.indexed,
+                                   grid_cols=cols, farm_env=a.farm_env)
+        except PoolError:
+            ctx.pool = None
+            out = None
+        if out is not None:
+            return out
+    return _apply_one(a, ctx.plan, values)
 
 
 def _apply_one(a: ir.LocalApply, plan, values):

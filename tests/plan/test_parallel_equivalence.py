@@ -1,0 +1,157 @@
+"""``parallel=True`` is invisible to everything but host wall time.
+
+The acceptance contract of the host-parallel data plane, end to end
+through the compiler: a compiled run with the worker pool attached
+produces byte-identical outputs *and* byte-identical virtual costs
+(makespan, message counts) to the in-process run; runs that must not
+touch the pool — ``parallel=False``, fault-injected machines, traced
+machines — never even resolve it; and a pool that crashes mid-run
+degrades to the in-process path with correct results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.linalg import gauss_jordan_compiled, gauss_jordan_seq
+from repro.apps.sort import hyperquicksort_compiled, seq_quicksort
+from repro.errors import PoolError
+from repro.faults import FaultInjector, FaultSpec
+from repro.machine import AP1000, Hypercube, Machine
+from repro.plan import pexec
+from repro.scl.compile import run_expression
+
+
+@pytest.fixture(autouse=True)
+def _fresh_pool():
+    yield
+    pexec.shutdown_pool()
+
+
+def _keys(rng, n):
+    return rng.integers(0, 10**6, size=n).astype(np.int64)
+
+
+class TestCompiledParallelEquivalence:
+    @pytest.mark.parametrize("d", [2, 3])
+    def test_hyperquicksort_bit_identical(self, rng, d):
+        values = _keys(rng, 4096 * (1 << d))
+        seq_out, seq_res = hyperquicksort_compiled(values, d)
+        par_out, par_res = hyperquicksort_compiled(values, d,
+                                                   parallel=True, workers=2)
+        assert np.array_equal(np.asarray(seq_out), np.asarray(par_out))
+        assert np.array_equal(np.asarray(par_out), seq_quicksort(values))
+        assert par_res.makespan == seq_res.makespan
+        assert par_res.total_messages == seq_res.total_messages
+
+    def test_gauss_jordan_identical(self, rng):
+        n, p = 16, 4
+        A = rng.normal(size=(n, n)) + n * np.eye(n)
+        b = rng.normal(size=(n, 1))
+        seq_out, seq_res = gauss_jordan_compiled(A, b, p)
+        par_out, par_res = gauss_jordan_compiled(A, b, p,
+                                                 parallel=True, workers=2)
+        # Identical, not merely close: the same floating-point ops ran in
+        # the same order whether or not a pool was attached.
+        assert np.array_equal(seq_out, par_out)
+        assert np.allclose(par_out, gauss_jordan_seq(A, b))
+        assert par_res.makespan == seq_res.makespan
+
+    def test_workers_one_still_identical(self, rng):
+        values = _keys(rng, 16384)
+        seq_out, seq_res = hyperquicksort_compiled(values, 2)
+        par_out, par_res = hyperquicksort_compiled(values, 2,
+                                                   parallel=True, workers=1)
+        assert np.array_equal(np.asarray(seq_out), np.asarray(par_out))
+        assert par_res.makespan == seq_res.makespan
+
+
+class TestPoolGating:
+    """Runs that must not touch the pool never resolve it at all."""
+
+    @pytest.fixture
+    def forbid_pool(self, monkeypatch):
+        def _refuse(*a, **kw):  # pragma: no cover - failure path
+            raise AssertionError("get_pool resolved on a gated run")
+        monkeypatch.setattr(pexec, "get_pool", _refuse)
+
+    def test_parallel_false_never_resolves_pool(self, rng, forbid_pool):
+        values = _keys(rng, 2048)
+        out, _ = hyperquicksort_compiled(values, 2)
+        assert np.array_equal(np.asarray(out), seq_quicksort(values))
+
+    def test_faulted_run_never_resolves_pool(self, rng, forbid_pool):
+        from repro.apps.sort import hyperquicksort_expression
+        from repro.core import parmap, partition
+        from repro.core.partition import Block
+
+        d = 2
+        values = _keys(rng, 2048)
+        blocks = parmap(seq_quicksort, partition(Block(1 << d), values))
+        machine = Machine(Hypercube(d), spec=AP1000,
+                          faults=FaultInjector(FaultSpec()))
+        out, _ = run_expression(hyperquicksort_expression(d), blocks,
+                                machine, parallel=True, workers=2)
+        merged = np.concatenate([np.asarray(b) for b in out])
+        assert np.array_equal(merged, seq_quicksort(values))
+
+    def test_traced_run_never_resolves_pool(self, rng, forbid_pool):
+        from repro.apps.sort import hyperquicksort_expression
+        from repro.core import parmap, partition
+        from repro.core.partition import Block
+
+        d = 2
+        values = _keys(rng, 2048)
+        blocks = parmap(seq_quicksort, partition(Block(1 << d), values))
+        machine = Machine(Hypercube(d), spec=AP1000, record_trace=True)
+        out, _ = run_expression(hyperquicksort_expression(d), blocks,
+                                machine, parallel=True, workers=2)
+        merged = np.concatenate([np.asarray(b) for b in out])
+        assert np.array_equal(merged, seq_quicksort(values))
+
+    def test_faulted_run_byte_identical_to_before(self, rng, forbid_pool):
+        # The fault/trace paths don't just avoid the pool — their results
+        # are unchanged by the parallel flag entirely.
+        from repro.apps.sort import hyperquicksort_expression
+        from repro.core import parmap, partition
+        from repro.core.partition import Block
+
+        d = 2
+        values = _keys(rng, 2048)
+        blocks = parmap(seq_quicksort, partition(Block(1 << d), values))
+        expr = hyperquicksort_expression(d)
+
+        def run(parallel):
+            machine = Machine(Hypercube(d), spec=AP1000,
+                              faults=FaultInjector(FaultSpec(seed=3)))
+            return run_expression(expr, blocks, machine, parallel=parallel)
+
+        out_a, res_a = run(False)
+        out_b, res_b = run(True)
+        for a, b in zip(out_a, out_b):
+            assert np.array_equal(np.asarray(a), np.asarray(b))
+        assert res_a.makespan == res_b.makespan
+        assert res_a.total_messages == res_b.total_messages
+
+
+class _CrashingPool:
+    """A stand-in whose first dispatch tears the pipe."""
+
+    workers = 2
+
+    def apply_local(self, fn, values, **kw):
+        raise PoolError("synthetic mid-run crash")
+
+
+class TestPoolCrashDegradation:
+    def test_crashing_pool_still_correct(self, rng, monkeypatch):
+        monkeypatch.setattr(pexec, "get_pool",
+                            lambda *a, **kw: _CrashingPool())
+        values = _keys(rng, 16384)
+        seq_out, seq_res = hyperquicksort_compiled(values, 2)
+        par_out, par_res = hyperquicksort_compiled(values, 2,
+                                                   parallel=True, workers=2)
+        assert np.array_equal(np.asarray(seq_out), np.asarray(par_out))
+        assert par_res.makespan == seq_res.makespan
+        assert par_res.total_messages == seq_res.total_messages

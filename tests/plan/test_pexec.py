@@ -1,0 +1,363 @@
+"""The host-parallel worker pool: dispatch paths, gates and lifecycle.
+
+``WorkerPool.apply_local`` must be bit-identical to the in-process loop
+on every path (shm shard, shm per-rank, pickled per-rank, every apply
+mode), must *decline* (return ``None``) on the documented gates without
+ever starting a worker process it doesn't need, and must raise
+:class:`~repro.errors.PoolError` only on a genuine worker crash — which
+the vectorized data plane then survives by retrying in-process.
+
+Worker-shipped functions live at module level: persistent workers
+resolve pickled functions by reference against the importing module, so
+closures and test-local defs intentionally take the fallback path (and
+one test pins exactly that).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import PoolError
+from repro.obs.metrics import MetricsRegistry
+from repro.plan import ir, pexec
+from repro.plan.kernels import batched_apply, elementwise
+from repro.plan.pexec import WorkerPool, _shard_bounds
+
+SPAWN_ONLY = "fork" not in multiprocessing.get_all_start_methods()
+METHODS = ["spawn"] if SPAWN_ONLY else ["fork", "spawn"]
+
+
+# ------------------------------------------------- worker-shipped kernels
+
+#: Registered elementwise fragment → eligible for the shm shard path.
+scaled_sqrt = elementwise(np.sqrt, ops_per_elem=2.0, name="scaled_sqrt")
+
+
+def double(v):
+    return v * 2
+
+
+def rank_tag(r, v):
+    return (r, float(np.sum(v)))
+
+
+def grid_tag(rc, v):
+    return (rc, float(np.sum(v)))
+
+
+def env_scale(env, v):
+    return v * env
+
+
+def boom(v):
+    raise RuntimeError("kernel exploded")
+
+
+def square(x):
+    return x * x
+
+
+# ----------------------------------------------------------------- setup
+
+def _vals(p=8, n=4096, dtype=np.float64):
+    rng = np.random.default_rng(7)
+    return [rng.normal(size=n).astype(dtype) ** 2 for _ in range(p)]
+
+
+@pytest.fixture
+def pool():
+    pl = WorkerPool(2, min_dispatch_bytes=1)
+    yield pl
+    pl.close()
+
+
+# ----------------------------------------------------------- shard bounds
+
+class TestShardBounds:
+    def test_balanced_and_contiguous(self):
+        bounds = _shard_bounds(10, 4)
+        assert bounds == [(0, 3), (3, 6), (6, 8), (8, 10)]
+
+    def test_never_more_shards_than_items(self):
+        assert _shard_bounds(3, 8) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_covers_everything_exactly_once(self):
+        for n in (1, 2, 7, 16, 100):
+            for s in (1, 2, 3, 8):
+                bounds = _shard_bounds(n, s)
+                flat = [i for lo, hi in bounds for i in range(lo, hi)]
+                assert flat == list(range(n))
+
+
+# -------------------------------------------------------- dispatch paths
+
+class TestApplyLocalPaths:
+    def test_shard_path_bit_identical(self, pool):
+        values = _vals()
+        want = batched_apply(scaled_sqrt, values)
+        got = pool.apply_local(scaled_sqrt, values)
+        assert got is not None
+        assert pool.stats["tasks_shm"] > 0
+        for w, g in zip(want, got):
+            assert np.array_equal(w, g)
+            assert g.dtype == w.dtype
+
+    def test_shard_path_ragged_groups(self, pool):
+        # Two (shape, dtype) groups interleaved across ranks: the scatter
+        # must restore rank order within and across groups.
+        rng = np.random.default_rng(3)
+        values = [rng.normal(size=2048 + 512 * (r % 2)) ** 2
+                  for r in range(6)]
+        want = batched_apply(scaled_sqrt, values)
+        got = pool.apply_local(scaled_sqrt, values)
+        assert got is not None
+        for w, g in zip(want, got):
+            assert np.array_equal(w, g)
+
+    def test_per_rank_shm_path(self, pool):
+        values = _vals()
+        got = pool.apply_local(double, values)
+        assert got is not None
+        assert pool.stats["tasks_shm"] > 0
+        for v, g in zip(values, got):
+            assert np.array_equal(v * 2, g)
+
+    def test_per_rank_pickle_path_non_arrays(self, pool):
+        values = [list(range(1000 * (r + 1))) for r in range(4)]
+        got = pool.apply_local(len, values)
+        assert got == [1000, 2000, 3000, 4000]
+        assert pool.stats["tasks_pickle"] > 0
+
+    def test_indexed_mode(self, pool):
+        values = _vals(p=6)
+        want = [rank_tag(r, v) for r, v in enumerate(values)]
+        assert pool.apply_local(rank_tag, values, indexed=True) == want
+
+    def test_indexed2d_mode(self, pool):
+        values = _vals(p=6)
+        want = [grid_tag(divmod(r, 3), v) for r, v in enumerate(values)]
+        got = pool.apply_local(grid_tag, values, indexed=True, grid_cols=3)
+        assert got == want
+
+    def test_env_mode(self, pool):
+        values = _vals(p=4)
+        got = pool.apply_local(env_scale, values, farm_env=3.0)
+        assert got is not None
+        for v, g in zip(values, got):
+            assert np.array_equal(v * 3.0, g)
+
+    def test_transposed_inputs_normalised(self, pool):
+        # Non-contiguous views must produce the same results as their
+        # contiguous copies (group_uniform normalises before stacking).
+        rng = np.random.default_rng(5)
+        values = [np.asarray(rng.normal(size=(32, 64)) ** 2).T
+                  for _ in range(4)]
+        want = batched_apply(scaled_sqrt, [v.copy() for v in values])
+        got = pool.apply_local(scaled_sqrt, values)
+        assert got is not None
+        for w, g in zip(want, got):
+            assert np.array_equal(w, g)
+
+
+# --------------------------------------------------------- decline gates
+
+class TestFallbackGates:
+    def test_amortize_gate_never_starts_workers(self):
+        pl = WorkerPool(2)  # default 32 KiB floor
+        try:
+            out = pl.apply_local(double, [np.zeros(4), np.zeros(4)])
+            assert out is None
+            assert not pl.started
+            assert pl.stats["fallbacks"] == {"amortize": 1}
+        finally:
+            pl.close()
+
+    def test_small_p_gate(self, pool):
+        assert pool.apply_local(double, [np.zeros(100_000)]) is None
+        assert pool.stats["fallbacks"] == {"small-p": 1}
+
+    def test_unpicklable_fn_declines_without_starting(self):
+        pl = WorkerPool(2, min_dispatch_bytes=1)
+        try:
+            out = pl.apply_local(lambda v: v + 1,
+                                 [np.zeros(4096), np.zeros(4096)])
+            assert out is None
+            assert not pl.started
+            assert pl.stats["fallbacks"] == {"unpicklable": 1}
+        finally:
+            pl.close()
+
+    def test_worker_side_error_declines(self, pool):
+        out = pool.apply_local(boom, _vals(p=4))
+        assert out is None
+        assert pool.stats["fallbacks"] == {"task-error": 1}
+        # The pool is still healthy: the error was in the kernel, not the
+        # worker loop.
+        assert not pool.broken
+        assert pool.apply_local(double, _vals(p=4)) is not None
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(PoolError):
+            WorkerPool(-1)
+
+
+# ------------------------------------------------------------- lifecycle
+
+class TestLifecycle:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_start_methods_roundtrip(self, method):
+        pl = WorkerPool(2, start_method=method, min_dispatch_bytes=1)
+        try:
+            values = _vals(p=4)
+            got = pl.apply_local(scaled_sqrt, values)
+            assert got is not None
+            for w, g in zip(batched_apply(scaled_sqrt, values), got):
+                assert np.array_equal(w, g)
+        finally:
+            pl.close()
+
+    def test_close_then_reuse(self, pool):
+        assert pool.apply_local(double, _vals(p=4)) is not None
+        assert pool.started
+        pool.close()
+        assert not pool.started
+        assert pool.apply_local(double, _vals(p=4)) is not None
+
+    def test_crash_raises_pool_error_then_broken(self, pool):
+        pool.ensure_started()
+        os.kill(pool._ws[0].proc.pid, signal.SIGKILL)
+        with pytest.raises(PoolError):
+            pool.run_map(square, list(range(64)))
+        assert pool.broken
+        # A broken pool declines applies instead of raising.
+        assert pool.apply_local(double, _vals(p=4)) is None
+        assert pool.stats["fallbacks"] == {"broken": 1}
+        # ...and close() resets it for reuse.
+        pool.close()
+        assert not pool.broken
+        assert pool.run_map(square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_idle_reaper_retires_and_restarts(self):
+        pl = WorkerPool(2, min_dispatch_bytes=1, idle_timeout_s=0.2)
+        try:
+            assert pl.apply_local(double, _vals(p=4)) is not None
+            assert pl.started
+            deadline = time.monotonic() + 5.0
+            while pl.started and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert not pl.started, "idle reaper never retired the workers"
+            # The next dispatch restarts them transparently.
+            assert pl.apply_local(double, _vals(p=4)) is not None
+            assert pl.started
+        finally:
+            pl.close()
+
+
+# ----------------------------------------------------------------- run_map
+
+class TestRunMap:
+    def test_order_preserved(self, pool):
+        assert pool.run_map(square, list(range(37))) == \
+            [x * x for x in range(37)]
+
+    def test_empty(self, pool):
+        assert pool.run_map(square, []) == []
+        assert not pool.started
+
+    def test_unpicklable_raises(self, pool):
+        with pytest.raises(PoolError, match="pickle"):
+            pool.run_map(lambda x: x, [1, 2])
+
+    def test_task_error_raises(self, pool):
+        with pytest.raises(PoolError, match="kernel exploded"):
+            pool.run_map(boom, [1, 2, 3])
+
+
+# --------------------------------------------------------------- metrics
+
+class TestPoolMetrics:
+    def test_gauges_and_counters_register_and_move(self):
+        reg = MetricsRegistry()
+        pl = WorkerPool(2, metrics=reg, min_dispatch_bytes=1)
+        try:
+            assert pl.apply_local(scaled_sqrt, _vals(p=4)) is not None
+            assert pl.apply_local(double, [np.zeros(4)]) is None
+            snap = reg.snapshot()
+            assert snap.value("pexec_workers") == 2.0
+            assert snap.value("pexec_workers_live") == 2.0
+            assert snap.value("pexec_workers_busy") == 0.0
+            assert snap.value("pexec_tasks_total", {"path": "shm"}) >= 1
+            assert snap.value("pexec_fallbacks_total",
+                              {"reason": "small-p"}) == 1
+            assert snap.value("pexec_dispatch_seconds",
+                              field="count") >= 1
+        finally:
+            pl.close()
+
+    def test_no_metrics_is_fine(self, pool):
+        # The guard under test: every metric touch sits behind
+        # ``if ... is not None``.
+        assert pool._m_tasks is None
+        assert pool.apply_local(scaled_sqrt, _vals(p=4)) is not None
+
+
+# ------------------------------------------------------------- singleton
+
+class TestGetPool:
+    def test_reuse_and_recreate(self):
+        try:
+            a = pexec.get_pool(2)
+            assert pexec.get_pool(2) is a
+            b = pexec.get_pool(3)
+            assert b is not a
+            assert b.workers == 3
+        finally:
+            pexec.shutdown_pool()
+
+    def test_shutdown_is_idempotent(self):
+        pexec.shutdown_pool()
+        pexec.shutdown_pool()
+
+
+# ------------------------------------------------- vexec fallback wiring
+
+class _ExplodingPool:
+    workers = 2
+
+    def apply_local(self, fn, values, **kw):
+        raise PoolError("synthetic crash")
+
+
+class TestVexecIntegration:
+    def test_pool_crash_falls_back_in_process(self):
+        from repro.machine import AP1000
+        from repro.plan import vexec
+
+        plan = ir.Plan((ir.LocalApply(scaled_sqrt),), 4)
+        values = _vals(p=4)
+        want = vexec.precompute(plan, values, AP1000)
+        got = vexec.precompute(plan, values, AP1000,
+                               pool=_ExplodingPool())
+        assert want is not None and got is not None
+        assert want[0] == got[0]
+        for w, g in zip(want[1], got[1]):
+            assert np.array_equal(w, g)
+
+    def test_real_pool_scripts_identically(self, pool):
+        from repro.machine import AP1000
+        from repro.plan import vexec
+
+        plan = ir.Plan((ir.LocalApply(scaled_sqrt),
+                        ir.LocalApply(rank_tag, indexed=True)), 4)
+        values = _vals(p=4)
+        want = vexec.precompute(plan, values, AP1000)
+        got = vexec.precompute(plan, values, AP1000, pool=pool)
+        assert pool.stats["dispatches"] >= 1
+        assert want[0] == got[0]
+        assert want[1] == got[1]
